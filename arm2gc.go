@@ -1,0 +1,257 @@
+// Package arm2gc is a from-scratch implementation of ARM2GC (Songhori et
+// al., DAC 2019): secure two-party computation by garbling an ARM-style
+// processor, made practical by the SkipGate algorithm, which garbles only
+// the gates whose values actually depend on private data — the public
+// program binary drives everything else for free.
+//
+// The typical flow mirrors the paper's Figure 4:
+//
+//	src := `void gc_main(const int *a, const int *b, int *c) {
+//	    c[0] = a[0] + b[0];
+//	}`
+//	prog, _, err := arm2gc.CompileC("add", src, arm2gc.Layout{
+//	    IMemWords: 64, AliceWords: 1, BobWords: 1, OutWords: 1, ScratchWords: 16,
+//	})
+//	m, err := arm2gc.NewMachine(prog.Layout)
+//	res, err := m.Run(prog, []uint32{2}, []uint32{40}, 10000)
+//	// res.Outputs[0] == 42; res.GarbledTables == 31
+//
+// For a real two-party execution over a network, each side calls
+// m.Garble or m.Evaluate with its private input on its end of a
+// connection; everything else — oblivious transfer, per-cycle garbled
+// table streaming, output decoding — is handled internally.
+package arm2gc
+
+import (
+	"fmt"
+	"io"
+
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/core"
+	"arm2gc/internal/cpu"
+	"arm2gc/internal/emu"
+	"arm2gc/internal/isa"
+	"arm2gc/internal/minicc"
+	"arm2gc/internal/proto"
+	"arm2gc/internal/sim"
+)
+
+// Layout is the processor memory geometry: instruction words plus the four
+// data regions (Alice's inputs, Bob's inputs, outputs, scratch+stack).
+type Layout = isa.Layout
+
+// Program is a linked binary: the public input p of the garbled execution.
+type Program = isa.Program
+
+// CompileC compiles MiniC source (entry point gc_main) and links it
+// against a layout. The returned warnings flag conditionals that could
+// not be converted to predicated instructions — if their conditions are
+// secret, the program counter becomes secret and costs explode (the
+// paper's Figure 6 case).
+func CompileC(name, src string, l Layout) (*Program, []string, error) {
+	res, err := minicc.Compile(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	fitted, err := isa.FitLayout(res.Asm, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := isa.Link(name, res.Asm, fitted)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, res.Warnings, nil
+}
+
+// Assemble assembles ARM-style assembly (entry point gc_main) and links it.
+func Assemble(name, src string, l Layout) (*Program, error) {
+	fitted, err := isa.FitLayout(src, l)
+	if err != nil {
+		return nil, err
+	}
+	return isa.Link(name, src, fitted)
+}
+
+// Emulate runs a program natively (no cryptography) and returns the output
+// region and the cycle count. SFE programs have input-independent control
+// flow, so the cycle count from any input is the cc both parties agree on.
+func Emulate(p *Program, alice, bob []uint32, maxCycles int) ([]uint32, int, error) {
+	m, err := emu.New(p, alice, bob)
+	if err != nil {
+		return nil, 0, err
+	}
+	cycles, err := m.Run(maxCycles)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m.Output(), cycles, nil
+}
+
+// Machine is a garbled processor instance for one memory layout; it can
+// run any program linked against that layout.
+type Machine struct {
+	cpu *cpu.CPU
+}
+
+// NewMachine synthesizes the processor netlist for a layout.
+func NewMachine(l Layout) (*Machine, error) {
+	c, err := cpu.Build(l)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{cpu: c}, nil
+}
+
+// Stats reports the processor's netlist composition (the per-cycle cost a
+// conventional garbler would pay).
+func (m *Machine) Stats() circuit.Stats { return m.cpu.Circuit.Stats() }
+
+// WriteNetlist serializes the processor netlist in the text format of
+// internal/circuit, for inspection or external tooling.
+func (m *Machine) WriteNetlist(w io.Writer) error { return m.cpu.Circuit.WriteText(w) }
+
+// RunInfo reports a garbled execution.
+type RunInfo struct {
+	Outputs []uint32 // the output region c[]
+	Cycles  int
+	Halted  bool
+
+	// GarbledTables is the number of garbled tables transferred — the
+	// paper's "# of garbled non-XOR gates" metric.
+	GarbledTables int
+
+	// Conventional is cycles × processor non-XOR gates: the cost without
+	// SkipGate (Table 4's w/o column).
+	Conventional int64
+
+	Detail core.CycleStats
+}
+
+func (m *Machine) inputs(p *Program, alice, bob []uint32) (pub, ab, bb []bool, err error) {
+	pub, err = m.cpu.PublicBits(p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ab, err = m.cpu.InputBits(circuit.Alice, alice)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bb, err = m.cpu.InputBits(circuit.Bob, bob)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pub, ab, bb, nil
+}
+
+// Run executes the full garbled protocol in process (both parties), with
+// real garbling and evaluation; use it to validate programs and measure
+// costs before deploying the two-party version.
+func (m *Machine) Run(p *Program, alice, bob []uint32, maxCycles int) (*RunInfo, error) {
+	pub, ab, bb, err := m.inputs(p, alice, bob)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunLocal(m.cpu.Circuit, sim.Inputs{Public: pub, Alice: ab, Bob: bb},
+		core.RunOpts{Cycles: maxCycles, StopOutput: "halted"})
+	if err != nil {
+		return nil, err
+	}
+	return m.info(p, res.Outputs, res.Stats, res.Halted), nil
+}
+
+// Count measures the garbled-table counts of a program without doing any
+// cryptography (the schedule is independent of label values, so the
+// counts are exact).
+func (m *Machine) Count(p *Program, maxCycles int) (*RunInfo, error) {
+	pub, err := m.cpu.PublicBits(p)
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.Count(m.cpu.Circuit, pub, core.CountOpts{Cycles: maxCycles, StopOutput: "halted"})
+	if err != nil {
+		return nil, err
+	}
+	return m.info(p, nil, st, true), nil
+}
+
+func (m *Machine) info(p *Program, outBits []bool, st core.Stats, halted bool) *RunInfo {
+	info := &RunInfo{
+		Cycles:        st.Cycles,
+		Halted:        halted,
+		GarbledTables: st.Total.Garbled,
+		Conventional:  int64(st.Cycles) * int64(m.cpu.Circuit.Stats().NonXOR),
+		Detail:        st.Total,
+	}
+	if outBits != nil {
+		info.Outputs = cpu.OutWords(outBits[:p.Layout.OutWords*32])
+	}
+	return info
+}
+
+// Garble plays Alice (the garbler) over a connection: she contributes the
+// alice[] input array and learns the outputs.
+func (m *Machine) Garble(conn io.ReadWriter, p *Program, alice []uint32, maxCycles int) (*RunInfo, error) {
+	pub, ab, err := m.partyBits(p, circuit.Alice, alice)
+	if err != nil {
+		return nil, err
+	}
+	cfg := proto.Config{Circuit: m.cpu.Circuit, Public: pub, Cycles: maxCycles, StopOutput: "halted"}
+	res, err := proto.RunGarbler(conn, cfg, ab, nil)
+	if err != nil {
+		return nil, err
+	}
+	return m.info(p, res.Outputs, res.Stats, res.Halted), nil
+}
+
+// Evaluate plays Bob (the evaluator) over a connection.
+func (m *Machine) Evaluate(conn io.ReadWriter, p *Program, bob []uint32, maxCycles int) (*RunInfo, error) {
+	pub, bb, err := m.partyBits(p, circuit.Bob, bob)
+	if err != nil {
+		return nil, err
+	}
+	cfg := proto.Config{Circuit: m.cpu.Circuit, Public: pub, Cycles: maxCycles, StopOutput: "halted"}
+	res, err := proto.RunEvaluator(conn, cfg, bb)
+	if err != nil {
+		return nil, err
+	}
+	return m.info(p, res.Outputs, res.Stats, res.Halted), nil
+}
+
+func (m *Machine) partyBits(p *Program, owner circuit.Owner, words []uint32) ([]bool, []bool, error) {
+	pub, err := m.cpu.PublicBits(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	bits, err := m.cpu.InputBits(owner, words)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pub, bits, nil
+}
+
+// Disassemble renders a linked program.
+func Disassemble(p *Program) string { return p.Disassemble() }
+
+// Verify cross-checks a garbled run against native execution, returning an
+// error on any mismatch — the quickest way to validate a new program.
+func Verify(p *Program, alice, bob []uint32, maxCycles int) (*RunInfo, error) {
+	want, _, err := Emulate(p, alice, bob, maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewMachine(p.Layout)
+	if err != nil {
+		return nil, err
+	}
+	info, err := m.Run(p, alice, bob, maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	for i := range want {
+		if info.Outputs[i] != want[i] {
+			return nil, fmt.Errorf("arm2gc: garbled output[%d] = %#x, native %#x", i, info.Outputs[i], want[i])
+		}
+	}
+	return info, nil
+}

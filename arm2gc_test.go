@@ -1,0 +1,131 @@
+package arm2gc
+
+import (
+	"net"
+	"testing"
+)
+
+const addSrc = `
+void gc_main(const int *a, const int *b, int *c) {
+	c[0] = a[0] + b[0];
+	c[1] = a[0] > b[0] ? a[0] : b[0];
+}
+`
+
+func testLayout() Layout {
+	return Layout{IMemWords: 64, AliceWords: 1, BobWords: 1, OutWords: 2, ScratchWords: 16}
+}
+
+func TestFacadeCompileRunVerify(t *testing.T) {
+	prog, warnings, err := CompileC("add", addSrc, testLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", warnings)
+	}
+	info, err := Verify(prog, []uint32{40}, []uint32{2}, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Outputs[0] != 42 || info.Outputs[1] != 40 {
+		t.Fatalf("outputs = %v, want [42 40]", info.Outputs)
+	}
+	if info.GarbledTables <= 0 || info.GarbledTables > 300 {
+		t.Fatalf("garbled %d tables; expected a small add+max cost", info.GarbledTables)
+	}
+	if !info.Halted {
+		t.Fatal("program did not halt")
+	}
+}
+
+func TestFacadeCount(t *testing.T) {
+	prog, _, err := CompileC("add", addSrc, testLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(prog.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := m.Run(prog, []uint32{1}, []uint32{2}, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := m.Count(prog, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.GarbledTables != run.GarbledTables || count.Cycles != run.Cycles {
+		t.Fatalf("Count (%d tables/%d cycles) disagrees with Run (%d/%d)",
+			count.GarbledTables, count.Cycles, run.GarbledTables, run.Cycles)
+	}
+}
+
+func TestFacadeTwoParty(t *testing.T) {
+	prog, _, err := CompileC("add", addSrc, testLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+
+	type r struct {
+		info *RunInfo
+		err  error
+	}
+	ch := make(chan r, 1)
+	go func() {
+		m, err := NewMachine(prog.Layout)
+		if err != nil {
+			ch <- r{nil, err}
+			return
+		}
+		info, err := m.Garble(ca, prog, []uint32{1000}, 10_000)
+		ch <- r{info, err}
+	}()
+	m, err := NewMachine(prog.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobInfo, err := m.Evaluate(cb, prog, []uint32{23}, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceR := <-ch
+	if aliceR.err != nil {
+		t.Fatal(aliceR.err)
+	}
+	for _, info := range []*RunInfo{aliceR.info, bobInfo} {
+		if info.Outputs[0] != 1023 || info.Outputs[1] != 1000 {
+			t.Fatalf("outputs = %v, want [1023 1000]", info.Outputs)
+		}
+	}
+}
+
+func TestFacadeAssemble(t *testing.T) {
+	prog, err := Assemble("neg", `
+gc_main:
+	ldr r4, [r0]
+	rsb r4, r4, #0
+	str r4, [r2]
+	mov pc, lr
+`, testLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, cycles, err := Emulate(prog, []uint32{5}, nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != ^uint32(5)+1 {
+		t.Fatalf("-5 = %#x", out[0])
+	}
+	if cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	if Disassemble(prog) == "" {
+		t.Fatal("empty disassembly")
+	}
+}

@@ -1,0 +1,211 @@
+package arm2gc
+
+// One benchmark per table and figure of the paper's evaluation (the same
+// generators cmd/arm2gc-bench uses), plus microbenchmarks of the
+// throughput-critical primitives: half-gates garbling, the SkipGate
+// scheduler on the processor netlist, and full crypto per processor cycle.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"arm2gc/internal/bencher"
+	"arm2gc/internal/core"
+	"arm2gc/internal/cpu"
+	"arm2gc/internal/gc"
+	"arm2gc/internal/sim"
+)
+
+func benchTable(b *testing.B, f func() (*bencher.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable1_SkipGateOnHDLCircuits(b *testing.B) {
+	benchTable(b, func() (*bencher.Table, error) { return bencher.Table1(false) })
+}
+
+func BenchmarkTable2_ARM2GCvsHDL(b *testing.B) {
+	benchTable(b, func() (*bencher.Table, error) { return bencher.Table2(false) })
+}
+
+func BenchmarkTable3_ARM2GCvsFrameworks(b *testing.B) {
+	benchTable(b, func() (*bencher.Table, error) { return bencher.Table3(false) })
+}
+
+func BenchmarkTable4_SkipGateOnARM(b *testing.B) {
+	benchTable(b, func() (*bencher.Table, error) { return bencher.Table4(false) })
+}
+
+func BenchmarkTable5_ComplexFunctions(b *testing.B) {
+	benchTable(b, func() (*bencher.Table, error) { return bencher.Table5(false) })
+}
+
+func BenchmarkTable6_FrameworkFeatures(b *testing.B) {
+	benchTable(b, bencher.Table6)
+}
+
+func BenchmarkMIPS_InstructionLevelBaseline(b *testing.B) {
+	benchTable(b, bencher.MIPSTable)
+}
+
+func BenchmarkFigure1_Phase1Rewrites(b *testing.B) { benchTable(b, bencher.Figure1) }
+func BenchmarkFigure2_Phase2Rewrites(b *testing.B) { benchTable(b, bencher.Figure2) }
+func BenchmarkFigure3_RecursiveReduction(b *testing.B) {
+	benchTable(b, bencher.Figure3)
+}
+func BenchmarkFigure5_ConditionalExecution(b *testing.B) { benchTable(b, bencher.Figure5) }
+func BenchmarkFigure6_SecretBranchBlowup(b *testing.B)   { benchTable(b, bencher.Figure6) }
+
+func BenchmarkAblationMuxCell(b *testing.B)       { benchTable(b, bencher.AblationMuxCell) }
+func BenchmarkAblationObliviousScan(b *testing.B) { benchTable(b, bencher.AblationObliviousScan) }
+func BenchmarkAblationZFlag(b *testing.B)         { benchTable(b, bencher.AblationZFlag) }
+
+// --- Primitive throughput ---
+
+func BenchmarkHalfGatesGarble(b *testing.B) {
+	h := gc.NewHash()
+	r := gc.RandDelta(gc.CryptoRand)
+	a0 := gc.RandLabel(gc.CryptoRand)
+	b0 := gc.RandLabel(gc.CryptoRand)
+	b.ReportAllocs()
+	b.SetBytes(gc.TableBytes)
+	for i := 0; i < b.N; i++ {
+		_, _ = gc.GarbleAnd(h, r, a0, b0, uint64(i))
+	}
+}
+
+func BenchmarkHalfGatesEval(b *testing.B) {
+	h := gc.NewHash()
+	r := gc.RandDelta(gc.CryptoRand)
+	a0 := gc.RandLabel(gc.CryptoRand)
+	b0 := gc.RandLabel(gc.CryptoRand)
+	c0, tab := gc.GarbleAnd(h, r, a0, b0, 1)
+	_ = c0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = gc.EvalAnd(h, a0, b0, tab, 1)
+	}
+}
+
+func cpuForBench(b *testing.B) (*cpu.CPU, []bool, int) {
+	b.Helper()
+	w := bencher.HammingWorkload(160)
+	p, _, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cpu.Build(p.Layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := c.PublicBits(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, pub, 470 // emulator-measured cycle count for this workload
+}
+
+// BenchmarkSchedulerCycle measures the SkipGate decision pass (no crypto)
+// per processor clock cycle — the local-computation price the paper trades
+// for communication.
+func BenchmarkSchedulerCycle(b *testing.B) {
+	c, pub, _ := cpuForBench(b)
+	s := core.NewScheduler(c.Circuit, core.Seed{}, pub)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Classify(false)
+		s.Commit()
+	}
+	b.ReportMetric(float64(len(c.Circuit.Gates)), "gates/cycle")
+}
+
+// BenchmarkGarbledProcessorCycle measures a full crypto cycle (scheduler +
+// garbler + evaluator) on the processor.
+func BenchmarkGarbledProcessorCycle(b *testing.B) {
+	c, pub, _ := cpuForBench(b)
+	s := core.NewScheduler(c.Circuit, core.Seed{}, pub)
+	g := core.NewGarbler(s, gc.CryptoRand)
+	e := core.NewEvaluator(s)
+	pairs := g.BobPairs()
+	chosen := make([]gc.Label, len(pairs))
+	for i := range pairs {
+		chosen[i] = pairs[i][0]
+	}
+	if err := e.SetInputs(g.AliceActiveLabels(nil), chosen); err != nil {
+		b.Fatal(err)
+	}
+	var tables []gc.Table
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Classify(false)
+		tables = g.GarbleCycle(tables[:0])
+		if _, err := e.EvalCycle(tables); err != nil {
+			b.Fatal(err)
+		}
+		g.CopyDFFs()
+		e.CopyDFFs()
+		s.Commit()
+	}
+}
+
+// BenchmarkConventionalGCCycle garbles the whole processor conventionally
+// (the paper's w/o-SkipGate column) for one cycle — the cost SkipGate
+// removes.
+func BenchmarkConventionalGCCycle(b *testing.B) {
+	c, _, _ := cpuForBench(b)
+	g := gc.NewGarbler(c.Circuit, gc.CryptoRand)
+	var tables []gc.Table
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables = g.GarbleCycle(tables[:0])
+	}
+	b.ReportMetric(float64(len(tables)*gc.TableBytes), "bytes/cycle")
+}
+
+// BenchmarkEndToEndSum32 runs the complete garbled execution of the Sum 32
+// program (the paper's headline example).
+func BenchmarkEndToEndSum32(b *testing.B) {
+	prog, _, err := CompileC("sum", "void gc_main(const int *a, const int *b, int *c) { c[0] = a[0] + b[0]; }",
+		Layout{IMemWords: 64, AliceWords: 1, BobWords: 1, OutWords: 1, ScratchWords: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMachine(prog.Layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		info, err := m.Run(prog, []uint32{uint32(i)}, []uint32{7}, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info.Outputs[0] != uint32(i)+7 {
+			b.Fatal("wrong sum")
+		}
+	}
+}
+
+// BenchmarkPlainSimCPU is the plaintext-simulation floor for the same
+// processor netlist.
+func BenchmarkPlainSimCPU(b *testing.B) {
+	c, pub, _ := cpuForBench(b)
+	s := sim.New(c.Circuit, sim.Inputs{Public: pub})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,38 @@
+// arm2gc-asm assembles or disassembles garbled-processor programs.
+//
+//	arm2gc-asm prog.s           # hex words on stdout
+//	arm2gc-asm -d prog.s        # assemble, then disassemble (round-trip view)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"arm2gc/internal/isa"
+)
+
+func main() {
+	dis := flag.Bool("d", false, "disassemble after assembling")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: arm2gc-asm [-d] prog.s")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	words, err := isa.Assemble(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dis {
+		p := &isa.Program{Words: words}
+		fmt.Print(p.Disassemble())
+		return
+	}
+	for _, w := range words {
+		fmt.Printf("%08x\n", w)
+	}
+}

@@ -1,0 +1,71 @@
+// arm2gc-bench regenerates every table and figure of the paper's
+// evaluation section against this implementation, printing the paper's
+// values alongside the measured ones.
+//
+// Usage:
+//
+//	arm2gc-bench                # all tables and figures, small parameters
+//	arm2gc-bench -big           # full paper parameter sets (minutes)
+//	arm2gc-bench -table 4       # a single table (1-6, or "mips")
+//	arm2gc-bench -figure 5      # a single figure (1, 2, 3, 5, 6)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"arm2gc/internal/bencher"
+)
+
+func main() {
+	big := flag.Bool("big", false, "use the paper's full parameter sets (slow)")
+	table := flag.String("table", "", "generate one table: 1..6 or mips")
+	figure := flag.String("figure", "", "generate one figure: 1, 2, 3, 5, 6")
+	flag.Parse()
+
+	gens := map[string]func() (*bencher.Table, error){
+		"1":    func() (*bencher.Table, error) { return bencher.Table1(*big) },
+		"2":    func() (*bencher.Table, error) { return bencher.Table2(*big) },
+		"3":    func() (*bencher.Table, error) { return bencher.Table3(*big) },
+		"4":    func() (*bencher.Table, error) { return bencher.Table4(*big) },
+		"5":    func() (*bencher.Table, error) { return bencher.Table5(*big) },
+		"6":    bencher.Table6,
+		"mips": bencher.MIPSTable,
+		"f1":   bencher.Figure1,
+		"f2":   bencher.Figure2,
+		"f3":   bencher.Figure3,
+		"f5":   bencher.Figure5,
+		"f6":   bencher.Figure6,
+
+		// Ablations for this implementation's own design decisions.
+		"ablation-mux":   bencher.AblationMuxCell,
+		"ablation-scan":  bencher.AblationObliviousScan,
+		"ablation-zflag": bencher.AblationZFlag,
+	}
+
+	run := func(key string) {
+		g, ok := gens[key]
+		if !ok {
+			log.Fatalf("unknown experiment %q", key)
+		}
+		t, err := g()
+		if err != nil {
+			log.Fatalf("experiment %s: %v", key, err)
+		}
+		fmt.Println(t.Render())
+	}
+
+	switch {
+	case *table != "":
+		run(*table)
+	case *figure != "":
+		run("f" + *figure)
+	default:
+		fmt.Fprintln(os.Stderr, "regenerating the full evaluation (use -big for the paper's largest parameters)...")
+		for _, key := range []string{"1", "2", "3", "4", "5", "6", "mips", "f1", "f2", "f3", "f5", "f6", "ablation-mux", "ablation-scan", "ablation-zflag"} {
+			run(key)
+		}
+	}
+}

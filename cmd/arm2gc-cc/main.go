@@ -1,0 +1,33 @@
+// arm2gc-cc compiles MiniC to the garbled processor's assembly.
+//
+//	arm2gc-cc prog.c            # assembly on stdout
+//	arm2gc-cc -ast prog.c       # (reserved)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"arm2gc/internal/minicc"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: arm2gc-cc prog.c")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := minicc.Compile(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+	fmt.Print(res.Asm)
+}

@@ -1,0 +1,166 @@
+// arm2gc runs a secure two-party computation: one invocation per party,
+// connected over TCP, or both parties in one process with -role local.
+//
+//	# terminal 1 (Alice, the garbler):
+//	arm2gc -role garbler -listen :9000 -c prog.c -input 5,7 \
+//	       -alice-words 2 -bob-words 2 -out-words 1
+//	# terminal 2 (Bob, the evaluator):
+//	arm2gc -role evaluator -connect localhost:9000 -c prog.c -input 3,4 \
+//	       -alice-words 2 -bob-words 2 -out-words 1
+//
+// prog.c defines gc_main(const int *a, const int *b, int *c); both sides
+// must pass identical program and layout flags (the binary is the public
+// input p both parties know).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"arm2gc"
+)
+
+func main() {
+	role := flag.String("role", "local", "garbler | evaluator | local (both in-process)")
+	listen := flag.String("listen", "", "garbler: address to listen on")
+	connect := flag.String("connect", "", "evaluator: garbler address to dial")
+	cFile := flag.String("c", "", "MiniC source file (gc_main entry)")
+	asmFile := flag.String("asm", "", "assembly source file (gc_main entry)")
+	input := flag.String("input", "", "this party's input words, comma separated")
+	otherInput := flag.String("other-input", "", "local role only: the other party's input")
+	aliceWords := flag.Int("alice-words", 4, "size of Alice's input region (words)")
+	bobWords := flag.Int("bob-words", 4, "size of Bob's input region (words)")
+	outWords := flag.Int("out-words", 4, "size of the output region (words)")
+	scratch := flag.Int("scratch", 64, "scratch+stack region (words)")
+	maxCycles := flag.Int("max-cycles", 1_000_000, "cycle budget")
+	disasm := flag.Bool("S", false, "print the linked program and exit")
+	dumpNetlist := flag.String("dump-netlist", "", "write the processor netlist (text format) to a file and exit")
+	flag.Parse()
+
+	l := arm2gc.Layout{
+		IMemWords: 64, AliceWords: *aliceWords, BobWords: *bobWords,
+		OutWords: *outWords, ScratchWords: *scratch,
+	}
+	prog, warnings := load(*cFile, *asmFile, l)
+	for _, w := range warnings {
+		log.Printf("compiler warning: %s", w)
+	}
+	if *disasm {
+		fmt.Print(arm2gc.Disassemble(prog))
+		return
+	}
+
+	words := parseWords(*input)
+	m, err := arm2gc.NewMachine(prog.Layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dumpNetlist != "" {
+		f, err := os.Create(*dumpNetlist)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteNetlist(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		st := m.Stats()
+		fmt.Printf("netlist written to %s: %d gates (%d non-XOR), %d flip-flops\n",
+			*dumpNetlist, st.Gates, st.NonXOR, st.DFFs)
+		return
+	}
+
+	var info *arm2gc.RunInfo
+	switch *role {
+	case "local":
+		info, err = m.Run(prog, words, parseWords(*otherInput), *maxCycles)
+	case "garbler":
+		if *listen == "" {
+			log.Fatal("-role garbler needs -listen")
+		}
+		ln, lerr := net.Listen("tcp", *listen)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "garbler listening on %s...\n", ln.Addr())
+		conn, aerr := ln.Accept()
+		if aerr != nil {
+			log.Fatal(aerr)
+		}
+		defer conn.Close()
+		info, err = m.Garble(conn, prog, words, *maxCycles)
+	case "evaluator":
+		if *connect == "" {
+			log.Fatal("-role evaluator needs -connect")
+		}
+		conn, derr := net.Dial("tcp", *connect)
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		defer conn.Close()
+		info, err = m.Evaluate(conn, prog, words, *maxCycles)
+	default:
+		log.Fatalf("unknown role %q", *role)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("output:")
+	for _, w := range info.Outputs {
+		fmt.Printf(" %d", w)
+	}
+	fmt.Println()
+	fmt.Printf("cycles: %d  garbled tables: %d  (conventional GC: %d)\n",
+		info.Cycles, info.GarbledTables, info.Conventional)
+}
+
+func load(cFile, asmFile string, l arm2gc.Layout) (*arm2gc.Program, []string) {
+	switch {
+	case cFile != "":
+		src, err := os.ReadFile(cFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, warnings, err := arm2gc.CompileC(cFile, string(src), l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p, warnings
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := arm2gc.Assemble(asmFile, string(src), l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p, nil
+	}
+	log.Fatal("pass -c prog.c or -asm prog.s")
+	return nil, nil
+}
+
+func parseWords(s string) []uint32 {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []uint32
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 0, 64)
+		if err != nil {
+			log.Fatalf("bad input word %q: %v", f, err)
+		}
+		out = append(out, uint32(v))
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+// Sealed-bid second-price (Vickrey) auction. Alice and Bob each submit 8
+// sealed bids (two bidding consortiums); the computation reveals only the
+// winning side, the winning bidder's index, and the second-highest price
+// — individual losing bids stay private.
+//
+// The scan is fully predicated (conditional moves only), so the program
+// counter never depends on the bids and SkipGate keeps all control free.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"arm2gc"
+)
+
+const src = `
+void gc_main(const int *a, const int *b, int *c) {
+	unsigned best = 0;
+	unsigned second = 0;
+	int who = 0;
+	int idx = 0;
+	for (int i = 0; i < 8; i = i + 1) {
+		unsigned bid = a[i];
+		int hit = bid > best;
+		second = hit ? best : (bid > second ? bid : second);
+		best = hit ? bid : best;
+		who = hit ? 1 : who;
+		idx = hit ? i : idx;
+	}
+	for (int i = 0; i < 8; i = i + 1) {
+		unsigned bid = b[i];
+		int hit = bid > best;
+		second = hit ? best : (bid > second ? bid : second);
+		best = hit ? bid : best;
+		who = hit ? 2 : who;
+		idx = hit ? i : idx;
+	}
+	c[0] = who;
+	c[1] = idx;
+	c[2] = second;
+}
+`
+
+func main() {
+	prog, warnings, err := arm2gc.CompileC("auction", src, arm2gc.Layout{
+		IMemWords: 128, AliceWords: 8, BobWords: 8, OutWords: 3, ScratchWords: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(warnings) > 0 {
+		log.Fatalf("auction must be branch-free, got warnings: %v", warnings)
+	}
+
+	aliceBids := []uint32{120, 410, 95, 333, 78, 501, 222, 64}
+	bobBids := []uint32{90, 388, 505, 17, 444, 260, 71, 119}
+
+	info, err := arm2gc.Verify(prog, aliceBids, bobBids, 50_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sides := []string{"nobody", "Alice's consortium", "Bob's consortium"}
+	fmt.Printf("winner:        %s, bidder #%d\n", sides[info.Outputs[0]], info.Outputs[1])
+	fmt.Printf("price to pay:  %d (second-highest bid)\n", info.Outputs[2])
+	fmt.Printf("cost:          %d garbled tables over %d cycles (conventional: %d)\n",
+		info.GarbledTables, info.Cycles, info.Conventional)
+}

@@ -1,0 +1,94 @@
+// Package baseline models the cost of the earlier garbled processors the
+// paper compares against (GarbledCPU [42] and garbled MIPS [45]):
+// instruction-level pruning. Those systems analyse the binary ahead of
+// time and garble, each cycle, a circuit containing every module the
+// cycle's possible instructions might touch — whole register-file ports,
+// a whole ALU functional unit, whole memory access paths — instead of
+// skipping at gate granularity.
+//
+// The model charges, per executed instruction, the non-XOR gate count of
+// the processor modules that instruction activates (module sizes come
+// from the real processor netlist via builder scopes). It is deliberately
+// generous to the baseline: fetch, decode and next-PC logic are assumed
+// free (public program counter), and only one ALU functional unit is
+// charged per cycle.
+package baseline
+
+import (
+	"fmt"
+
+	"arm2gc/internal/cpu"
+	"arm2gc/internal/emu"
+	"arm2gc/internal/isa"
+)
+
+// ModuleSizes maps builder scope names to their non-XOR gate counts.
+func ModuleSizes(c *cpu.CPU) map[string]int {
+	sizes := make(map[string]int)
+	cir := c.Circuit
+	for i, g := range cir.Gates {
+		switch g.Op.String() {
+		case "AND", "OR", "NAND", "NOR", "MUX":
+			scope := ""
+			if cir.GateScope != nil {
+				scope = cir.ScopeNames[cir.GateScope[i]]
+			}
+			sizes[scope]++
+		}
+	}
+	return sizes
+}
+
+// Cost runs the program on the emulator and returns the
+// instruction-level-pruning garbling cost (non-XOR tables) alongside the
+// cycle count.
+func Cost(c *cpu.CPU, p *isa.Program, alice, bob []uint32, maxCycles int) (int64, int, error) {
+	sizes := ModuleSizes(c)
+	mod := func(names ...string) int64 {
+		var t int64
+		for _, n := range names {
+			t += int64(sizes[n])
+		}
+		return t
+	}
+
+	// Per-class module activations.
+	base := mod("regfile.read", "cond", "writeback", "flags", "alu.select")
+	costDP := base + mod("shifter", "alu.adder", "alu.logic")
+	costMul := base + mod("alu.mul")
+	costLoad := base + mod("dmem.agu", "dmem.read")
+	costStore := base + mod("dmem.agu", "dmem.write")
+	costBranch := mod("regfile.read", "cond")
+
+	m, err := emu.New(p, alice, bob)
+	if err != nil {
+		return 0, 0, err
+	}
+	var total int64
+	m.Trace = func(cycle int, pc uint32, ins isa.Instr, executed bool) {
+		// Instruction-level pruning cannot skip a predicated instruction:
+		// whether it executed is secret whenever the flags are, so the
+		// full module cost is charged either way.
+		switch ins.Kind {
+		case isa.KindDP:
+			total += costDP
+		case isa.KindMul:
+			total += costMul
+		case isa.KindMem:
+			if ins.Load {
+				total += costLoad
+			} else {
+				total += costStore
+			}
+		case isa.KindBranch:
+			total += costBranch
+		case isa.KindSWI:
+			// halt: free
+		}
+	}
+	cycles, err := m.Run(maxCycles)
+	if err != nil {
+		return 0, 0, fmt.Errorf("baseline: %w", err)
+	}
+	return total, cycles, nil
+}

@@ -1,0 +1,196 @@
+package bencher
+
+import (
+	"fmt"
+
+	"arm2gc/internal/build"
+	"arm2gc/internal/circuit"
+)
+
+// The HDL-synthesis path of Tables 1 and 2: hand-built sequential circuits
+// in the TinyGarble style. Each circuit takes Alice's and Bob's private
+// inputs (no public inputs — Table 1's setting) and runs for a fixed
+// number of cycles; Cycles reports it.
+
+// aliceReg and bobReg build shift/holding registers initialized from party
+// input bits.
+func partyReg(b *build.Builder, owner circuit.Owner, name string, bits int) *build.Reg {
+	off := b.AllocInputBits(owner, bits)
+	inits := make([]circuit.Init, bits)
+	kind := circuit.InitAlice
+	if owner == circuit.Bob {
+		kind = circuit.InitBob
+	}
+	for i := range inits {
+		inits[i] = circuit.Init{Kind: kind, Idx: off + i}
+	}
+	return b.RegInit(name, inits)
+}
+
+// SumSerial is TinyGarble's bit-serial adder: two n-bit shift registers, a
+// single full adder and a carry flip-flop; one sum bit is emitted per
+// cycle for n cycles. Conventional GC cost: 1 table/cycle.
+func SumSerial(n int) (*circuit.Circuit, int) {
+	b := build.New(fmt.Sprintf("sum-serial-%d", n))
+	ra := partyReg(b, circuit.Alice, "a", n)
+	rb := partyReg(b, circuit.Bob, "b", n)
+	carry := b.Reg("carry", 1)
+	sum, cout := b.FullAdder(ra.Q()[0], rb.Q()[0], carry.Q()[0])
+	carry.SetNext(build.Bus{cout})
+	ra.SetNext(build.ShrConst(ra.Q(), 1, build.F))
+	rb.SetNext(build.ShrConst(rb.Q(), 1, build.F))
+	b.Output("sum", build.Bus{sum})
+	return b.MustCompile(), n
+}
+
+// CompareSerial compares two n-bit unsigned integers bit-serially from the
+// LSB: lt' = diff ? b : lt. Cost: 1 MUX table/cycle over n cycles.
+func CompareSerial(n int) (*circuit.Circuit, int) {
+	b := build.New(fmt.Sprintf("compare-serial-%d", n))
+	ra := partyReg(b, circuit.Alice, "a", n)
+	rb := partyReg(b, circuit.Bob, "b", n)
+	lt := b.Reg("lt", 1)
+	a0, b0 := ra.Q()[0], rb.Q()[0]
+	diff := b.Xor(a0, b0)
+	ltNext := b.Mux(diff, b0, lt.Q()[0])
+	lt.SetNext(build.Bus{ltNext})
+	ra.SetNext(build.ShrConst(ra.Q(), 1, build.F))
+	rb.SetNext(build.ShrConst(rb.Q(), 1, build.F))
+	b.Output("lt", build.Bus{ltNext})
+	return b.MustCompile(), n
+}
+
+// HammingSerial computes the Hamming distance of two n-bit strings
+// bit-serially: a count register incremented by a[i]⊕b[i] each cycle.
+// Cost: counter-width ANDs per cycle.
+func HammingSerial(n int) (*circuit.Circuit, int) {
+	b := build.New(fmt.Sprintf("hamming-serial-%d", n))
+	w := 1
+	for 1<<w < n+1 {
+		w++
+	}
+	ra := partyReg(b, circuit.Alice, "a", n)
+	rb := partyReg(b, circuit.Bob, "b", n)
+	cnt := b.Reg("cnt", w)
+	diff := b.Xor(ra.Q()[0], rb.Q()[0])
+	next, _ := b.AddCarry(cnt.Q(), build.ZeroBus(w), diff)
+	cnt.SetNext(next)
+	ra.SetNext(build.ShrConst(ra.Q(), 1, build.F))
+	rb.SetNext(build.ShrConst(rb.Q(), 1, build.F))
+	b.Output("dist", cnt.Q())
+	return b.MustCompile(), n
+}
+
+// MultSerial is the classic shift-add serial multiplier with a full 2n-bit
+// product (TinyGarble's Mult): P ← (P + b₀·(a·2ⁿ)) >> 1. Cost: 2n
+// tables/cycle over n cycles (≈2n² total; 2,048 for n=32 conventionally,
+// 2,016 with SkipGate thanks to the public zero initialization — the
+// paper's Table 1 Mult 32 row).
+func MultSerial(n int) (*circuit.Circuit, int) {
+	b := build.New(fmt.Sprintf("mult-serial-%d", n))
+	ra := partyReg(b, circuit.Alice, "a", n)
+	rb := partyReg(b, circuit.Bob, "b", n)
+	p := b.Reg("p", 2*n)
+	pp := b.AndWith(rb.Q()[0], ra.Q())
+	hi, cout := b.AddCarry(p.Q()[n:], pp, build.F)
+	full := append(append(build.Bus{}, p.Q()[:n]...), hi...)
+	full = append(full, cout)
+	p.SetNext(full[1:]) // shift right by one
+	rb.SetNext(build.ShrConst(rb.Q(), 1, build.F))
+	ra.SetNext(ra.Q())
+	b.Output("prod", p.Q())
+	return b.MustCompile(), n
+}
+
+// MatrixMult is a sequential N×N 32-bit matrix multiplier: one
+// multiply-accumulate datapath reused N³ cycles, with public index
+// counters steering the memories (so all memory traffic is free under
+// SkipGate). Cost/cycle ≈ one truncated multiplier + adder.
+func MatrixMult(n, bits int) (*circuit.Circuit, int) {
+	b := build.New(fmt.Sprintf("matmul-%dx%d-%d", n, n, bits))
+	words := n * n
+	aOff := b.AllocInputBits(circuit.Alice, words*bits)
+	bOff := b.AllocInputBits(circuit.Bob, words*bits)
+
+	mkMem := func(kind circuit.InitKind, off int, name string) []build.Bus {
+		mem := make([]build.Bus, words)
+		for w := 0; w < words; w++ {
+			inits := make([]circuit.Init, bits)
+			for i := range inits {
+				inits[i] = circuit.Init{Kind: kind, Idx: off + w*bits + i}
+			}
+			r := b.RegInit(fmt.Sprintf("%s%d", name, w), inits)
+			r.SetNext(r.Q())
+			mem[w] = r.Q()
+		}
+		return mem
+	}
+	memA := mkMem(circuit.InitAlice, aOff, "a")
+	memB := mkMem(circuit.InitBob, bOff, "b")
+
+	// Public index counters i, j, k.
+	cw := 1
+	for 1<<cw < n {
+		cw++
+	}
+	mkCnt := func(name string) *build.Reg { return b.Reg(name, cw) }
+	ci, cj, ck := mkCnt("i"), mkCnt("j"), mkCnt("k")
+	nm1 := build.ConstBus(uint64(n-1), cw)
+	kWrap := b.Eq(ck.Q(), nm1)
+	jWrap := b.And(kWrap, b.Eq(cj.Q(), nm1))
+	inc := func(r *build.Reg, en build.W, wrap build.W) {
+		plus, _ := b.AddCarry(r.Q(), build.ZeroBus(cw), en)
+		r.SetNext(b.MuxBus(wrap, build.ZeroBus(cw), plus))
+	}
+	inc(ck, build.T, kWrap)
+	inc(cj, kWrap, jWrap)
+	inc(ci, jWrap, build.F)
+
+	// Flat addresses i*n+k and k*n+j (public arithmetic: free).
+	addrW := 1
+	for 1<<addrW < words {
+		addrW++
+	}
+	mulN := func(x build.Bus) build.Bus {
+		acc := build.ZeroBus(addrW)
+		for s := 0; s < addrW; s++ {
+			if n>>s&1 == 1 {
+				acc = b.Add(acc, build.ShlConst(build.ZeroExtend(x, addrW), s))
+			}
+		}
+		return acc
+	}
+	addrA := b.Add(mulN(ci.Q()), build.ZeroExtend(ck.Q(), addrW))
+	addrB := b.Add(mulN(ck.Q()), build.ZeroExtend(cj.Q(), addrW))
+	addrC := b.Add(mulN(ci.Q()), build.ZeroExtend(cj.Q(), addrW))
+
+	pad := make([]build.Bus, 1<<addrW)
+	fill := func(mem []build.Bus) []build.Bus {
+		for i := range pad {
+			if i < len(mem) {
+				pad[i] = mem[i]
+			} else {
+				pad[i] = build.ZeroBus(bits)
+			}
+		}
+		return append([]build.Bus(nil), pad...)
+	}
+	va := b.MuxTree(addrA, fill(memA))
+	vb := b.MuxTree(addrB, fill(memB))
+
+	// MAC: acc += va*vb; write c[i][j] and clear on k wrap.
+	acc := b.Reg("acc", bits)
+	mac := b.Add(acc.Q(), b.MulLow(va, vb))
+	acc.SetNext(b.MuxBus(kWrap, build.ZeroBus(bits), mac))
+
+	memC := make([]*build.Reg, words)
+	we := b.Decoder(addrC, kWrap)
+	var outs build.Bus
+	for w := 0; w < words; w++ {
+		memC[w] = b.Reg(fmt.Sprintf("c%d", w), bits)
+		memC[w].SetNext(b.MuxBus(we[w], mac, memC[w].Q()))
+		outs = append(outs, memC[w].Q()...)
+	}
+	b.Output("c", outs)
+	return b.MustCompile(), n * n * n
+}

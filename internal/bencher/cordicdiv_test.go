@@ -1,0 +1,20 @@
+package bencher
+
+import "testing"
+
+func TestCordicDivWorkload(t *testing.T) {
+	w := CordicDivWorkload()
+	r, err := RunOnCPU(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("CORDIC division: %d garbled over %d cycles (paper cites 12,546 for [12]; ARM2GC ≈1/3 of that)",
+		r.Garbled(), r.Cycles)
+	// ≈ 2 conditional add/sub per iteration × 30 iterations ≈ 4k.
+	if r.Garbled() < 1000 || r.Garbled() > 8000 {
+		t.Errorf("division cost %d, want well under [12]'s 12,546", r.Garbled())
+	}
+	if err := VerifyOnCPU(w); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package bencher holds the benchmark library: the TinyGarble-style
+// hand-built sequential circuits of Tables 1–2 (Sum, Compare, Hamming,
+// Mult, MatrixMult, SHA3-256, AES-128), the MiniC/assembly programs for
+// the processor path, and the workloads/parameters of every experiment.
+package bencher
+
+import (
+	"fmt"
+	"sync"
+
+	"arm2gc/internal/build"
+)
+
+// GF(2^8) tower-field arithmetic for the AES S-box circuit. The S-box is
+// inversion in GF(2^8) plus an affine map; inversion is cheap in the tower
+// GF(((2^2)^2)^2) — about 36 AND gates versus thousands for a table scan.
+// The basis change between the AES polynomial basis (x^8+x^4+x^3+x+1) and
+// the tower is a GF(2)-linear map found by an isomorphism search at
+// startup, so no magic matrices are hard-coded.
+//
+// Tower encodings: a GF(2^2) element is 2 bits (poly u²+u+1); a GF(2^4)
+// element is two GF(2^2) crumbs [hi:2|lo:2] (poly v²+v+N); a GF(2^8)
+// element is two GF(2^4) nibbles [hi:4|lo:4] (poly w²+w+M).
+
+const gf4N = 2 // N = u: v²+v+u is irreducible over GF(2²)
+
+// gf2Mul multiplies in GF(2²).
+func gf2Mul(a, b uint8) uint8 {
+	p := (a >> 1) & (b >> 1) & 1
+	q := a & b & 1
+	m := ((a ^ a>>1) & (b ^ b>>1)) & 1
+	return (m^q)<<1 | (q ^ p)
+}
+
+// gf4Mul multiplies in GF(2⁴) = GF(2²)[v]/(v²+v+N).
+func gf4Mul(a, b uint8) uint8 {
+	ah, al := a>>2&3, a&3
+	bh, bl := b>>2&3, b&3
+	t := gf2Mul(ah, bh)
+	u := gf2Mul(al, bl)
+	v := gf2Mul(ah^al, bh^bl)
+	hi := v ^ u
+	lo := u ^ gf2Mul(t, gf4N)
+	return hi<<2 | lo
+}
+
+// gf8Mul multiplies in GF(2⁸) = GF(2⁴)[w]/(w²+w+M).
+func gf8Mul(m, a, b uint8) uint8 {
+	ah, al := a>>4&15, a&15
+	bh, bl := b>>4&15, b&15
+	t := gf4Mul(ah, bh)
+	u := gf4Mul(al, bl)
+	v := gf4Mul(ah^al, bh^bl)
+	hi := v ^ u
+	lo := u ^ gf4Mul(t, m)
+	return hi<<4 | lo
+}
+
+// aesMul multiplies in the AES field GF(2⁸) mod x⁸+x⁴+x³+x+1.
+func aesMul(a, b uint8) uint8 {
+	var p uint8
+	for i := 0; i < 8; i++ {
+		if b&1 == 1 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// towerParams holds the searched tower description.
+type towerParams struct {
+	M        uint8      // GF(2⁴) constant of the degree-2 extension
+	Phi, Psi [256]uint8 // AES→tower isomorphism and its inverse
+	SboxRef  [256]uint8 // reference AES S-box (derived, for tests)
+}
+
+var (
+	towerOnce sync.Once
+	tower     towerParams
+)
+
+// Tower returns the tower parameters, computing them on first use.
+func Tower() *towerParams {
+	towerOnce.Do(func() {
+		m, ok := findM()
+		if !ok {
+			panic("bencher: no irreducible w²+w+M over GF(2⁴)")
+		}
+		tower.M = m
+		phi, psi, ok := findIso(m)
+		if !ok {
+			panic("bencher: no field isomorphism found")
+		}
+		tower.Phi, tower.Psi = phi, psi
+		for x := 0; x < 256; x++ {
+			tower.SboxRef[x] = aesAffine(aesInv(uint8(x)))
+		}
+	})
+	return &tower
+}
+
+func findM() (uint8, bool) {
+	for m := uint8(1); m < 16; m++ {
+		root := false
+		for t := uint8(0); t < 16; t++ {
+			if gf4Mul(t, t)^t == m {
+				root = true
+				break
+			}
+		}
+		if !root {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// findIso searches for a field isomorphism φ: AES→tower by mapping the
+// AES generator 0x03 to candidate tower generators and checking
+// additivity (multiplicativity holds by construction).
+func findIso(m uint8) (phi, psi [256]uint8, ok bool) {
+	var aesPow [255]uint8
+	g := uint8(1)
+	for i := range aesPow {
+		aesPow[i] = g
+		g = aesMul(g, 0x03)
+	}
+	if g != 1 {
+		panic("bencher: 0x03 is not a generator of the AES field")
+	}
+	for cand := uint8(2); cand != 0; cand++ {
+		// Build φ multiplicatively.
+		var p [256]uint8
+		t := uint8(1)
+		okCand := true
+		for i := 0; i < 255; i++ {
+			p[aesPow[i]] = t
+			t = gf8Mul(m, t, cand)
+		}
+		if t != 1 || p[1] != 1 {
+			continue // candidate order divides but is not 255
+		}
+		// Additivity check over a spanning set: φ(x ⊕ 2^k) = φ(x) ⊕ φ(2^k)
+		// for all x and basis elements is equivalent to full linearity.
+		for k := 0; k < 8 && okCand; k++ {
+			b := uint8(1) << k
+			for x := 0; x < 256; x++ {
+				if p[uint8(x)^b] != p[x]^p[b] {
+					okCand = false
+					break
+				}
+			}
+		}
+		if !okCand {
+			continue
+		}
+		var q [256]uint8
+		for x := 0; x < 256; x++ {
+			q[p[x]] = uint8(x)
+		}
+		return p, q, true
+	}
+	return phi, psi, false
+}
+
+// aesInv computes inversion in the AES field (0 maps to 0).
+func aesInv(x uint8) uint8 {
+	// x^254 by square-and-multiply.
+	r := uint8(1)
+	p := x
+	for e := 254; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			r = aesMul(r, p)
+		}
+		p = aesMul(p, p)
+	}
+	return r
+}
+
+// aesAffine applies the AES S-box affine transform.
+func aesAffine(x uint8) uint8 {
+	rotl := func(v uint8, n uint) uint8 { return v<<n | v>>(8-n) }
+	return x ^ rotl(x, 1) ^ rotl(x, 2) ^ rotl(x, 3) ^ rotl(x, 4) ^ 0x63
+}
+
+// --- Circuit-level tower cells ---
+
+// cGf2Mul multiplies two GF(2²) elements. Cost: 3 AND.
+func cGf2Mul(b *build.Builder, a, x build.Bus) build.Bus {
+	p := b.And(a[1], x[1])
+	q := b.And(a[0], x[0])
+	m := b.And(b.Xor(a[0], a[1]), b.Xor(x[0], x[1]))
+	return build.Bus{b.Xor(q, p), b.Xor(m, q)}
+}
+
+// cGf2MulN multiplies by the constant N = u. Cost: 0.
+func cGf2MulN(b *build.Builder, a build.Bus) build.Bus {
+	// (a1 u + a0)·u = a1 u² + a0 u = a1(u+1) + a0 u = (a0^a1)u + a1.
+	return build.Bus{a[1], b.Xor(a[0], a[1])}
+}
+
+// cGf2Sq squares (free: Frobenius is linear).
+func cGf2Sq(b *build.Builder, a build.Bus) build.Bus {
+	// (a1 u + a0)² = a1 u² + a0 = (a0^a1) + a1 u ... square = inverse in GF(4).
+	return build.Bus{b.Xor(a[0], a[1]), a[1]}
+}
+
+// cGf4Mul multiplies two GF(2⁴) elements. Cost: 9 AND.
+func cGf4Mul(b *build.Builder, a, x build.Bus) build.Bus {
+	ah, al := a[2:4], a[0:2]
+	xh, xl := x[2:4], x[0:2]
+	t := cGf2Mul(b, ah, xh)
+	u := cGf2Mul(b, al, xl)
+	v := cGf2Mul(b, b.XorBus(ah, al), b.XorBus(xh, xl))
+	hi := b.XorBus(v, u)
+	lo := b.XorBus(u, cGf2MulN(b, t))
+	return append(lo, hi...)
+}
+
+// cGf4Sq squares in GF(2⁴) (free).
+func cGf4Sq(b *build.Builder, a build.Bus) build.Bus {
+	ah, al := a[2:4], a[0:2]
+	h := cGf2Sq(b, ah)
+	l := b.XorBus(cGf2Sq(b, al), cGf2MulN(b, cGf2Sq(b, ah)))
+	return append(l, h...)
+}
+
+// cGf4Inv inverts in GF(2⁴). Cost: 9 AND.
+func cGf4Inv(b *build.Builder, a build.Bus) build.Bus {
+	ah, al := a[2:4], a[0:2]
+	// Δ = ah²·N ⊕ ah·al ⊕ al²; Δ⁻¹ = Δ² in GF(2²).
+	d := b.XorBus(b.XorBus(cGf2MulN(b, cGf2Sq(b, ah)), cGf2Mul(b, ah, al)), cGf2Sq(b, al))
+	dInv := cGf2Sq(b, d)
+	h := cGf2Mul(b, ah, dInv)
+	l := cGf2Mul(b, b.XorBus(ah, al), dInv)
+	return append(l, h...)
+}
+
+// cGf8Inv inverts in the tower GF(2⁸). Cost: 36 AND.
+func cGf8Inv(b *build.Builder, a build.Bus) build.Bus {
+	t := Tower()
+	mConst := build.ConstBus(uint64(t.M), 4)
+	ah, al := a[4:8], a[0:4]
+	// Δ = ah²·M ⊕ ah·al ⊕ al².
+	sqH := cGf4Sq(b, ah)
+	d := b.XorBus(b.XorBus(cGf4Mul(b, sqH, mConst), cGf4Mul(b, ah, al)), cGf4Sq(b, al))
+	dInv := cGf4Inv(b, d)
+	h := cGf4Mul(b, ah, dInv)
+	l := cGf4Mul(b, b.XorBus(ah, al), dInv)
+	return append(l, h...)
+}
+
+// cLinearMap applies a GF(2)-linear byte map given by its images of the
+// basis vectors. Cost: 0 (XOR trees).
+func cLinearMap(b *build.Builder, cols [8]uint8, in build.Bus) build.Bus {
+	out := make(build.Bus, 8)
+	for j := 0; j < 8; j++ {
+		var terms []build.W
+		for i := 0; i < 8; i++ {
+			if cols[i]>>j&1 == 1 {
+				terms = append(terms, in[i])
+			}
+		}
+		out[j] = b.XorTree(terms)
+	}
+	return out
+}
+
+// CSbox is the AES S-box circuit: basis change in, tower inversion, basis
+// change + affine out. Cost: 36 AND.
+func CSbox(b *build.Builder, in build.Bus) build.Bus {
+	t := Tower()
+	var phiCols, outCols [8]uint8
+	for i := 0; i < 8; i++ {
+		phiCols[i] = t.Phi[1<<i]
+		outCols[i] = aesAffine(t.Psi[1<<i]) ^ 0x63 // linear part only
+	}
+	tw := cLinearMap(b, phiCols, in)
+	inv := cGf8Inv(b, tw)
+	lin := cLinearMap(b, outCols, inv)
+	return b.XorBus(lin, build.ConstBus(0x63, 8))
+}
+
+// cXtime multiplies a state byte by x in the AES field (free).
+func cXtime(b *build.Builder, a build.Bus) build.Bus {
+	out := make(build.Bus, 8)
+	msb := a[7]
+	for j := 7; j >= 1; j-- {
+		out[j] = a[j-1]
+	}
+	out[0] = build.F
+	// reduce by 0x1b when the msb was set: bits 0,1,3,4 flip.
+	for _, j := range []int{0, 1, 3, 4} {
+		out[j] = b.Xor(out[j], msb)
+	}
+	return out
+}
+
+func init() {
+	// Fail fast if the search space assumptions break on this build.
+	if gf2Mul(2, 2) != 3 {
+		panic(fmt.Sprintf("bencher: GF(2²) sanity: u·u = %d, want u+1 = 3", gf2Mul(2, 2)))
+	}
+}

@@ -1,0 +1,38 @@
+package bencher
+
+import (
+	"arm2gc/internal/build"
+	"arm2gc/internal/circuit"
+)
+
+type circuitT = circuit.Circuit
+
+func newTestBuilder(name string) *build.Builder { return build.New(name) }
+
+func aliceOwner() circuit.Owner { return circuit.Alice }
+
+func wrap(f func(int) (*circuit.Circuit, int), n int) func() (*circuitT, int) {
+	return func() (*circuitT, int) { return f(n) }
+}
+
+// bytesToBits expands bytes LSB-first, matching the bit order of the
+// circuits' 8-bit byte buses.
+func bytesToBits(bs []byte) []bool {
+	bits := make([]bool, 8*len(bs))
+	for i, by := range bs {
+		for j := 0; j < 8; j++ {
+			bits[8*i+j] = by>>uint(j)&1 == 1
+		}
+	}
+	return bits
+}
+
+func bitsToBytes(bits []bool) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package bencher
+
+import (
+	"testing"
+)
+
+// TestWorkloadsOnEmulator compiles every workload and validates it against
+// its reference on the plaintext emulator (RunOnCPU does both, plus the
+// SkipGate count).
+func TestWorkloadsOnEmulator(t *testing.T) {
+	for _, w := range AllWorkloads(false) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			r, err := RunOnCPU(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d cycles, %d garbled (conventional %d, %.0fx)",
+				w.Name, r.Cycles, r.Garbled(), r.Conventional,
+				float64(r.Conventional)/float64(max1(r.Garbled())))
+		})
+	}
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// TestWorkloadGarbledShapes pins the headline counts to the paper's
+// regime: Sum 32 at the bare-adder cost, Mult 32 near the truncated
+// multiplier, and bubble-sort strictly cheaper than merge-sort per element
+// (public vs secret indexing).
+func TestWorkloadGarbledShapes(t *testing.T) {
+	get := func(w *Workload) *CPUResult {
+		t.Helper()
+		r, err := RunOnCPU(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	sum := get(SumWorkload(32))
+	if sum.Garbled() != 31 {
+		t.Errorf("Sum 32 garbled %d, want 31 (paper Table 2)", sum.Garbled())
+	}
+	mult := get(MultWorkload())
+	if mult.Garbled() < 900 || mult.Garbled() > 1100 {
+		t.Errorf("Mult 32 garbled %d, want ≈993 (paper Table 2)", mult.Garbled())
+	}
+	cmp := get(CompareWorkload(32))
+	if cmp.Garbled() < 32 || cmp.Garbled() > 200 {
+		t.Errorf("Compare 32 garbled %d, want ≈130 (paper Table 4)", cmp.Garbled())
+	}
+	bub := get(BubbleSortWorkload(8))
+	mer := get(MergeSortWorkload(8))
+	if bub.Garbled() >= mer.Garbled() {
+		t.Errorf("bubble (%d) should garble fewer tables than merge (%d): merge pays for oblivious reads",
+			bub.Garbled(), mer.Garbled())
+	}
+}
+
+// TestVerifyGarbledExecution runs the full cryptographic protocol for a
+// few workloads end to end.
+func TestVerifyGarbledExecution(t *testing.T) {
+	for _, w := range []*Workload{
+		SumWorkload(32),
+		CompareWorkload(32),
+		MultWorkload(),
+		BubbleSortWorkload(8),
+		CordicWorkload(),
+	} {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			if err := VerifyOnCPU(w); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package bencher
+
+import (
+	"arm2gc/internal/build"
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/ref"
+)
+
+// SHA3Circuit builds the sequential SHA3-256 (Keccak-f[1600]) circuit: the
+// 1600-bit state in flip-flops and one Keccak round of combinational
+// logic, clocked 24 cycles. The 1088-bit rate block is XOR-shared between
+// the parties (each supplies 1088 bits; the absorbed block is their XOR),
+// which matches the paper's XOR-shared-input convention and costs nothing
+// extra under free-XOR.
+//
+// χ is the only non-linear step: exactly 1600 AND gates per round, which
+// is why SkipGate's count for this circuit is 24·1600 = 38,400 — the
+// paper's Table 1 value.
+func SHA3Circuit() (*circuit.Circuit, int) {
+	const rateBits = 1088
+	b := build.New("sha3-256")
+
+	state := make([]*build.Reg, 25)
+	aliceIn := partyReg(b, circuit.Alice, "ma", rateBits)
+	bobIn := partyReg(b, circuit.Bob, "mb", rateBits)
+	first := b.RegInit("first", []circuit.Init{{Kind: circuit.InitOne}})
+	first.SetNext(build.Bus{build.F})
+	aliceIn.SetNext(aliceIn.Q())
+	bobIn.SetNext(bobIn.Q())
+
+	// Lanes: x+5y, 64 bits each; the rate covers lanes 0..16.
+	var lanes [25]build.Bus
+	for i := range state {
+		state[i] = b.Reg("lane", 64)
+		q := state[i].Q()
+		if i < rateBits/64 {
+			// Absorb on the first cycle only: lane ⊕= (a ⊕ b) — free, and
+			// gated by the public first flag so later cycles pass through.
+			share := b.XorBus(aliceIn.Q()[i*64:(i+1)*64], bobIn.Q()[i*64:(i+1)*64])
+			q = b.MuxBus(first.Q()[0], b.XorBus(q, share), q)
+		}
+		lanes[i] = q
+	}
+
+	out := keccakRound(b, lanes)
+	for i := range state {
+		state[i].SetNext(out[i])
+	}
+
+	var digest build.Bus
+	for i := 0; i < 4; i++ {
+		digest = append(digest, state[i].Q()...)
+	}
+	b.Output("digest", digest)
+	// The full sponge state is also an output — a permutation core feeds
+	// later absorptions — which keeps the last round's χ fully live
+	// (24·1600 = 38,400 garbled tables, the paper's Table 1 figure).
+	var full build.Bus
+	for i := range state {
+		full = append(full, state[i].Q()...)
+	}
+	b.Output("state", full)
+	return b.MustCompile(), 24
+}
+
+// keccakRound is one Keccak-f round with the round constant selected by a
+// public cycle counter.
+func keccakRound(b *build.Builder, a [25]build.Bus) [25]build.Bus {
+	// Round counter (public).
+	rc := b.Reg("round", 5)
+	inc, _ := b.AddCarry(rc.Q(), build.ZeroBus(5), build.T)
+	rc.SetNext(inc)
+
+	// θ
+	var c [5]build.Bus
+	for x := 0; x < 5; x++ {
+		c[x] = b.XorBus(b.XorBus(b.XorBus(a[x], a[x+5]), b.XorBus(a[x+10], a[x+15])), a[x+20])
+	}
+	var d [5]build.Bus
+	for x := 0; x < 5; x++ {
+		d[x] = b.XorBus(c[(x+4)%5], rotLane(c[(x+1)%5], 1))
+	}
+	var t [25]build.Bus
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			t[x+5*y] = b.XorBus(a[x+5*y], d[x])
+		}
+	}
+	// ρ and π
+	var p [25]build.Bus
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			p[y+5*((2*x+3*y)%5)] = rotLane(t[x+5*y], ref.KeccakRot(x, y))
+		}
+	}
+	// χ: the 1600 AND gates.
+	var out [25]build.Bus
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			notB := b.NotBus(p[(x+1)%5+5*y])
+			out[x+5*y] = b.XorBus(p[x+5*y], b.AndBus(notB, p[(x+2)%5+5*y]))
+		}
+	}
+	// ι: round-constant mux over the public counter (free).
+	items := make([]build.Bus, 32)
+	for i := range items {
+		items[i] = build.ConstBus(ref.KeccakRC(i%24), 64)
+	}
+	rcBus := b.MuxTree(rc.Q(), items)
+	out[0] = b.XorBus(out[0], rcBus)
+	return out
+}
+
+// rotLane rotates a 64-bit lane left by n (free rewiring).
+func rotLane(l build.Bus, n int) build.Bus {
+	n %= 64
+	if n == 0 {
+		return l
+	}
+	r := make(build.Bus, 64)
+	for i := 0; i < 64; i++ {
+		r[(i+n)%64] = l[i]
+	}
+	return r
+}

@@ -1,0 +1,104 @@
+// Package circtest generates random sequential circuits for property
+// testing the engines against each other. Generated circuits use the full
+// operator set (including NAND/NOR/XNOR/BUF, which the builder's synthesis
+// normalization would otherwise never emit) and all five flip-flop
+// initialization kinds.
+package circtest
+
+import (
+	"math/rand"
+
+	"arm2gc/internal/circuit"
+)
+
+// Random builds a random sequential circuit with about nGates gates and
+// nDFFs flip-flops and returns it along with the Alice and Bob input-vector
+// sizes. The circuit always validates.
+func Random(rng *rand.Rand, nGates, nDFFs int) (c *circuit.Circuit, aliceBits, bobBits int) {
+	aliceBits = 1 + rng.Intn(6)
+	bobBits = 1 + rng.Intn(6)
+	pubBits := 1 + rng.Intn(6)
+
+	c = &circuit.Circuit{Name: "random", PortBase: 2}
+	next := circuit.Wire(2)
+	addPort := func(name string, owner circuit.Owner, bits int) {
+		c.Ports = append(c.Ports, circuit.Port{Name: name, Owner: owner, Base: next, Bits: bits, Off: 0})
+		next += circuit.Wire(bits)
+	}
+	addPort("a", circuit.Alice, aliceBits)
+	addPort("b", circuit.Bob, bobBits)
+	addPort("p", circuit.Public, pubBits)
+	c.DFFBase = next
+
+	randInit := func() circuit.Init {
+		switch rng.Intn(5) {
+		case 0:
+			return circuit.Init{Kind: circuit.InitZero}
+		case 1:
+			return circuit.Init{Kind: circuit.InitOne}
+		case 2:
+			return circuit.Init{Kind: circuit.InitPublic, Idx: rng.Intn(pubBits)}
+		case 3:
+			return circuit.Init{Kind: circuit.InitAlice, Idx: rng.Intn(aliceBits)}
+		default:
+			return circuit.Init{Kind: circuit.InitBob, Idx: rng.Intn(bobBits)}
+		}
+	}
+	for i := 0; i < nDFFs; i++ {
+		c.DFFs = append(c.DFFs, circuit.DFF{Init: randInit()}) // D patched below
+		next++
+	}
+	c.GateBase = next
+
+	ops := []circuit.Op{
+		circuit.AND, circuit.OR, circuit.NAND, circuit.NOR,
+		circuit.XOR, circuit.XNOR, circuit.NOT, circuit.BUF,
+		circuit.MUX, circuit.MUX, // over-weighted: the processor is MUX-heavy
+	}
+	for i := 0; i < nGates; i++ {
+		out := c.GateBase + circuit.Wire(i)
+		op := ops[rng.Intn(len(ops))]
+		g := circuit.Gate{
+			Op: op,
+			A:  circuit.Wire(rng.Intn(int(out))),
+			B:  circuit.Wire(rng.Intn(int(out))),
+		}
+		if op.IsUnary() {
+			g.B = g.A
+		}
+		if op == circuit.MUX {
+			g.S = circuit.Wire(rng.Intn(int(out)))
+		}
+		c.Gates = append(c.Gates, g)
+	}
+
+	nw := circuit.Wire(c.NumWires())
+	for i := range c.DFFs {
+		c.DFFs[i].D = circuit.Wire(rng.Intn(int(nw)))
+	}
+
+	nOut := 1 + rng.Intn(8)
+	out := circuit.Output{Name: "out"}
+	for i := 0; i < nOut; i++ {
+		out.Wires = append(out.Wires, circuit.Wire(rng.Intn(int(nw))))
+	}
+	c.Outputs = []circuit.Output{out}
+
+	c.AliceBits = aliceBits
+	c.BobBits = bobBits
+	c.PublicBits = pubBits
+
+	if err := c.Validate(); err != nil {
+		panic("circtest: generated invalid circuit: " + err.Error())
+	}
+	return c, aliceBits, bobBits
+}
+
+// RandBits draws n random bits.
+func RandBits(rng *rand.Rand, n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = rng.Intn(2) == 1
+	}
+	return b
+}

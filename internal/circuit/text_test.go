@@ -1,0 +1,63 @@
+package circuit_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/circuit/circtest"
+	"arm2gc/internal/sim"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		c, nA, nB := circtest.Random(rng, 60, 8)
+		var buf bytes.Buffer
+		if err := c.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := circuit.ReadText(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n", trial, err)
+		}
+		if back.Hash() != c.Hash() {
+			t.Fatalf("trial %d: hash changed across serialization", trial)
+		}
+		// Behavioural equality on a random run.
+		in := sim.Inputs{
+			Alice:  circtest.RandBits(rng, nA),
+			Bob:    circtest.RandBits(rng, nB),
+			Public: circtest.RandBits(rng, c.PublicBits),
+		}
+		w1 := sim.Run(c, in, 3)
+		w2 := sim.Run(back, in, 3)
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				t.Fatalf("trial %d: behaviour changed at output %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestTextRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                          // no end
+		"bogus directive\nend\n",    // unknown directive
+		"gate AND 5\nend\n",         // arity
+		"gate MUX 1 2\nend\n",       // arity
+		"gate AND 1 99\nend\n",      // out-of-range wire
+		"port p public -3 0\nend\n", // bad bits
+		"dff 0 alice\nend\n",        // missing index
+		"port p nobody 1 0\nend\n",  // bad owner
+		"gate FROB 1 2\nend\n",      // bad op
+		"output o 123\nend\n",       // out-of-range output
+	}
+	for _, src := range cases {
+		if _, err := circuit.ReadText(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadText accepted %q", src)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"arm2gc/internal/build"
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/sim"
+)
+
+// TestCategoryTableExhaustive checks the SkipGate category tables (paper
+// §3.1) systematically: for every 2-input operator and every combination
+// of input states — public 0/1, fresh secret, identical secret, inverted
+// secret — the gate's decoded output matches plaintext simulation for all
+// concrete input assignments, and the gate garbles a table only in
+// category iv.
+func TestCategoryTableExhaustive(t *testing.T) {
+	ops := []circuit.Op{circuit.AND, circuit.OR, circuit.NAND, circuit.NOR, circuit.XOR, circuit.XNOR}
+
+	// Input-state generators: build an expression over the secret inputs
+	// s1, s2 (with a public port p available) for each state kind.
+	type inputKind int
+	const (
+		pub0 inputKind = iota
+		pub1
+		fresh1 // independent secret #1 (s1 through an alias mux)
+		fresh2 // independent secret #2
+		same1  // another wire carrying secret #1's label
+		inv1   // a wire carrying the inverse of secret #1's label
+	)
+	kinds := []inputKind{pub0, pub1, fresh1, fresh2, same1, inv1}
+	names := map[inputKind]string{
+		pub0: "0", pub1: "1", fresh1: "s1", fresh2: "s2", same1: "s1'", inv1: "¬s1'",
+	}
+
+	for _, op := range ops {
+		for _, ka := range kinds {
+			for _, kb := range kinds {
+				name := fmt.Sprintf("%v(%s,%s)", op, names[ka], names[kb])
+				b := build.New("cat")
+				p := b.Input(circuit.Public, "p", 1)[0]
+				s1 := b.Input(circuit.Alice, "s1", 1)[0]
+				s2 := b.Input(circuit.Bob, "s2", 1)[0]
+				mkIn := func(k inputKind) build.W {
+					switch k {
+					case pub0:
+						panic("pub0 handled by the caller (¬p with p=1)")
+					case pub1:
+						return p
+					case fresh1:
+						return b.Mux(p, s1, s2) // p=1 at runtime: s1's label
+					case fresh2:
+						return b.Mux(p, s2, s1)
+					case same1:
+						return b.Mux(p, b.Mux(p, s1, s2), s2) // also s1's label
+					case inv1:
+						return b.Not(b.Mux(p, s1, s2))
+					}
+					panic("bad kind")
+				}
+				// pub0 needs a runtime-zero public wire distinct from the
+				// constant: use NOT p with p=1.
+				var aW, bW build.W
+				if ka == pub0 {
+					aW = b.Not(p)
+				} else {
+					aW = mkIn(ka)
+				}
+				if kb == pub0 {
+					bW = b.Not(p)
+				} else {
+					bW = mkIn(kb)
+				}
+				var out build.W
+				switch op {
+				case circuit.AND:
+					out = b.And(aW, bW)
+				case circuit.OR:
+					out = b.Or(aW, bW)
+				case circuit.NAND:
+					out = b.Nand(aW, bW)
+				case circuit.NOR:
+					out = b.Nor(aW, bW)
+				case circuit.XOR:
+					out = b.Xor(aW, bW)
+				case circuit.XNOR:
+					out = b.Xnor(aW, bW)
+				}
+				b.Output("o", build.Bus{out})
+				c, err := b.Compile()
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+
+				catIV := bothSecret(int(ka)) && bothSecret(int(kb)) && independent(int(ka), int(kb))
+				for v1 := 0; v1 < 2; v1++ {
+					for v2 := 0; v2 < 2; v2++ {
+						in := sim.Inputs{
+							Public: []bool{true},
+							Alice:  []bool{v1 == 1},
+							Bob:    []bool{v2 == 1},
+						}
+						want := sim.Run(c, in, 1)
+						res, err := RunLocal(c, in, RunOpts{Cycles: 1})
+						if err != nil {
+							t.Fatalf("%s: %v", name, err)
+						}
+						if res.Outputs[0] != want[0] {
+							t.Fatalf("%s with s1=%d s2=%d: got %v, want %v",
+								name, v1, v2, res.Outputs[0], want[0])
+						}
+						// Category check: only cat-iv non-XOR gates on
+						// unrelated secrets may ship tables.
+						free := op == circuit.XOR || op == circuit.XNOR
+						if !catIV || free {
+							if res.Stats.Total.Garbled != 0 {
+								t.Fatalf("%s: garbled %d tables, want 0 (not category iv non-XOR)",
+									name, res.Stats.Total.Garbled)
+							}
+						} else if res.Stats.Total.Garbled != 1 {
+							t.Fatalf("%s: garbled %d tables, want exactly 1",
+								name, res.Stats.Total.Garbled)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func bothSecret(k int) bool { return k >= 2 } // fresh1, fresh2, same1, inv1
+
+func independent(ka, kb int) bool {
+	// fresh2 paired with any s1-derived wire is independent; two
+	// s1-derived wires are related (identical or inverted).
+	aIsS1 := ka == 2 || ka == 4 || ka == 5
+	bIsS1 := kb == 2 || kb == 4 || kb == 5
+	return !(aIsS1 && bIsS1) && !(ka == 3 && kb == 3)
+}

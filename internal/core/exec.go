@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/gc"
+)
+
+// Garbler is Alice's crypto executor: it follows the shared Scheduler and
+// does label work only for the gates the schedule says are needed.
+type Garbler struct {
+	S *Scheduler
+	R gc.Label
+
+	h       *gc.Hash
+	x0      []gc.Label
+	alice   []gc.Label // X0 per Alice input bit
+	bob     []gc.Label // X0 per Bob input bit
+	dffNext []gc.Label
+}
+
+// NewGarbler creates Alice's executor over a scheduler, drawing labels
+// from rnd.
+func NewGarbler(s *Scheduler, rnd io.Reader) *Garbler {
+	c := s.C
+	g := &Garbler{
+		S:       s,
+		R:       gc.RandDelta(rnd),
+		h:       gc.NewHash(),
+		x0:      make([]gc.Label, c.NumWires()),
+		alice:   make([]gc.Label, c.AliceBits),
+		bob:     make([]gc.Label, c.BobBits),
+		dffNext: make([]gc.Label, len(c.DFFs)),
+	}
+	for i := range g.alice {
+		g.alice[i] = gc.RandLabel(rnd)
+	}
+	for i := range g.bob {
+		g.bob[i] = gc.RandLabel(rnd)
+	}
+	forEachSecretInit(c, func(w circuit.Wire, owner circuit.Owner, idx int) {
+		if owner == circuit.Alice {
+			g.x0[w] = g.alice[idx]
+		} else {
+			g.x0[w] = g.bob[idx]
+		}
+	})
+	return g
+}
+
+// forEachSecretInit visits every wire initialized from a party input bit
+// (ports and flip-flop initial values). Public and constant
+// initializations carry no labels under SkipGate.
+func forEachSecretInit(c *circuit.Circuit, f func(w circuit.Wire, owner circuit.Owner, idx int)) {
+	for _, p := range c.Ports {
+		if p.Owner == circuit.Public {
+			continue
+		}
+		for b := 0; b < p.Bits; b++ {
+			f(p.Base+circuit.Wire(b), p.Owner, p.Off+b)
+		}
+	}
+	for i, d := range c.DFFs {
+		switch d.Init.Kind {
+		case circuit.InitAlice:
+			f(c.QWire(i), circuit.Alice, d.Init.Idx)
+		case circuit.InitBob:
+			f(c.QWire(i), circuit.Bob, d.Init.Idx)
+		}
+	}
+}
+
+// AliceActiveLabels returns the active labels for Alice's own input bits,
+// which she sends to Bob directly.
+func (g *Garbler) AliceActiveLabels(vals []bool) []gc.Label {
+	out := make([]gc.Label, len(g.alice))
+	for i, x0 := range g.alice {
+		out[i] = x0
+		if i < len(vals) && vals[i] {
+			out[i] = out[i].Xor(g.R)
+		}
+	}
+	return out
+}
+
+// BobPairs returns the (X0, X1) pairs for Bob's input bits, delivered by
+// oblivious transfer.
+func (g *Garbler) BobPairs() [][2]gc.Label {
+	ps := make([][2]gc.Label, len(g.bob))
+	for i, x0 := range g.bob {
+		ps[i] = [2]gc.Label{x0, x0.Xor(g.R)}
+	}
+	return ps
+}
+
+// GarbleCycle performs Alice's side of the current classified cycle
+// (between Scheduler.Classify and Scheduler.Commit): it computes false
+// labels for every live secret wire and appends one table per surviving
+// category-iv non-XOR gate to dst, in topological order.
+func (g *Garbler) GarbleCycle(dst []gc.Table) []gc.Table {
+	s := g.S
+	c := s.C
+	base := uint64(s.cycle-1) * uint64(len(c.Gates))
+	for i := range c.Gates {
+		if s.fan[i] <= 0 {
+			continue
+		}
+		gate := &c.Gates[i]
+		out := int(c.GateBase) + i
+		switch s.act[i] {
+		case actPub:
+			// no label
+		case actCopyA:
+			g.x0[out] = g.x0[gate.A]
+		case actCopyAInv:
+			g.x0[out] = g.x0[gate.A].Xor(g.R)
+		case actCopyB:
+			g.x0[out] = g.x0[gate.B]
+		case actCopyBInv:
+			g.x0[out] = g.x0[gate.B].Xor(g.R)
+		case actCopyS:
+			g.x0[out] = g.x0[gate.S]
+		case actCopySInv:
+			g.x0[out] = g.x0[gate.S].Xor(g.R)
+		case actXor:
+			g.x0[out] = g.x0[gate.A].Xor(g.x0[gate.B])
+			if gate.Op == circuit.XNOR {
+				g.x0[out] = g.x0[out].Xor(g.R)
+			}
+		case actMuxXor:
+			g.x0[out] = g.x0[gate.S].Xor(g.x0[gate.A])
+		case actGarble:
+			gid := base + uint64(i)
+			var c0 gc.Label
+			var t gc.Table
+			if gate.Op == circuit.MUX {
+				c0, t = g.garbleMux(gate, gid)
+			} else {
+				c0, t = gc.GarbleGate(g.h, g.R, gate.Op, g.x0[gate.A], g.x0[gate.B], gid)
+			}
+			g.x0[out] = c0
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+// garbleMux garbles a category-iv MUX. With both data inputs secret it is
+// the atomic A ⊕ AND(S, A⊕B) form; with one data input public (which has
+// no label under SkipGate) it degenerates to a 2-secret AND/OR shape.
+// Both parties derive the same shape from the shared scheduler states.
+func (g *Garbler) garbleMux(gate *circuit.Gate, gid uint64) (gc.Label, gc.Table) {
+	s := g.S
+	sa, sb := s.st[gate.A], s.st[gate.B]
+	switch {
+	case sa == stSecret && sb == stSecret:
+		return gc.GarbleMux(g.h, g.R, g.x0[gate.S], g.x0[gate.A], g.x0[gate.B], gid)
+	case sa != stSecret:
+		if sa == stPub1 { // out = S ? B : 1 = ¬(S ∧ ¬B)
+			return gc.GarbleAndInv(g.h, g.R, g.x0[gate.S], g.x0[gate.B], gid, false, true, true)
+		}
+		// out = S ? B : 0 = S ∧ B
+		return gc.GarbleAndInv(g.h, g.R, g.x0[gate.S], g.x0[gate.B], gid, false, false, false)
+	default:
+		if sb == stPub1 { // out = S ? 1 : A = ¬(¬S ∧ ¬A)
+			return gc.GarbleAndInv(g.h, g.R, g.x0[gate.S], g.x0[gate.A], gid, true, true, true)
+		}
+		// out = S ? 0 : A = ¬S ∧ A
+		return gc.GarbleAndInv(g.h, g.R, g.x0[gate.S], g.x0[gate.A], gid, true, false, false)
+	}
+}
+
+// CopyDFFs performs the end-of-cycle flip-flop label copy (call before
+// Scheduler.Commit).
+func (g *Garbler) CopyDFFs() {
+	c := g.S.C
+	for i, d := range c.DFFs {
+		g.dffNext[i] = g.x0[d.D]
+	}
+	for i := range c.DFFs {
+		g.x0[c.QWire(i)] = g.dffNext[i]
+	}
+}
+
+// DecodeBit returns the point-and-permute decode bit for a secret wire.
+func (g *Garbler) DecodeBit(w circuit.Wire) bool { return g.x0[w].Bit() }
+
+// X0 exposes a wire's false label (tests and the protocol layer).
+func (g *Garbler) X0(w circuit.Wire) gc.Label { return g.x0[w] }
+
+// Evaluator is Bob's crypto executor, mirroring Garbler with active labels.
+type Evaluator struct {
+	S *Scheduler
+
+	h       *gc.Hash
+	x       []gc.Label
+	dffNext []gc.Label
+}
+
+// NewEvaluator creates Bob's executor over a scheduler.
+func NewEvaluator(s *Scheduler) *Evaluator {
+	return &Evaluator{
+		S:       s,
+		h:       gc.NewHash(),
+		x:       make([]gc.Label, s.C.NumWires()),
+		dffNext: make([]gc.Label, len(s.C.DFFs)),
+	}
+}
+
+// SetInputs installs the labels for Alice's bits (sent directly) and Bob's
+// bits (chosen via OT) on every wire they initialize.
+func (e *Evaluator) SetInputs(aliceActive, bobChosen []gc.Label) error {
+	c := e.S.C
+	if len(aliceActive) != c.AliceBits {
+		return fmt.Errorf("core: %d alice labels, want %d", len(aliceActive), c.AliceBits)
+	}
+	if len(bobChosen) != c.BobBits {
+		return fmt.Errorf("core: %d bob labels, want %d", len(bobChosen), c.BobBits)
+	}
+	forEachSecretInit(c, func(w circuit.Wire, owner circuit.Owner, idx int) {
+		if owner == circuit.Alice {
+			e.x[w] = aliceActive[idx]
+		} else {
+			e.x[w] = bobChosen[idx]
+		}
+	})
+	return nil
+}
+
+// EvalCycle performs Bob's side of the current classified cycle, consuming
+// tables from ts in order; it returns the unconsumed remainder.
+func (e *Evaluator) EvalCycle(ts []gc.Table) ([]gc.Table, error) {
+	s := e.S
+	c := s.C
+	base := uint64(s.cycle-1) * uint64(len(c.Gates))
+	for i := range c.Gates {
+		if s.fan[i] <= 0 {
+			continue
+		}
+		gate := &c.Gates[i]
+		out := int(c.GateBase) + i
+		switch s.act[i] {
+		case actPub:
+			// no label
+		case actCopyA, actCopyAInv:
+			e.x[out] = e.x[gate.A]
+		case actCopyB, actCopyBInv:
+			e.x[out] = e.x[gate.B]
+		case actCopyS, actCopySInv:
+			e.x[out] = e.x[gate.S]
+		case actXor:
+			e.x[out] = e.x[gate.A].Xor(e.x[gate.B])
+		case actMuxXor:
+			e.x[out] = e.x[gate.S].Xor(e.x[gate.A])
+		case actGarble:
+			if len(ts) == 0 {
+				return nil, fmt.Errorf("core: table stream exhausted at gate %d (cycle %d)", i, s.cycle)
+			}
+			gid := base + uint64(i)
+			if gate.Op == circuit.MUX {
+				e.x[out] = e.evalMux(gate, ts[0], gid)
+			} else {
+				e.x[out] = gc.EvalGate(e.h, gate.Op, e.x[gate.A], e.x[gate.B], ts[0], gid)
+			}
+			ts = ts[1:]
+		}
+	}
+	return ts, nil
+}
+
+// evalMux mirrors Garbler.garbleMux: the shape is derived from the shared
+// scheduler wire states, and public data inputs contribute no labels.
+func (e *Evaluator) evalMux(gate *circuit.Gate, t gc.Table, gid uint64) gc.Label {
+	s := e.S
+	sa, sb := s.st[gate.A], s.st[gate.B]
+	switch {
+	case sa == stSecret && sb == stSecret:
+		return gc.EvalMux(e.h, e.x[gate.S], e.x[gate.A], e.x[gate.B], t, gid)
+	case sa != stSecret:
+		return gc.EvalAnd(e.h, e.x[gate.S], e.x[gate.B], t, gid)
+	default:
+		return gc.EvalAnd(e.h, e.x[gate.S], e.x[gate.A], t, gid)
+	}
+}
+
+// CopyDFFs performs the end-of-cycle flip-flop label copy (call before
+// Scheduler.Commit).
+func (e *Evaluator) CopyDFFs() {
+	c := e.S.C
+	for i, d := range c.DFFs {
+		e.dffNext[i] = e.x[d.D]
+	}
+	for i := range c.DFFs {
+		e.x[c.QWire(i)] = e.dffNext[i]
+	}
+}
+
+// ActiveBit returns the point-and-permute bit of Bob's active label on a
+// secret wire.
+func (e *Evaluator) ActiveBit(w circuit.Wire) bool { return e.x[w].Bit() }
+
+// Active exposes a wire's active label.
+func (e *Evaluator) Active(w circuit.Wire) gc.Label { return e.x[w] }

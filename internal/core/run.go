@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/gc"
+	"arm2gc/internal/sim"
+)
+
+// RunOpts configures an in-process SkipGate run.
+type RunOpts struct {
+	Cycles int // number of clock cycles (cc in the paper); required
+
+	// RecordEveryCycle captures the output bus values after every cycle
+	// (streaming circuits such as the 1-bit sequential adder); otherwise
+	// only the final cycle's outputs are decoded.
+	RecordEveryCycle bool
+
+	// StopOutput optionally names a 1-bit output bus: when its value is
+	// public and true at the end of a cycle, the run stops early (the
+	// garbled processor's halt flag). Cycles still bounds the run.
+	StopOutput string
+
+	// Seed is the public fingerprint seed; zero is fine outside the
+	// networked protocol.
+	Seed Seed
+
+	// Rand supplies label randomness; nil means crypto/rand.
+	Rand io.Reader
+}
+
+// RunResult reports a completed run.
+type RunResult struct {
+	Outputs  []bool   // all output buses flattened, final cycle
+	PerCycle [][]bool // per-cycle outputs when RecordEveryCycle
+	Stats    Stats
+	Halted   bool // stopped by StopOutput
+}
+
+// RunLocal executes the full two-party SkipGate protocol in process: one
+// shared Scheduler, Alice's Garbler and Bob's Evaluator, with oblivious
+// transfer simulated by direct delivery. It verifies that the table stream
+// is consumed exactly and decodes the outputs.
+func RunLocal(c *circuit.Circuit, in sim.Inputs, opts RunOpts) (*RunResult, error) {
+	if opts.Cycles <= 0 {
+		return nil, fmt.Errorf("core: RunOpts.Cycles = %d", opts.Cycles)
+	}
+	rnd := opts.Rand
+	if rnd == nil {
+		rnd = gc.CryptoRand
+	}
+	s := NewScheduler(c, opts.Seed, in.Public)
+	g := NewGarbler(s, rnd)
+	e := NewEvaluator(s)
+
+	pairs := g.BobPairs()
+	chosen := make([]gc.Label, len(pairs))
+	for i := range pairs {
+		if in.Bit(circuit.Bob, i) {
+			chosen[i] = pairs[i][1]
+		} else {
+			chosen[i] = pairs[i][0]
+		}
+	}
+	if err := e.SetInputs(g.AliceActiveLabels(in.Alice), chosen); err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{}
+	stopWire := circuit.Wire(-1)
+	if opts.StopOutput != "" {
+		stop := c.FindOutput(opts.StopOutput)
+		if stop == nil {
+			return nil, fmt.Errorf("core: no output %q", opts.StopOutput)
+		}
+		stopWire = c.ResolveOutput(stop.Wires[0])
+	}
+
+	// Outputs are sampled after the flip-flop copy; Q-wire outputs resolve
+	// to their D wires so they can be read before Commit.
+	ws := c.OutputWires()
+	for i, w := range ws {
+		ws[i] = c.ResolveOutput(w)
+	}
+	for cyc := 1; cyc <= opts.Cycles; cyc++ {
+		final := cyc == opts.Cycles
+		cs := s.Classify(final)
+		res.Stats.Total.Add(cs)
+		res.Stats.Cycles++
+
+		tables := g.GarbleCycle(nil)
+		rest, err := e.EvalCycle(tables)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("core: cycle %d: %d garbled tables unconsumed", cyc, len(rest))
+		}
+
+		if opts.RecordEveryCycle || final {
+			out, err := decodeOutputs(s, g, e, ws)
+			if err != nil {
+				return nil, err
+			}
+			if opts.RecordEveryCycle {
+				res.PerCycle = append(res.PerCycle, out)
+			}
+			res.Outputs = out
+		}
+		if stopWire >= 0 {
+			if v, pub := s.WireState(stopWire); pub && v {
+				res.Halted = true
+				if !final {
+					out, err := decodeOutputs(s, g, e, ws)
+					if err != nil {
+						return nil, err
+					}
+					res.Outputs = out
+				}
+				break
+			}
+		}
+
+		g.CopyDFFs()
+		e.CopyDFFs()
+		s.Commit()
+	}
+	return res, nil
+}
+
+// decodeOutputs combines public wire values with point-and-permute
+// decoding of secret wires, cross-checking Bob's active label against
+// Alice's label pair.
+func decodeOutputs(s *Scheduler, g *Garbler, e *Evaluator, ws []circuit.Wire) ([]bool, error) {
+	out := make([]bool, len(ws))
+	for i, w := range ws {
+		if v, pub := s.WireState(w); pub {
+			out[i] = v
+			continue
+		}
+		v := e.ActiveBit(w) != g.DecodeBit(w)
+		// Consistency check available only in-process: the active label
+		// must be one of Alice's pair.
+		x := e.Active(w)
+		if x != g.X0(w) && x != g.X0(w).Xor(g.R) {
+			return nil, fmt.Errorf("core: output wire %d: active label matches neither X0 nor X1", w)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// CountOpts configures a schedule-only run.
+type CountOpts struct {
+	Cycles     int
+	StopOutput string
+	Seed       Seed
+}
+
+// Count runs only the Scheduler — no cryptography — and returns the gate
+// statistics. This is how the benchmark harness measures garbled non-XOR
+// counts for large circuits and long runs (the counts are exactly those of
+// a full protocol run, since scheduling is independent of label values).
+func Count(c *circuit.Circuit, pub []bool, opts CountOpts) (Stats, error) {
+	if opts.Cycles <= 0 {
+		return Stats{}, fmt.Errorf("core: CountOpts.Cycles = %d", opts.Cycles)
+	}
+	stopWire := circuit.Wire(-1)
+	if opts.StopOutput != "" {
+		stop := c.FindOutput(opts.StopOutput)
+		if stop == nil {
+			return Stats{}, fmt.Errorf("core: no output %q", opts.StopOutput)
+		}
+		stopWire = c.ResolveOutput(stop.Wires[0])
+	}
+	s := NewScheduler(c, opts.Seed, pub)
+	var st Stats
+	for cyc := 1; cyc <= opts.Cycles; cyc++ {
+		cs := s.Classify(cyc == opts.Cycles)
+		st.Total.Add(cs)
+		st.Cycles++
+		if stopWire >= 0 {
+			if v, pub := s.WireState(stopWire); pub && v {
+				break
+			}
+		}
+		s.Commit()
+	}
+	return st, nil
+}

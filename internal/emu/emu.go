@@ -1,0 +1,267 @@
+// Package emu is the plaintext reference implementation of the isa
+// specification. It executes programs natively, providing ground-truth
+// outputs, cycle counts for the garbled runs (control flow is
+// data-independent in well-formed SFE programs, so the count from any
+// input is the count for all inputs), and per-cycle traces for the
+// instruction-level-pruning baseline cost model.
+package emu
+
+import (
+	"fmt"
+
+	"arm2gc/internal/isa"
+)
+
+// Machine is a processor state: 15 general registers plus PC, NZCV flags,
+// and the data RAM.
+type Machine struct {
+	Prog *isa.Program
+
+	Regs  [15]uint32 // r0..r14 (r15 is PC)
+	PC    uint32
+	N, Z  bool
+	C, V  bool
+	Mem   []uint32 // data RAM, word-indexed
+	Halt  bool
+	Cycle int
+
+	// Trace, when non-nil, receives every executed instruction.
+	Trace func(cycle int, pc uint32, ins isa.Instr, executed bool)
+}
+
+// New loads a program and the two private input arrays into a machine.
+func New(p *isa.Program, alice, bob []uint32) (*Machine, error) {
+	l := p.Layout
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Words) > l.IMemWords {
+		return nil, fmt.Errorf("emu: program %d words exceeds imem %d", len(p.Words), l.IMemWords)
+	}
+	if len(alice) > l.AliceWords || len(bob) > l.BobWords {
+		return nil, fmt.Errorf("emu: inputs (%d, %d words) exceed regions (%d, %d)",
+			len(alice), len(bob), l.AliceWords, l.BobWords)
+	}
+	m := &Machine{Prog: p, Mem: make([]uint32, l.DataWords())}
+	copy(m.Mem, alice)
+	copy(m.Mem[l.AliceWords:], bob)
+	return m, nil
+}
+
+// Reg reads a register with the ARM PC+8 convention for r15.
+func (m *Machine) Reg(r uint8) uint32 {
+	if r == 15 {
+		return m.PC + 8
+	}
+	return m.Regs[r]
+}
+
+func (m *Machine) setReg(r uint8, v uint32) {
+	if r == 15 {
+		m.PC = v
+		return
+	}
+	m.Regs[r] = v
+}
+
+// Output returns the output region contents.
+func (m *Machine) Output() []uint32 {
+	l := m.Prog.Layout
+	base := int(l.OutBase() / 4)
+	out := make([]uint32, l.OutWords)
+	copy(out, m.Mem[base:base+l.OutWords])
+	return out
+}
+
+// Step executes one instruction; it is a no-op once halted.
+func (m *Machine) Step() error {
+	if m.Halt {
+		return nil
+	}
+	m.Cycle++
+	word := uint32(0)
+	if idx := int(m.PC / 4); idx >= 0 && idx < len(m.Prog.Words) {
+		word = m.Prog.Words[idx]
+	}
+	ins, err := isa.Decode(word)
+	if err != nil {
+		return fmt.Errorf("emu: pc=%d: %v", m.PC, err)
+	}
+	executed := ins.Cond.Holds(m.N, m.Z, m.C, m.V)
+	if m.Trace != nil {
+		m.Trace(m.Cycle, m.PC, ins, executed)
+	}
+	nextPC := m.PC + 4
+	if executed {
+		switch ins.Kind {
+		case isa.KindSWI:
+			m.Halt = true
+			return nil
+		case isa.KindBranch:
+			if ins.Link {
+				m.setReg(14, m.PC+4)
+			}
+			nextPC = uint32(int64(m.PC) + 8 + 4*int64(ins.Imm24))
+		case isa.KindMul:
+			v := m.Reg(ins.Rm) * m.Reg(ins.Rs)
+			if ins.Acc {
+				v += m.Reg(ins.Rn)
+			}
+			if ins.Rd == 15 {
+				nextPC = v
+			} else {
+				m.setReg(ins.Rd, v)
+			}
+			if ins.S {
+				m.N = v>>31 == 1
+				m.Z = v == 0
+			}
+		case isa.KindMem:
+			off := uint32(ins.Off12)
+			addr := m.Reg(ins.Rn)
+			if ins.Up {
+				addr += off
+			} else {
+				addr -= off
+			}
+			idx := int(addr / 4)
+			if idx < 0 || idx >= len(m.Mem) {
+				return fmt.Errorf("emu: pc=%d: data address %#x out of range", m.PC, addr)
+			}
+			if ins.Load {
+				if ins.Rd == 15 {
+					nextPC = m.Mem[idx]
+				} else {
+					m.setReg(ins.Rd, m.Mem[idx])
+				}
+			} else {
+				m.Mem[idx] = m.Reg(ins.Rd)
+			}
+		case isa.KindDP:
+			nextPC = m.execDP(ins, nextPC)
+		}
+	}
+	m.PC = nextPC
+	return nil
+}
+
+func (m *Machine) execDP(ins isa.Instr, nextPC uint32) uint32 {
+	op2 := m.operand2(ins)
+	rn := m.Reg(ins.Rn)
+
+	var res uint32
+	var carry, over bool
+	hasCV := false
+	switch ins.Op {
+	case isa.OpAND, isa.OpTST:
+		res = rn & op2
+	case isa.OpEOR, isa.OpTEQ:
+		res = rn ^ op2
+	case isa.OpSUB, isa.OpCMP:
+		res, carry, over = addc(rn, ^op2, 1)
+		hasCV = true
+	case isa.OpRSB:
+		res, carry, over = addc(op2, ^rn, 1)
+		hasCV = true
+	case isa.OpADD, isa.OpCMN:
+		res, carry, over = addc(rn, op2, 0)
+		hasCV = true
+	case isa.OpADC:
+		res, carry, over = addc(rn, op2, b2u(m.C))
+		hasCV = true
+	case isa.OpSBC:
+		res, carry, over = addc(rn, ^op2, b2u(m.C))
+		hasCV = true
+	case isa.OpRSC:
+		res, carry, over = addc(op2, ^rn, b2u(m.C))
+		hasCV = true
+	case isa.OpORR:
+		res = rn | op2
+	case isa.OpMOV:
+		res = op2
+	case isa.OpBIC:
+		res = rn &^ op2
+	case isa.OpMVN:
+		res = ^op2
+	}
+
+	if ins.S || !ins.Op.WritesRd() {
+		m.N = res>>31 == 1
+		m.Z = res == 0
+		if hasCV {
+			m.C = carry
+			m.V = over
+		}
+	}
+	if ins.Op.WritesRd() {
+		if ins.Rd == 15 {
+			return res
+		}
+		m.setReg(ins.Rd, res)
+	}
+	return nextPC
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// addc returns a+b+cin with carry-out and signed overflow.
+func addc(a, b, cin uint32) (sum uint32, carry, over bool) {
+	s := uint64(a) + uint64(b) + uint64(cin)
+	sum = uint32(s)
+	carry = s>>32 == 1
+	over = (a>>31 == b>>31) && (sum>>31 != a>>31)
+	return
+}
+
+func (m *Machine) operand2(ins isa.Instr) uint32 {
+	if ins.Imm {
+		return ins.Imm32()
+	}
+	v := m.Reg(ins.Rm)
+	amt := uint32(ins.ShImm)
+	if ins.ShReg {
+		amt = m.Reg(ins.Rs) & 63
+	}
+	switch ins.Sh {
+	case isa.LSL:
+		if amt >= 32 {
+			return 0
+		}
+		return v << amt
+	case isa.LSR:
+		if amt >= 32 {
+			return 0
+		}
+		return v >> amt
+	case isa.ASR:
+		if amt >= 32 {
+			amt = 31
+		}
+		return uint32(int32(v) >> amt)
+	case isa.ROR:
+		amt %= 32
+		if amt == 0 {
+			return v
+		}
+		return v>>amt | v<<(32-amt)
+	}
+	return v
+}
+
+// Run executes until halt or maxCycles, returning the cycle count.
+func (m *Machine) Run(maxCycles int) (int, error) {
+	for !m.Halt && m.Cycle < maxCycles {
+		if err := m.Step(); err != nil {
+			return m.Cycle, err
+		}
+	}
+	if !m.Halt {
+		return m.Cycle, fmt.Errorf("emu: no halt within %d cycles", maxCycles)
+	}
+	return m.Cycle, nil
+}

@@ -1,0 +1,204 @@
+package emu
+
+import (
+	"testing"
+
+	"arm2gc/internal/isa"
+)
+
+func layout() isa.Layout {
+	return isa.Layout{IMemWords: 256, AliceWords: 8, BobWords: 8, OutWords: 8, ScratchWords: 32}
+}
+
+func run(t *testing.T, src string, alice, bob []uint32) *Machine {
+	t.Helper()
+	p, err := isa.Link("t", src, layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, alice, bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAddProgram(t *testing.T) {
+	m := run(t, `
+gc_main:
+	ldr r3, [r0]
+	ldr r4, [r1]
+	add r3, r3, r4
+	str r3, [r2]
+	mov pc, lr
+`, []uint32{100}, []uint32{23})
+	if got := m.Output()[0]; got != 123 {
+		t.Errorf("output %d, want 123", got)
+	}
+}
+
+func TestConditionalExecution(t *testing.T) {
+	// max(a, b) via predication — the paper's Figure 5 pattern.
+	m := run(t, `
+gc_main:
+	ldr r3, [r0]
+	ldr r4, [r1]
+	cmp r3, r4
+	movhi r5, r3
+	movls r5, r4
+	str r5, [r2]
+	mov pc, lr
+`, []uint32{77}, []uint32{200})
+	if got := m.Output()[0]; got != 200 {
+		t.Errorf("max = %d, want 200", got)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// Sum 8 Alice words with 8 Bob words pairwise into output.
+	m := run(t, `
+gc_main:
+	mov r3, #0
+loop:
+	ldr r4, [r0]
+	ldr r5, [r1]
+	add r4, r4, r5
+	str r4, [r2]
+	add r0, r0, #4
+	add r1, r1, #4
+	add r2, r2, #4
+	add r3, r3, #1
+	cmp r3, #8
+	blt loop
+	mov pc, lr
+`, []uint32{1, 2, 3, 4, 5, 6, 7, 8}, []uint32{10, 20, 30, 40, 50, 60, 70, 80})
+	out := m.Output()
+	for i := 0; i < 8; i++ {
+		want := uint32((i + 1) + 10*(i+1))
+		if out[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestMulAndShifts(t *testing.T) {
+	m := run(t, `
+gc_main:
+	ldr r3, [r0]
+	ldr r4, [r1]
+	mul r5, r3, r4
+	str r5, [r2]
+	mov r7, #3
+	mov r6, r3, lsl r7      @ a<<3
+	str r6, [r2, #4]
+	mov r6, r3, asr #31     @ sign
+	str r6, [r2, #8]
+	mov r6, r3, ror #8
+	str r6, [r2, #12]
+	mov pc, lr
+`, []uint32{0x80000010}, []uint32{3})
+	out := m.Output()
+	var a uint32 = 0x80000010
+	if out[0] != a*3 {
+		t.Errorf("mul = %#x", out[0])
+	}
+	if out[1] != a<<3 {
+		t.Errorf("lsl = %#x", out[1])
+	}
+	if out[2] != 0xffffffff {
+		t.Errorf("asr = %#x", out[2])
+	}
+	if out[3] != 0x10800000 {
+		t.Errorf("ror = %#x", out[3])
+	}
+}
+
+func TestCarryChain(t *testing.T) {
+	// 64-bit addition with adds/adc.
+	m := run(t, `
+gc_main:
+	ldr r3, [r0]
+	ldr r4, [r0, #4]
+	ldr r5, [r1]
+	ldr r6, [r1, #4]
+	adds r7, r3, r5
+	adc r8, r4, r6
+	str r7, [r2]
+	str r8, [r2, #4]
+	mov pc, lr
+`, []uint32{0xffffffff, 1}, []uint32{2, 3})
+	out := m.Output()
+	if out[0] != 1 || out[1] != 5 {
+		t.Errorf("64-bit add = %#x %#x, want 1 5", out[0], out[1])
+	}
+}
+
+func TestSignedCompares(t *testing.T) {
+	m := run(t, `
+gc_main:
+	ldr r3, [r0]       @ -5
+	ldr r4, [r1]       @ 3
+	cmp r3, r4
+	movlt r5, #1
+	movge r5, #0
+	str r5, [r2]       @ signed: -5 < 3
+	cmp r3, r4
+	movlo r5, #1
+	movhs r5, #0
+	str r5, [r2, #4]   @ unsigned: 0xfffffffb > 3
+	mov pc, lr
+`, []uint32{0xfffffffb}, []uint32{3})
+	out := m.Output()
+	if out[0] != 1 {
+		t.Errorf("signed lt = %d, want 1", out[0])
+	}
+	if out[1] != 0 {
+		t.Errorf("unsigned lo = %d, want 0", out[1])
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	m := run(t, `
+gc_main:
+	str lr, [sp, #-4]
+	sub sp, sp, #4
+	ldr r3, [r0]
+	mov r4, r3
+	bl double
+	str r4, [r2]
+	add sp, sp, #4
+	ldr lr, [sp, #-4]
+	mov pc, lr
+double:
+	add r4, r4, r4
+	mov pc, lr
+`, []uint32{21}, nil)
+	if got := m.Output()[0]; got != 42 {
+		t.Errorf("double(21) = %d", got)
+	}
+}
+
+func TestHaltsAndCycleCount(t *testing.T) {
+	m := run(t, "gc_main:\n mov pc, lr\n", nil, nil)
+	if !m.Halt {
+		t.Fatal("not halted")
+	}
+	// startup (ldr sp/=4 consts are 1 word each here) + bl + mov pc,lr + swi
+	if m.Cycle < 6 || m.Cycle > 12 {
+		t.Errorf("unexpected cycle count %d", m.Cycle)
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	p, err := isa.Link("t", "gc_main:\n ldr r3, =0x10000\n ldr r4, [r3]\n mov pc, lr\n", layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(p, nil, nil)
+	if _, err := m.Run(1000); err == nil {
+		t.Error("out-of-range load did not error")
+	}
+}

@@ -1,0 +1,287 @@
+package gc
+
+import (
+	"fmt"
+	"io"
+
+	"arm2gc/internal/circuit"
+)
+
+// WireInit describes where one wire's initial label comes from: a constant,
+// or bit Idx of an owner's input vector. EnumerateInits fixes the order in
+// which initial active labels travel from garbler to evaluator.
+type WireInit struct {
+	Wire circuit.Wire
+	Kind circuit.InitKind // InitZero/InitOne/InitPublic/InitAlice/InitBob
+	Idx  int
+}
+
+// EnumerateInits lists every wire that needs an initial label: the two
+// constants, all port wires, and all flip-flop outputs (cycle-1 values),
+// in a canonical order both parties derive independently.
+func EnumerateInits(c *circuit.Circuit) []WireInit {
+	inits := []WireInit{
+		{Wire: circuit.Const0, Kind: circuit.InitZero},
+		{Wire: circuit.Const1, Kind: circuit.InitOne},
+	}
+	for _, p := range c.Ports {
+		kind := circuit.InitPublic
+		switch p.Owner {
+		case circuit.Alice:
+			kind = circuit.InitAlice
+		case circuit.Bob:
+			kind = circuit.InitBob
+		}
+		for b := 0; b < p.Bits; b++ {
+			inits = append(inits, WireInit{Wire: p.Base + circuit.Wire(b), Kind: kind, Idx: p.Off + b})
+		}
+	}
+	for i, d := range c.DFFs {
+		inits = append(inits, WireInit{Wire: c.QWire(i), Kind: d.Init.Kind, Idx: d.Init.Idx})
+	}
+	return inits
+}
+
+// Garbler runs the conventional sequential GC protocol (every gate garbled
+// every cycle): the TinyGarble baseline without SkipGate.
+type Garbler struct {
+	C *circuit.Circuit
+	R Label
+	H *Hash
+
+	x0  []Label // false label per wire
+	gid uint64
+
+	pub, alice, bob []Label // false labels per input bit
+	inits           []WireInit
+	next            []Label
+}
+
+// NewGarbler creates a garbler with fresh randomness from rnd.
+func NewGarbler(c *circuit.Circuit, rnd io.Reader) *Garbler {
+	g := &Garbler{
+		C:     c,
+		R:     RandDelta(rnd),
+		H:     NewHash(),
+		x0:    make([]Label, c.NumWires()),
+		pub:   randLabels(rnd, c.PublicBits),
+		alice: randLabels(rnd, c.AliceBits),
+		bob:   randLabels(rnd, c.BobBits),
+		inits: EnumerateInits(c),
+		next:  make([]Label, len(c.DFFs)),
+	}
+	for _, wi := range g.inits {
+		switch wi.Kind {
+		case circuit.InitZero, circuit.InitOne:
+			g.x0[wi.Wire] = RandLabel(rnd)
+		case circuit.InitPublic:
+			g.x0[wi.Wire] = g.pub[wi.Idx]
+		case circuit.InitAlice:
+			g.x0[wi.Wire] = g.alice[wi.Idx]
+		case circuit.InitBob:
+			g.x0[wi.Wire] = g.bob[wi.Idx]
+		}
+	}
+	return g
+}
+
+func randLabels(rnd io.Reader, n int) []Label {
+	ls := make([]Label, n)
+	for i := range ls {
+		ls[i] = RandLabel(rnd)
+	}
+	return ls
+}
+
+// BobPairs returns the (X0, X1) label pairs for Bob's input bits, to be
+// transferred through OT.
+func (g *Garbler) BobPairs() [][2]Label {
+	ps := make([][2]Label, len(g.bob))
+	for i, x0 := range g.bob {
+		ps[i] = [2]Label{x0, x0.Xor(g.R)}
+	}
+	return ps
+}
+
+// ActiveInitLabels returns, in EnumerateInits order, the active label for
+// every non-Bob-owned initial wire given the public and Alice input values.
+// Bob-owned entries are zero labels (delivered via OT instead).
+func (g *Garbler) ActiveInitLabels(pub, alice []bool) []Label {
+	out := make([]Label, len(g.inits))
+	for i, wi := range g.inits {
+		var v bool
+		switch wi.Kind {
+		case circuit.InitZero:
+			v = false
+		case circuit.InitOne:
+			v = true
+		case circuit.InitPublic:
+			v = bitAt(pub, wi.Idx)
+		case circuit.InitAlice:
+			v = bitAt(alice, wi.Idx)
+		case circuit.InitBob:
+			continue // via OT
+		}
+		out[i] = g.x0[wi.Wire]
+		if v {
+			out[i] = out[i].Xor(g.R)
+		}
+	}
+	return out
+}
+
+func bitAt(v []bool, i int) bool { return i >= 0 && i < len(v) && v[i] }
+
+// GarbleCycle garbles one clock cycle, appending one Table per AND-class
+// gate to dst and returning the extended slice; it ends with the flip-flop
+// label copy.
+func (g *Garbler) GarbleCycle(dst []Table) []Table {
+	c := g.C
+	x0 := g.x0
+	for i, gate := range c.Gates {
+		out := int(c.GateBase) + i
+		switch gate.Op {
+		case circuit.XOR:
+			x0[out] = x0[gate.A].Xor(x0[gate.B])
+		case circuit.XNOR:
+			x0[out] = x0[gate.A].Xor(x0[gate.B]).Xor(g.R)
+		case circuit.NOT:
+			x0[out] = x0[gate.A].Xor(g.R)
+		case circuit.BUF:
+			x0[out] = x0[gate.A]
+		case circuit.MUX:
+			c0, t := GarbleMux(g.H, g.R, x0[gate.S], x0[gate.A], x0[gate.B], g.gid)
+			g.gid++
+			x0[out] = c0
+			dst = append(dst, t)
+		default:
+			c0, t := GarbleGate(g.H, g.R, gate.Op, x0[gate.A], x0[gate.B], g.gid)
+			g.gid++
+			x0[out] = c0
+			dst = append(dst, t)
+		}
+	}
+	for i, d := range c.DFFs {
+		g.next[i] = x0[d.D]
+	}
+	for i := range c.DFFs {
+		x0[c.QWire(i)] = g.next[i]
+	}
+	return dst
+}
+
+// X0 exposes the current false label of a wire (post-cycle).
+func (g *Garbler) X0(w circuit.Wire) Label { return g.x0[w] }
+
+// DecodeBits returns the point-and-permute bits of the given wires; the
+// evaluator combines them with its active labels to decode outputs.
+func (g *Garbler) DecodeBits(ws []circuit.Wire) []bool {
+	bits := make([]bool, len(ws))
+	for i, w := range ws {
+		bits[i] = g.x0[w].Bit()
+	}
+	return bits
+}
+
+// DecodeWith maps an active label back to a cleartext bit given the false
+// label: errors if the label is neither X0 nor X1.
+func (g *Garbler) DecodeWith(w circuit.Wire, active Label) (bool, error) {
+	switch active {
+	case g.x0[w]:
+		return false, nil
+	case g.x0[w].Xor(g.R):
+		return true, nil
+	}
+	return false, fmt.Errorf("gc: active label on wire %d matches neither X0 nor X1", w)
+}
+
+// Evaluator runs the evaluator side of the conventional protocol.
+type Evaluator struct {
+	C *circuit.Circuit
+	H *Hash
+
+	x   []Label // active label per wire
+	gid uint64
+
+	inits []WireInit
+	next  []Label
+}
+
+// NewEvaluator creates an evaluator for c.
+func NewEvaluator(c *circuit.Circuit) *Evaluator {
+	return &Evaluator{
+		C:     c,
+		H:     NewHash(),
+		x:     make([]Label, c.NumWires()),
+		inits: EnumerateInits(c),
+		next:  make([]Label, len(c.DFFs)),
+	}
+}
+
+// SetInitLabels installs the garbler-sent active labels (EnumerateInits
+// order; Bob entries ignored) and the OT-received labels for Bob's bits.
+func (e *Evaluator) SetInitLabels(sent []Label, bobChosen []Label) error {
+	if len(sent) != len(e.inits) {
+		return fmt.Errorf("gc: got %d init labels, want %d", len(sent), len(e.inits))
+	}
+	for i, wi := range e.inits {
+		if wi.Kind == circuit.InitBob {
+			if wi.Idx >= len(bobChosen) {
+				return fmt.Errorf("gc: missing OT label for bob bit %d", wi.Idx)
+			}
+			e.x[wi.Wire] = bobChosen[wi.Idx]
+		} else {
+			e.x[wi.Wire] = sent[i]
+		}
+	}
+	return nil
+}
+
+// EvalCycle evaluates one clock cycle, consuming tables from ts in garbling
+// order, and returns the remainder of ts.
+func (e *Evaluator) EvalCycle(ts []Table) ([]Table, error) {
+	c := e.C
+	x := e.x
+	for i, gate := range c.Gates {
+		out := int(c.GateBase) + i
+		switch gate.Op {
+		case circuit.XOR, circuit.XNOR:
+			x[out] = x[gate.A].Xor(x[gate.B])
+		case circuit.NOT, circuit.BUF:
+			x[out] = x[gate.A]
+		case circuit.MUX:
+			if len(ts) == 0 {
+				return nil, fmt.Errorf("gc: table stream exhausted at gate %d", i)
+			}
+			x[out] = EvalMux(e.H, x[gate.S], x[gate.A], x[gate.B], ts[0], e.gid)
+			e.gid++
+			ts = ts[1:]
+		default:
+			if len(ts) == 0 {
+				return nil, fmt.Errorf("gc: table stream exhausted at gate %d", i)
+			}
+			x[out] = EvalGate(e.H, gate.Op, x[gate.A], x[gate.B], ts[0], e.gid)
+			e.gid++
+			ts = ts[1:]
+		}
+	}
+	for i, d := range c.DFFs {
+		e.next[i] = x[d.D]
+	}
+	for i := range c.DFFs {
+		x[c.QWire(i)] = e.next[i]
+	}
+	return ts, nil
+}
+
+// Active exposes the current active label of a wire.
+func (e *Evaluator) Active(w circuit.Wire) Label { return e.x[w] }
+
+// Decode combines active labels with the garbler's decode bits.
+func (e *Evaluator) Decode(ws []circuit.Wire, decode []bool) []bool {
+	out := make([]bool, len(ws))
+	for i, w := range ws {
+		out[i] = e.x[w].Bit() != decode[i]
+	}
+	return out
+}

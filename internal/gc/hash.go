@@ -1,0 +1,39 @@
+package gc
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+)
+
+// Hash is the fixed-key-AES correlation-robust hash
+// H(X, t) = π(2X ⊕ t) ⊕ (2X ⊕ t), with π a fixed AES-128 permutation
+// [Bellare-Hoang-Keelveedhi-Rogaway]. One Hash instance is shared by a
+// whole session; it is stateless and safe for concurrent use.
+type Hash struct {
+	block cipher.Block
+}
+
+// fixedKey is an arbitrary public constant; the security of the scheme
+// rests on π being a random permutation, not on key secrecy.
+var fixedKey = []byte("arm2gc-fixed-key")
+
+// NewHash builds the fixed-key hash.
+func NewHash() *Hash {
+	b, err := aes.NewCipher(fixedKey)
+	if err != nil {
+		panic("gc: aes: " + err.Error())
+	}
+	return &Hash{block: b}
+}
+
+// H computes H(x, tweak).
+func (h *Hash) H(x Label, tweak uint64) Label {
+	k := x.double()
+	k.Lo ^= tweak
+	var in, out [16]byte
+	binary.LittleEndian.PutUint64(in[0:8], k.Lo)
+	binary.LittleEndian.PutUint64(in[8:16], k.Hi)
+	h.block.Encrypt(out[:], in[:])
+	return LabelFromBytes(out[:]).Xor(k)
+}

@@ -1,0 +1,625 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into instruction words. Supported
+// syntax (classic ARM style):
+//
+//	label:                       @ labels (own line or before an op)
+//	add r0, r1, r2               @ register operand
+//	addeq r0, r1, #10            @ condition suffixes, rotated immediates
+//	subs r0, r1, r2, lsl #3      @ S suffix, shifted operands
+//	mov r0, r1, lsr r2           @ register-amount shifts
+//	mul r0, r1, r2               @ rd = rm * rs
+//	mla r0, r1, r2, r3           @ rd = rm * rs + rn
+//	ldr r0, [r1, #4]             @ word load, pre-indexed immediate offset
+//	strne r0, [sp, #-8]          @ negative offsets
+//	b loop / blt end / bl fn     @ branches to labels
+//	swi 0                        @ halt
+//	ldr r0, =0x12345678          @ pseudo: expands to mov+orr sequence
+//	nop                          @ pseudo: mov r0, r0
+//	.word 0x123                  @ literal data word
+//	@ comment, ; comment, // comment
+//
+// Register aliases: sp=r13, lr=r14, pc=r15, a=r4-style aliases are not
+// provided. Immediates accept decimal, hex (0x) and negated forms where
+// the instruction allows (mov with un-encodable immediate tries mvn).
+func Assemble(src string) ([]uint32, error) {
+	a := &assembler{labels: map[string]int{}}
+	if err := a.scan(src); err != nil {
+		return nil, err
+	}
+	return a.emit()
+}
+
+type item struct {
+	line int
+	text string // instruction text (label stripped)
+}
+
+type assembler struct {
+	items  []item
+	labels map[string]int // label -> word index
+	sizes  []int          // words each item expands to
+}
+
+func (a *assembler) scan(src string) error {
+	word := 0
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		for _, cm := range []string{"@", ";", "//"} {
+			if i := strings.Index(line, cm); i >= 0 {
+				line = line[:i]
+			}
+		}
+		line = strings.TrimSpace(line)
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !validLabel(label) {
+				return fmt.Errorf("asm line %d: bad label %q", ln+1, label)
+			}
+			if _, dup := a.labels[label]; dup {
+				return fmt.Errorf("asm line %d: duplicate label %q", ln+1, label)
+			}
+			a.labels[label] = word
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		n, err := sizeOf(line)
+		if err != nil {
+			return fmt.Errorf("asm line %d: %v", ln+1, err)
+		}
+		a.items = append(a.items, item{line: ln + 1, text: line})
+		a.sizes = append(a.sizes, n)
+		word += n
+	}
+	return nil
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sizeOf returns how many words an instruction expands to (pseudo
+// "ldr rX, =imm" may take up to 4).
+func sizeOf(text string) (int, error) {
+	op, rest := splitOp(text)
+	if op == "ldr" || strings.HasPrefix(op, "ldr") {
+		if strings.Contains(rest, "=") {
+			args := splitArgs(rest)
+			if len(args) != 2 || !strings.HasPrefix(args[1], "=") {
+				return 0, fmt.Errorf("bad ldr= syntax %q", text)
+			}
+			v, err := parseImmVal(args[1][1:])
+			if err != nil {
+				return 0, err
+			}
+			return len(movOrrPlan(uint32(v))), nil
+		}
+	}
+	return 1, nil
+}
+
+// movOrrPlan splits a 32-bit constant into a mov + orr byte plan.
+func movOrrPlan(v uint32) []uint32 {
+	if _, _, ok := EncodeImm(v); ok {
+		return []uint32{v}
+	}
+	if _, _, ok := EncodeImm(^v); ok {
+		return []uint32{v} // single mvn
+	}
+	var parts []uint32
+	for sh := uint(0); sh < 32; sh += 8 {
+		if b := v & (0xff << sh); b != 0 {
+			parts = append(parts, b)
+		}
+	}
+	if len(parts) == 0 {
+		parts = []uint32{0}
+	}
+	return parts
+}
+
+func (a *assembler) emit() ([]uint32, error) {
+	var words []uint32
+	for idx, it := range a.items {
+		ws, err := a.emitOne(it.text, len(words))
+		if err != nil {
+			return nil, fmt.Errorf("asm line %d (%q): %v", it.line, it.text, err)
+		}
+		if len(ws) != a.sizes[idx] {
+			return nil, fmt.Errorf("asm line %d: size drift (%d vs %d)", it.line, len(ws), a.sizes[idx])
+		}
+		words = append(words, ws...)
+	}
+	return words, nil
+}
+
+func splitOp(text string) (op, rest string) {
+	i := strings.IndexAny(text, " \t")
+	if i < 0 {
+		return strings.ToLower(text), ""
+	}
+	return strings.ToLower(text[:i]), strings.TrimSpace(text[i+1:])
+}
+
+// splitArgs splits on commas not inside brackets.
+func splitArgs(s string) []string {
+	var args []string
+	depth := 0
+	last := 0
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				args = append(args, strings.TrimSpace(s[last:i]))
+				last = i + 1
+			}
+		}
+	}
+	tail := strings.TrimSpace(s[last:])
+	if tail != "" {
+		args = append(args, tail)
+	}
+	return args
+}
+
+var regAliases = map[string]uint8{"sp": 13, "lr": 14, "pc": 15}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n <= 15 {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImmVal(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "+"), 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// opSpec resolves a mnemonic with optional condition and S suffixes.
+type opSpec struct {
+	base string
+	cond Cond
+	s    bool
+}
+
+var baseOps = []string{
+	// Longest-match order resolves the bl/b + condition ambiguity.
+	"mla", "mul", "ldr", "str", "swi", "nop", "bl", "b",
+	"and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+	"tst", "teq", "cmp", "cmn", "orr", "mov", "bic", "mvn",
+}
+
+func parseMnemonic(op string) (opSpec, error) {
+	for _, base := range baseOps {
+		if !strings.HasPrefix(op, base) {
+			continue
+		}
+		suffix := op[len(base):]
+		spec := opSpec{base: base, cond: AL}
+		if strings.HasSuffix(suffix, "s") && base != "b" && base != "bl" && base != "ldr" && base != "str" && base != "swi" {
+			// Careful: "s" may be part of a condition (cs, vs, ls).
+			if suffix == "s" {
+				spec.s = true
+				suffix = ""
+			} else if len(suffix) == 3 {
+				spec.s = true
+				suffix = suffix[:2]
+			}
+		}
+		if suffix != "" {
+			c, ok := condByName(suffix)
+			if !ok {
+				continue
+			}
+			spec.cond = c
+		}
+		return spec, nil
+	}
+	return opSpec{}, fmt.Errorf("unknown mnemonic %q", op)
+}
+
+func condByName(s string) (Cond, bool) {
+	for i, n := range condNames {
+		if n == s && Cond(i) != condInvalid && n != "" {
+			return Cond(i), true
+		}
+	}
+	if s == "al" {
+		return AL, true
+	}
+	if s == "hs" {
+		return CS, true
+	}
+	if s == "lo" {
+		return CC, true
+	}
+	return 0, false
+}
+
+func (a *assembler) emitOne(text string, pcWord int) ([]uint32, error) {
+	op, rest := splitOp(text)
+
+	if op == ".word" {
+		v, err := parseImmVal(rest)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{uint32(v)}, nil
+	}
+
+	spec, err := parseMnemonic(op)
+	if err != nil {
+		return nil, err
+	}
+	args := splitArgs(rest)
+
+	switch spec.base {
+	case "nop":
+		w, err := Encode(Instr{Kind: KindDP, Cond: spec.cond, Op: OpMOV, Rd: 0, Rm: 0})
+		return []uint32{w}, err
+	case "swi":
+		var imm uint32
+		if len(args) == 1 {
+			v, err := parseImmVal(strings.TrimPrefix(args[0], "#"))
+			if err != nil {
+				return nil, err
+			}
+			imm = uint32(v)
+		}
+		w, err := Encode(Instr{Kind: KindSWI, Cond: spec.cond, SwiImm: imm & 0xffffff})
+		return []uint32{w}, err
+	case "b", "bl":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("branch needs a target")
+		}
+		target, ok := a.labels[args[0]]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q", args[0])
+		}
+		// offset counts from PC+8 (two words ahead), in words.
+		off := int32(target - (pcWord + 2))
+		w, err := Encode(Instr{Kind: KindBranch, Cond: spec.cond, Link: spec.base == "bl", Imm24: off})
+		return []uint32{w}, err
+	case "mul":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("mul needs rd, rm, rs")
+		}
+		rd, e1 := parseReg(args[0])
+		rm, e2 := parseReg(args[1])
+		rs, e3 := parseReg(args[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return nil, err
+		}
+		w, err := Encode(Instr{Kind: KindMul, Cond: spec.cond, S: spec.s, Rd: rd, Rm: rm, Rs: rs})
+		return []uint32{w}, err
+	case "mla":
+		if len(args) != 4 {
+			return nil, fmt.Errorf("mla needs rd, rm, rs, rn")
+		}
+		rd, e1 := parseReg(args[0])
+		rm, e2 := parseReg(args[1])
+		rs, e3 := parseReg(args[2])
+		rn, e4 := parseReg(args[3])
+		if err := firstErr(e1, e2, e3, e4); err != nil {
+			return nil, err
+		}
+		w, err := Encode(Instr{Kind: KindMul, Cond: spec.cond, S: spec.s, Acc: true, Rd: rd, Rm: rm, Rs: rs, Rn: rn})
+		return []uint32{w}, err
+	case "ldr", "str":
+		return a.emitMem(spec, args)
+	default:
+		return a.emitDP(spec, args)
+	}
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func (a *assembler) emitMem(spec opSpec, args []string) ([]uint32, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("%s needs rd, address", spec.base)
+	}
+	rd, err := parseReg(args[0])
+	if err != nil {
+		return nil, err
+	}
+	addr := args[1]
+	if strings.HasPrefix(addr, "=") {
+		if spec.base != "ldr" {
+			return nil, fmt.Errorf("= immediates only with ldr")
+		}
+		v, err := parseImmVal(addr[1:])
+		if err != nil {
+			return nil, err
+		}
+		return emitConst(spec.cond, rd, uint32(v))
+	}
+	if !strings.HasPrefix(addr, "[") || !strings.HasSuffix(addr, "]") {
+		return nil, fmt.Errorf("bad address %q", addr)
+	}
+	inner := splitArgs(addr[1 : len(addr)-1])
+	rn, err := parseReg(inner[0])
+	if err != nil {
+		return nil, err
+	}
+	ins := Instr{Kind: KindMem, Cond: spec.cond, Load: spec.base == "ldr", Up: true, Rn: rn, Rd: rd}
+	if len(inner) == 2 {
+		off, err := parseImmVal(strings.TrimPrefix(inner[1], "#"))
+		if err != nil {
+			return nil, err
+		}
+		if off < 0 {
+			ins.Up = false
+			off = -off
+		}
+		if off > 0xfff {
+			return nil, fmt.Errorf("offset %d out of range", off)
+		}
+		ins.Off12 = uint16(off)
+	} else if len(inner) != 1 {
+		return nil, fmt.Errorf("bad address %q", addr)
+	}
+	w, err := Encode(ins)
+	return []uint32{w}, err
+}
+
+// emitConst loads an arbitrary 32-bit constant with mov/mvn + orr chain.
+func emitConst(cond Cond, rd uint8, v uint32) ([]uint32, error) {
+	if imm8, rot, ok := EncodeImm(v); ok {
+		w, err := Encode(Instr{Kind: KindDP, Cond: cond, Op: OpMOV, Rd: rd, Imm: true, Imm8: imm8, Rot: rot})
+		return []uint32{w}, err
+	}
+	if imm8, rot, ok := EncodeImm(^v); ok {
+		w, err := Encode(Instr{Kind: KindDP, Cond: cond, Op: OpMVN, Rd: rd, Imm: true, Imm8: imm8, Rot: rot})
+		return []uint32{w}, err
+	}
+	plan := movOrrPlan(v)
+	var words []uint32
+	for i, part := range plan {
+		op := OpORR
+		rn := rd
+		if i == 0 {
+			op = OpMOV
+			rn = 0
+		}
+		imm8, rot, ok := EncodeImm(part)
+		if !ok {
+			return nil, fmt.Errorf("internal: byte part %#x not encodable", part)
+		}
+		w, err := Encode(Instr{Kind: KindDP, Cond: cond, Op: op, Rd: rd, Rn: rn, Imm: true, Imm8: imm8, Rot: rot})
+		if err != nil {
+			return nil, err
+		}
+		words = append(words, w)
+	}
+	return words, nil
+}
+
+func (a *assembler) emitDP(spec opSpec, args []string) ([]uint32, error) {
+	var op DPOp
+	found := false
+	for i, n := range dpNames {
+		if n == spec.base {
+			op = DPOp(i)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("unknown op %q", spec.base)
+	}
+
+	ins := Instr{Kind: KindDP, Cond: spec.cond, Op: op, S: spec.s}
+	var op2 []string
+	switch op {
+	case OpMOV, OpMVN:
+		if len(args) < 2 {
+			return nil, fmt.Errorf("%s needs rd, operand", spec.base)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		ins.Rd = rd
+		op2 = args[1:]
+	case OpTST, OpTEQ, OpCMP, OpCMN:
+		if len(args) < 2 {
+			return nil, fmt.Errorf("%s needs rn, operand", spec.base)
+		}
+		rn, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		ins.Rn = rn
+		ins.S = true
+		op2 = args[1:]
+	default:
+		if len(args) < 3 {
+			return nil, fmt.Errorf("%s needs rd, rn, operand", spec.base)
+		}
+		rd, e1 := parseReg(args[0])
+		rn, e2 := parseReg(args[1])
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		ins.Rd = rd
+		ins.Rn = rn
+		op2 = args[2:]
+	}
+
+	if err := parseOp2(&ins, op2); err != nil {
+		return nil, err
+	}
+	w, err := Encode(ins)
+	return []uint32{w}, err
+}
+
+func parseOp2(ins *Instr, parts []string) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("missing operand 2")
+	}
+	first := parts[0]
+	if strings.HasPrefix(first, "#") {
+		if len(parts) != 1 {
+			return fmt.Errorf("immediate cannot be shifted")
+		}
+		v, err := parseImmVal(first[1:])
+		if err != nil {
+			return err
+		}
+		u := uint32(v)
+		imm8, rot, ok := EncodeImm(u)
+		if !ok {
+			// Common compiler convenience: flip mov/mvn, add/sub, cmp/cmn,
+			// and/bic when the complement or negation encodes.
+			if alt, altOK := flipImm(ins.Op, u); altOK.ok {
+				ins.Op = alt
+				imm8, rot = altOK.imm8, altOK.rot
+			} else {
+				return fmt.Errorf("immediate %#x not encodable", u)
+			}
+		}
+		ins.Imm = true
+		ins.Imm8 = imm8
+		ins.Rot = rot
+		return nil
+	}
+	rm, err := parseReg(first)
+	if err != nil {
+		return err
+	}
+	ins.Rm = rm
+	if len(parts) == 1 {
+		return nil
+	}
+	if len(parts) != 2 {
+		return fmt.Errorf("bad operand 2")
+	}
+	shParts := strings.Fields(parts[1])
+	if len(shParts) != 2 {
+		return fmt.Errorf("bad shift %q", parts[1])
+	}
+	var sh Shift
+	switch strings.ToLower(shParts[0]) {
+	case "lsl":
+		sh = LSL
+	case "lsr":
+		sh = LSR
+	case "asr":
+		sh = ASR
+	case "ror":
+		sh = ROR
+	default:
+		return fmt.Errorf("bad shift type %q", shParts[0])
+	}
+	ins.Sh = sh
+	if strings.HasPrefix(shParts[1], "#") {
+		v, err := parseImmVal(shParts[1][1:])
+		if err != nil {
+			return err
+		}
+		if v < 0 || v > 31 {
+			return fmt.Errorf("shift amount %d out of range", v)
+		}
+		ins.ShImm = uint8(v)
+		return nil
+	}
+	rs, err := parseReg(shParts[1])
+	if err != nil {
+		return err
+	}
+	ins.ShReg = true
+	ins.Rs = rs
+	return nil
+}
+
+type immFlip struct {
+	ok        bool
+	imm8, rot uint8
+}
+
+// flipImm rewrites an instruction to its complement form when that makes
+// an immediate encodable (mov↔mvn, add↔sub, cmp↔cmn, and↔bic).
+func flipImm(op DPOp, v uint32) (DPOp, immFlip) {
+	try := func(alt DPOp, u uint32) (DPOp, immFlip) {
+		if imm8, rot, ok := EncodeImm(u); ok {
+			return alt, immFlip{true, imm8, rot}
+		}
+		return op, immFlip{}
+	}
+	switch op {
+	case OpMOV:
+		return try(OpMVN, ^v)
+	case OpMVN:
+		return try(OpMOV, ^v)
+	case OpADD:
+		return try(OpSUB, -v)
+	case OpSUB:
+		return try(OpADD, -v)
+	case OpCMP:
+		return try(OpCMN, -v)
+	case OpCMN:
+		return try(OpCMP, -v)
+	case OpAND:
+		return try(OpBIC, ^v)
+	case OpBIC:
+		return try(OpAND, ^v)
+	}
+	return op, immFlip{}
+}

@@ -1,0 +1,209 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeImmRoundTrip(t *testing.T) {
+	f := func(imm8 uint8, rot4 uint8) bool {
+		rot := rot4 % 16
+		i := Instr{Imm8: imm8, Rot: rot}
+		v := i.Imm32()
+		e8, er, ok := EncodeImm(v)
+		if !ok {
+			return false
+		}
+		j := Instr{Imm8: e8, Rot: er}
+		return j.Imm32() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeImmRejects(t *testing.T) {
+	for _, v := range []uint32{0x101, 0xff1, 0x12345678, 0xffffff01} {
+		if _, _, ok := EncodeImm(v); ok {
+			t.Errorf("EncodeImm(%#x) unexpectedly succeeded", v)
+		}
+	}
+}
+
+// TestDecodeEncodeRoundTrip: decoding any encodable instruction and
+// re-encoding gives the same word.
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 0
+	for trial := 0; trial < 20000; trial++ {
+		w := rng.Uint32()
+		ins, err := Decode(w)
+		if err != nil {
+			continue
+		}
+		w2, err := Encode(ins)
+		if err != nil {
+			t.Fatalf("re-encode of %#08x (%s): %v", w, ins, err)
+		}
+		// Encode normalizes don't-care bits; decode again must agree.
+		ins2, err := Decode(w2)
+		if err != nil {
+			t.Fatalf("decode of re-encoded %#08x: %v", w2, err)
+		}
+		if ins != ins2 {
+			t.Fatalf("instr drift: %#08x -> %+v -> %#08x -> %+v", w, ins, w2, ins2)
+		}
+		n++
+	}
+	if n < 5000 {
+		t.Errorf("only %d random words decoded; decoder too strict?", n)
+	}
+}
+
+func TestAssembleBasics(t *testing.T) {
+	words, err := Assemble(`
+start:
+	mov r0, #0          @ comment
+	add r1, r0, #10
+	subs r2, r1, r0, lsl #2
+	movne r3, #0xff00
+	mul r4, r1, r2
+	mla r5, r1, r2, r4
+	ldr r6, [sp, #-4]
+	str r6, [r0]
+	cmp r1, #10
+	blt start
+	bl fn
+	swi 0
+fn:
+	mov pc, lr
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 13 {
+		t.Fatalf("assembled %d words, want 13", len(words))
+	}
+	for i, w := range words {
+		if _, err := Decode(w); err != nil {
+			t.Errorf("word %d (%#08x): %v", i, w, err)
+		}
+	}
+}
+
+func TestAssembleDisassembleStable(t *testing.T) {
+	// Disassembling and re-assembling instruction text round-trips.
+	src := `
+	add r0, r1, r2
+	andeqs r3, r4, r5, asr #7
+	mvn r6, #0
+	orr r7, r8, r9, ror r10
+	cmp r11, r12
+	ldr r1, [r2, #4]
+	strcc r3, [r4, #-16]
+	swi 5
+`
+	words, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range words {
+		ins, err := Decode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := Assemble(ins.String())
+		if err != nil {
+			t.Fatalf("reassemble %q: %v", ins.String(), err)
+		}
+		if len(again) != 1 || again[0] != w {
+			t.Fatalf("%q: %#08x -> %#08x", ins.String(), w, again[0])
+		}
+	}
+}
+
+func TestAssembleImmediateFlips(t *testing.T) {
+	// mov r0, #-1 becomes mvn r0, #0; add r0, r1, #-4 becomes sub.
+	words, err := Assemble("mov r0, #-1\nadd r0, r1, #-4\ncmp r0, #-2\nand r0, r1, #-16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []DPOp{OpMVN, OpSUB, OpCMN, OpBIC}
+	for i, w := range words {
+		ins, _ := Decode(w)
+		if ins.Op != ops[i] {
+			t.Errorf("word %d: op %v, want %v", i, ins.Op, ops[i])
+		}
+	}
+}
+
+func TestLdrConstPseudo(t *testing.T) {
+	words, err := Assemble("ldr r0, =0x12345678\nldr r1, =0xff\nldr r2, =0xffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0x12345678 needs 4 words; 0xff needs 1 (mov); 0xffffffff needs 1 (mvn).
+	if len(words) != 6 {
+		t.Fatalf("got %d words, want 6", len(words))
+	}
+}
+
+func TestBranchTargets(t *testing.T) {
+	words, err := Assemble(`
+	b skip
+	swi 0
+skip:
+	b skip
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i0, _ := Decode(words[0])
+	if i0.Imm24 != 0 { // target = pc+8 = word 2: offset 0
+		t.Errorf("forward branch offset %d, want 0", i0.Imm24)
+	}
+	i2, _ := Decode(words[2])
+	if i2.Imm24 != -2 { // self loop: target = pc+8-8
+		t.Errorf("self branch offset %d, want -2", i2.Imm24)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"bogus r0, r1",
+		"add r0, r1",         // missing operand
+		"mov r0, #0x101",     // unencodable immediate (and no flip)
+		"ldr r0, [r1, r2]",   // register offset unsupported
+		"b nowhere",          // undefined label
+		"mov r16, #0",        // bad register
+		"x: x: mov r0, r0",   // duplicate label (same line)
+		"ldrb r0, [r1]",      // byte access
+		"add r0, r1, #5, #6", // garbage
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLink(t *testing.T) {
+	l := Layout{IMemWords: 64, AliceWords: 4, BobWords: 4, OutWords: 4, ScratchWords: 16}
+	p, err := Link("t", `
+gc_main:
+	ldr r3, [r0]
+	ldr r4, [r1]
+	add r3, r3, r4
+	str r3, [r2]
+	mov pc, lr
+`, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Words) == 0 || p.Layout != l {
+		t.Fatal("bad program")
+	}
+	if p.Disassemble() == "" {
+		t.Fatal("empty disassembly")
+	}
+}

@@ -1,0 +1,73 @@
+package isa
+
+import "fmt"
+
+// Layout fixes the memory geometry of a garbled-processor instance: the
+// instruction memory size and the four data regions the paper describes
+// (Alice's inputs, Bob's inputs, the output array, and scratch/stack).
+// Data regions live in one word-addressed RAM; the regions determine only
+// flip-flop initialization and which words are circuit outputs.
+type Layout struct {
+	IMemWords    int // instruction memory size (words)
+	AliceWords   int // gc_main's a[] length
+	BobWords     int // gc_main's b[] length
+	OutWords     int // gc_main's c[] length
+	ScratchWords int // heap + stack (stack grows down from the top)
+}
+
+// DataWords is the total data-RAM size in words.
+func (l Layout) DataWords() int {
+	return l.AliceWords + l.BobWords + l.OutWords + l.ScratchWords
+}
+
+// Byte base addresses of the data regions (the pointers passed to
+// gc_main) and the initial stack pointer.
+func (l Layout) AliceBase() uint32 { return 0 }
+
+// BobBase returns b[]'s byte address.
+func (l Layout) BobBase() uint32 { return uint32(l.AliceWords) * 4 }
+
+// OutBase returns c[]'s byte address.
+func (l Layout) OutBase() uint32 { return uint32(l.AliceWords+l.BobWords) * 4 }
+
+// ScratchBase returns the heap base byte address.
+func (l Layout) ScratchBase() uint32 { return uint32(l.AliceWords+l.BobWords+l.OutWords) * 4 }
+
+// StackTop returns the initial stack pointer (one past the last RAM byte).
+func (l Layout) StackTop() uint32 { return uint32(l.DataWords()) * 4 }
+
+// Validate checks the geometry is usable.
+func (l Layout) Validate() error {
+	if l.IMemWords <= 0 || l.DataWords() <= 0 {
+		return fmt.Errorf("isa: empty layout %+v", l)
+	}
+	if l.OutWords <= 0 {
+		return fmt.Errorf("isa: layout has no output region")
+	}
+	if l.ScratchWords < 4 {
+		return fmt.Errorf("isa: layout needs at least 4 scratch words for a stack")
+	}
+	return nil
+}
+
+// Program is a loadable binary: the instruction image (the public input p)
+// plus the layout it was linked against.
+type Program struct {
+	Words  []uint32
+	Layout Layout
+	Name   string
+}
+
+// Disassemble renders the program for debugging.
+func (p *Program) Disassemble() string {
+	out := ""
+	for pc, w := range p.Words {
+		i, err := Decode(w)
+		if err != nil {
+			out += fmt.Sprintf("%4d: %08x  .word\n", pc*4, w)
+			continue
+		}
+		out += fmt.Sprintf("%4d: %08x  %s\n", pc*4, w, i)
+	}
+	return out
+}

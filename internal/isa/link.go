@@ -1,0 +1,48 @@
+package isa
+
+import "fmt"
+
+// Link assembles a program against a memory layout, prepending the startup
+// stub (the paper's "modified header assembly code"): it points r0/r1/r2
+// at Alice's, Bob's, and the output arrays, sets the stack pointer, calls
+// gc_main, and halts. The source must define the label gc_main.
+func Link(name, src string, l Layout) (*Program, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	startup := fmt.Sprintf(`
+	ldr sp, =%d
+	ldr r0, =%d
+	ldr r1, =%d
+	ldr r2, =%d
+	ldr r3, =%d
+	bl gc_main
+	swi 0
+`, l.StackTop(), l.AliceBase(), l.BobBase(), l.OutBase(), l.ScratchBase())
+	words, err := Assemble(startup + src)
+	if err != nil {
+		return nil, fmt.Errorf("link %s: %w", name, err)
+	}
+	if len(words) > l.IMemWords {
+		return nil, fmt.Errorf("link %s: %d words exceed imem of %d", name, len(words), l.IMemWords)
+	}
+	return &Program{Words: words, Layout: l, Name: name}, nil
+}
+
+// FitLayout returns a copy of l with IMemWords grown to the next power of
+// two at least as large as the program needs; useful when callers size the
+// instruction memory to the program.
+func FitLayout(src string, l Layout) (Layout, error) {
+	probe := l
+	probe.IMemWords = 1 << 20
+	p, err := Link("probe", src, probe)
+	if err != nil {
+		return l, err
+	}
+	n := 1
+	for n < len(p.Words) {
+		n *= 2
+	}
+	l.IMemWords = n
+	return l, nil
+}

@@ -1,0 +1,152 @@
+package minicc
+
+// Types. MiniC has int, unsigned, and pointers to them; arrays are local
+// storage that decays to pointers.
+type ctype struct {
+	unsigned bool
+	ptr      bool
+}
+
+func (t ctype) String() string {
+	s := "int"
+	if t.unsigned {
+		s = "unsigned"
+	}
+	if t.ptr {
+		s += "*"
+	}
+	return s
+}
+
+// Expressions.
+type expr interface{ exprNode() }
+
+type numLit struct {
+	val int64
+}
+
+type varRef struct {
+	name string
+	sym  *symbol // resolved by sema
+}
+
+type index struct {
+	base expr // pointer or array variable
+	idx  expr
+}
+
+type unary struct {
+	op string // ! ~ -
+	x  expr
+}
+
+type binary struct {
+	op   string
+	l, r expr
+	typ  ctype // result/operand type, resolved by sema
+}
+
+type ternary struct {
+	cond, then, els expr
+}
+
+type call struct {
+	name string
+	args []expr
+	fn   *funcDef
+}
+
+func (*numLit) exprNode()  {}
+func (*varRef) exprNode()  {}
+func (*index) exprNode()   {}
+func (*unary) exprNode()   {}
+func (*binary) exprNode()  {}
+func (*ternary) exprNode() {}
+func (*call) exprNode()    {}
+
+// Statements.
+type stmt interface{ stmtNode() }
+
+type declStmt struct {
+	name     string
+	typ      ctype
+	arrayLen int // 0 for scalars
+	init     expr
+	initList []expr
+	sym      *symbol
+}
+
+type assignStmt struct {
+	lhs expr // varRef or index
+	rhs expr
+}
+
+type exprStmt struct {
+	x expr
+}
+
+type ifStmt struct {
+	cond       expr
+	then, els  []stmt
+	line       int
+	converted  bool // filled by codegen: predicated instead of branched
+	secretWarn bool
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+	// forPost holds the for-loop post statement (nil for while).
+	forPost stmt
+}
+
+type returnStmt struct {
+	x expr // nil for void
+}
+
+type breakStmt struct{}
+
+type continueStmt struct{}
+
+func (*declStmt) stmtNode()     {}
+func (*assignStmt) stmtNode()   {}
+func (*exprStmt) stmtNode()     {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+
+// Declarations.
+type param struct {
+	name string
+	typ  ctype
+}
+
+type funcDef struct {
+	name    string
+	ret     ctype
+	isVoid  bool
+	params  []param
+	body    []stmt
+	line    int
+	doesRet bool
+
+	// Filled by codegen.
+	frame     int
+	makesCall bool
+	syms      map[string]*symbol
+}
+
+type symbol struct {
+	name     string
+	typ      ctype
+	isArray  bool
+	arrayLen int
+	offset   int // stack slot offset from SP
+}
+
+type program struct {
+	funcs map[string]*funcDef
+	order []string
+}

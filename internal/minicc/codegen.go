@@ -1,0 +1,519 @@
+package minicc
+
+import (
+	"fmt"
+	"strings"
+
+	"arm2gc/internal/isa"
+)
+
+// Result is a compilation result: assembly text for the isa assembler plus
+// any data-oblivious-ness warnings (secret-dependent branches that could
+// not be if-converted make the program counter secret, the paper's
+// Figure 6 hazard).
+type Result struct {
+	Asm      string
+	Warnings []string
+}
+
+// Compile translates a MiniC translation unit into assembly. The program
+// must define gc_main(const int *a, const int *b, int *c) (any
+// int/pointer signature with up to 4 parameters is accepted).
+func Compile(src string) (*Result, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := prog.funcs["gc_main"]; !ok {
+		return nil, fmt.Errorf("minicc: no gc_main function defined")
+	}
+	g := &codegen{prog: prog}
+	for _, name := range prog.order {
+		if err := g.genFunc(prog.funcs[name]); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Asm: g.out.String(), Warnings: g.warnings}, nil
+}
+
+const (
+	maxDepth = 7 // expression registers r4..r11
+	lrSaved  = 4
+)
+
+type codegen struct {
+	prog     *program
+	fn       *funcDef
+	out      strings.Builder
+	labels   int
+	warnings []string
+	loops    []loopLabels // innermost last
+}
+
+// loopLabels are the jump targets of an enclosing loop.
+type loopLabels struct {
+	brk, cont string
+}
+
+func (g *codegen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.out, "\t"+format+"\n", args...)
+}
+
+func (g *codegen) label(l string) { fmt.Fprintf(&g.out, "%s:\n", l) }
+
+func (g *codegen) newLabel(hint string) string {
+	g.labels++
+	return fmt.Sprintf(".%s_%s_%d", g.fn.name, hint, g.labels)
+}
+
+func reg(depth int) string { return fmt.Sprintf("r%d", 4+depth) }
+
+func callsAnything(body []stmt) bool {
+	found := false
+	var we exprWalker = func(e expr) {
+		if _, ok := e.(*call); ok {
+			found = true
+		}
+	}
+	walkStmts(body, we)
+	return found
+}
+
+type exprWalker func(e expr)
+
+func walkStmts(body []stmt, f exprWalker) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *declStmt:
+			walkExpr(s.init, f)
+			for _, e := range s.initList {
+				walkExpr(e, f)
+			}
+		case *assignStmt:
+			walkExpr(s.lhs, f)
+			walkExpr(s.rhs, f)
+		case *exprStmt:
+			walkExpr(s.x, f)
+		case *ifStmt:
+			walkExpr(s.cond, f)
+			walkStmts(s.then, f)
+			walkStmts(s.els, f)
+		case *whileStmt:
+			walkExpr(s.cond, f)
+			walkStmts(s.body, f)
+			if s.forPost != nil {
+				walkStmts([]stmt{s.forPost}, f)
+			}
+		case *returnStmt:
+			walkExpr(s.x, f)
+		}
+	}
+}
+
+func walkExpr(e expr, f exprWalker) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch e := e.(type) {
+	case *index:
+		walkExpr(e.base, f)
+		walkExpr(e.idx, f)
+	case *unary:
+		walkExpr(e.x, f)
+	case *binary:
+		walkExpr(e.l, f)
+		walkExpr(e.r, f)
+	case *ternary:
+		walkExpr(e.cond, f)
+		walkExpr(e.then, f)
+		walkExpr(e.els, f)
+	case *call:
+		for _, a := range e.args {
+			walkExpr(a, f)
+		}
+	}
+}
+
+func (g *codegen) genFunc(fn *funcDef) error {
+	g.fn = fn
+	if err := resolveFunc(fn); err != nil {
+		return err
+	}
+	g.label(fn.name)
+	if fn.frame > 0 {
+		g.emitAddSPConst(-fn.frame)
+	}
+	if fn.makesCall {
+		g.emit("str lr, [sp, #%d]", fn.frame-lrSaved)
+	}
+	for i, p := range fn.params {
+		g.emit("str r%d, [sp, #%d]", i, fn.syms[p.name].offset)
+	}
+	retLabel := g.newLabel("ret")
+	if err := g.genStmts(fn.body, "", retLabel); err != nil {
+		return err
+	}
+	g.label(retLabel)
+	if fn.makesCall {
+		g.emit("ldr lr, [sp, #%d]", fn.frame-lrSaved)
+	}
+	if fn.frame > 0 {
+		g.emitAddSPConst(fn.frame)
+	}
+	g.emit("mov pc, lr")
+	return nil
+}
+
+func (g *codegen) emitAddSPConst(delta int) {
+	op := "add"
+	if delta < 0 {
+		op = "sub"
+		delta = -delta
+	}
+	if _, _, ok := isa.EncodeImm(uint32(delta)); ok {
+		g.emit("%s sp, sp, #%d", op, delta)
+		return
+	}
+	g.emit("ldr r11, =%d", delta)
+	g.emit("%s sp, sp, r11", op)
+}
+
+// genStmts compiles a statement list. pred is the active condition suffix
+// ("" for unconditional); predicated regions only ever contain
+// assignments, which evaluate unconditionally and commit conditionally.
+func (g *codegen) genStmts(body []stmt, pred, retLabel string) error {
+	for _, s := range body {
+		if err := g.genStmt(s, pred, retLabel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genStmt(s stmt, pred, retLabel string) error {
+	switch s := s.(type) {
+	case *declStmt:
+		if pred != "" {
+			return fmt.Errorf("minicc: %s: declaration inside predicated region", g.fn.name)
+		}
+		if s.init != nil {
+			if err := g.genExpr(s.init, 0); err != nil {
+				return err
+			}
+			g.emit("str r4, [sp, #%d]", s.sym.offset)
+		}
+		for i, e := range s.initList {
+			if err := g.genExpr(e, 0); err != nil {
+				return err
+			}
+			g.emit("str r4, [sp, #%d]", s.sym.offset+4*i)
+		}
+		return nil
+
+	case *assignStmt:
+		return g.genAssign(s, pred)
+
+	case *exprStmt:
+		if pred != "" {
+			return fmt.Errorf("minicc: %s: expression statement inside predicated region", g.fn.name)
+		}
+		return g.genExpr(s.x, 0)
+
+	case *returnStmt:
+		if pred != "" {
+			return fmt.Errorf("minicc: %s: return inside predicated region", g.fn.name)
+		}
+		if s.x != nil {
+			if err := g.genExpr(s.x, 0); err != nil {
+				return err
+			}
+			g.emit("mov r0, r4")
+		}
+		g.emit("b %s", retLabel)
+		return nil
+
+	case *ifStmt:
+		return g.genIf(s, pred, retLabel)
+
+	case *whileStmt:
+		return g.genWhile(s, pred, retLabel)
+
+	case *breakStmt:
+		if pred != "" {
+			return fmt.Errorf("minicc: %s: break inside predicated region", g.fn.name)
+		}
+		if len(g.loops) == 0 {
+			return fmt.Errorf("minicc: %s: break outside a loop", g.fn.name)
+		}
+		g.emit("b %s", g.loops[len(g.loops)-1].brk)
+		return nil
+
+	case *continueStmt:
+		if pred != "" {
+			return fmt.Errorf("minicc: %s: continue inside predicated region", g.fn.name)
+		}
+		if len(g.loops) == 0 {
+			return fmt.Errorf("minicc: %s: continue outside a loop", g.fn.name)
+		}
+		g.emit("b %s", g.loops[len(g.loops)-1].cont)
+		return nil
+	}
+	return fmt.Errorf("minicc: unhandled statement %T", s)
+}
+
+func (g *codegen) genAssign(s *assignStmt, pred string) error {
+	if err := g.genExpr(s.rhs, 0); err != nil {
+		return err
+	}
+	switch lhs := s.lhs.(type) {
+	case *varRef:
+		sym, err := g.resolve(lhs)
+		if err != nil {
+			return err
+		}
+		if sym.isArray {
+			return fmt.Errorf("minicc: %s: cannot assign to array %q", g.fn.name, sym.name)
+		}
+		g.emit("str%s r4, [sp, #%d]", pred, sym.offset)
+	case *index:
+		if err := g.genAddr(lhs, 1); err != nil {
+			return err
+		}
+		g.emit("str%s r4, [r5]", pred)
+	default:
+		return fmt.Errorf("minicc: %s: bad assignment target", g.fn.name)
+	}
+	return nil
+}
+
+// genIf compiles an if statement, preferring if-conversion to conditional
+// instructions (the paper's Figure 5); a branch on a potentially secret
+// condition falls back to real branches with a warning.
+func (g *codegen) genIf(s *ifStmt, pred, retLabel string) error {
+	// A constant-1 condition is the parser's synthetic block wrapper.
+	if n, ok := s.cond.(*numLit); ok && pred == "" {
+		if n.val != 0 {
+			return g.genStmts(s.then, "", retLabel)
+		}
+		return g.genStmts(s.els, "", retLabel)
+	}
+
+	if g.ifConvertible(s) && pred == "" {
+		cond, err := g.genCond(s.cond, 0)
+		if err != nil {
+			return err
+		}
+		s.converted = true
+		if err := g.genStmts(s.then, cond, retLabel); err != nil {
+			return err
+		}
+		if len(s.els) > 0 {
+			if err := g.genStmts(s.els, invertCond(cond), retLabel); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if pred != "" {
+		return fmt.Errorf("minicc: %s line %d: nested if inside predicated region is not supported", g.fn.name, s.line)
+	}
+
+	// Branch form: only safe for public conditions (loop bookkeeping).
+	g.warnings = append(g.warnings, fmt.Sprintf(
+		"%s line %d: if could not be converted to conditional instructions; a secret condition here makes the program counter secret",
+		g.fn.name, s.line))
+	cond, err := g.genCond(s.cond, 0)
+	if err != nil {
+		return err
+	}
+	elseL := g.newLabel("else")
+	endL := g.newLabel("endif")
+	g.emit("b%s %s", invertCond(cond), elseL)
+	if err := g.genStmts(s.then, "", retLabel); err != nil {
+		return err
+	}
+	if len(s.els) > 0 {
+		g.emit("b %s", endL)
+	}
+	g.label(elseL)
+	if len(s.els) > 0 {
+		if err := g.genStmts(s.els, "", retLabel); err != nil {
+			return err
+		}
+		g.label(endL)
+	}
+	return nil
+}
+
+func (g *codegen) genWhile(s *whileStmt, pred, retLabel string) error {
+	if pred != "" {
+		return fmt.Errorf("minicc: %s: loop inside predicated region", g.fn.name)
+	}
+	top := g.newLabel("loop")
+	end := g.newLabel("endloop")
+	cont := g.newLabel("cont")
+	g.label(top)
+	if n, ok := s.cond.(*numLit); ok && n.val != 0 {
+		// while(1): no test.
+	} else {
+		cond, err := g.genCond(s.cond, 0)
+		if err != nil {
+			return err
+		}
+		g.emit("b%s %s", invertCond(cond), end)
+	}
+	g.loops = append(g.loops, loopLabels{brk: end, cont: cont})
+	err := g.genStmts(s.body, "", retLabel)
+	g.loops = g.loops[:len(g.loops)-1]
+	if err != nil {
+		return err
+	}
+	g.label(cont)
+	if s.forPost != nil {
+		if err := g.genStmt(s.forPost, "", retLabel); err != nil {
+			return err
+		}
+	}
+	g.emit("b %s", top)
+	g.label(end)
+	return nil
+}
+
+// ifConvertible reports whether the if statement can be predicated. The
+// condition may be anything (genCond evaluates it branch-free and sets
+// the flags last — even && chains and nested comparisons); only the
+// bodies are constrained to flag-safe assignments, whose right-hand sides
+// must not disturb the flags between the test and the conditional
+// commits.
+func (g *codegen) ifConvertible(s *ifStmt) bool {
+	if exprHasCall(s.cond) {
+		return false
+	}
+	ok := func(body []stmt) bool {
+		for _, st := range body {
+			a, is := st.(*assignStmt)
+			if !is || !g.flagSafe(a.rhs) {
+				return false
+			}
+			if ix, isIx := a.lhs.(*index); isIx && !g.flagSafe(ix.base) || isIx && !g.flagSafe(ix.idx) {
+				return false
+			}
+		}
+		return true
+	}
+	return ok(s.then) && ok(s.els)
+}
+
+// flagSafe: evaluating the expression emits no flag-setting instructions.
+func (g *codegen) flagSafe(e expr) bool {
+	safe := true
+	walkExpr(e, func(x expr) {
+		switch x := x.(type) {
+		case *binary:
+			if isCmpOp(x.op) || x.op == "&&" || x.op == "||" {
+				safe = false
+			}
+		case *unary:
+			if x.op == "!" {
+				safe = false
+			}
+		case *ternary, *call:
+			safe = false
+		}
+	})
+	return safe
+}
+
+func isCmpOp(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// genCond evaluates a condition at the given expression depth, leaving the
+// flags set, and returns the condition suffix under which it holds.
+func (g *codegen) genCond(e expr, depth int) (string, error) {
+	if b, ok := e.(*binary); ok && isCmpOp(b.op) {
+		if err := g.genExpr(b.l, depth); err != nil {
+			return "", err
+		}
+		if v, isConst := g.constEval(b.r); isConst && immOK(v) {
+			g.emit("cmp %s, #%d", reg(depth), int32(v))
+		} else {
+			if err := g.genExpr(b.r, depth+1); err != nil {
+				return "", err
+			}
+			g.emit("cmp %s, %s", reg(depth), reg(depth+1))
+		}
+		unsigned := g.exprType(b.l).unsigned || g.exprType(b.r).unsigned
+		return cmpCond(b.op, unsigned), nil
+	}
+	// Truthiness of a value.
+	if err := g.genExpr(e, depth); err != nil {
+		return "", err
+	}
+	g.emit("cmp %s, #0", reg(depth))
+	return "ne", nil
+}
+
+func cmpCond(op string, unsigned bool) string {
+	if unsigned {
+		switch op {
+		case "<":
+			return "lo"
+		case "<=":
+			return "ls"
+		case ">":
+			return "hi"
+		case ">=":
+			return "hs"
+		}
+	}
+	switch op {
+	case "==":
+		return "eq"
+	case "!=":
+		return "ne"
+	case "<":
+		return "lt"
+	case "<=":
+		return "le"
+	case ">":
+		return "gt"
+	case ">=":
+		return "ge"
+	}
+	panic("minicc: bad comparison " + op)
+}
+
+var condInverse = map[string]string{
+	"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt", "gt": "le", "le": "gt",
+	"lo": "hs", "hs": "lo", "hi": "ls", "ls": "hi",
+}
+
+func invertCond(c string) string {
+	inv, ok := condInverse[c]
+	if !ok {
+		panic("minicc: cannot invert condition " + c)
+	}
+	return inv
+}
+
+func (g *codegen) resolve(v *varRef) (*symbol, error) {
+	if v.sym == nil {
+		return nil, fmt.Errorf("minicc: %s: unresolved variable %q", g.fn.name, v.name)
+	}
+	return v.sym, nil
+}
+
+func immOK(v int64) bool {
+	if _, _, ok := isa.EncodeImm(uint32(v)); ok {
+		return true
+	}
+	_, _, ok := isa.EncodeImm(uint32(-v))
+	return ok
+}

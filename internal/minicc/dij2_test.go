@@ -1,0 +1,63 @@
+package minicc
+
+import "testing"
+
+func TestScratchParam(t *testing.T) {
+	src := `
+void gc_main(const int *a, const int *b, int *c, int *s) {
+	s[0] = a[0] + 5;
+	s[1] = 77;
+	c[0] = s[0] + s[1];
+}
+`
+	out, _ := compileRun(t, src, []uint32{10}, []uint32{0}, 1)
+	if out[0] != 92 {
+		t.Errorf("scratch roundtrip = %d, want 92", out[0])
+	}
+}
+
+func TestMinScanPattern(t *testing.T) {
+	src := `
+void gc_main(const int *a, const int *b, int *c) {
+	int visited = a[1];
+	unsigned best = 0xffffffff;
+	int u = 0;
+	for (int i = 0; i < 8; i = i + 1) {
+		unsigned di = b[i];
+		int isv = (visited >> i) & 1;
+		int better = isv == 0 && di < best;
+		best = better ? di : best;
+		u = better ? i : u;
+	}
+	c[0] = u;
+	c[1] = best;
+}
+`
+	bob := []uint32{9, 4, 7, 3, 8, 2, 6, 5}
+	// visited mask = 0b00100010 (nodes 1 and 5 visited)
+	out, _ := compileRun(t, src, []uint32{0, 0x22}, bob, 2)
+	// min over unvisited {9,7,3,8,6,5} -> 3 at index 3
+	if out[0] != 3 || out[1] != 3 {
+		t.Errorf("min scan = (u=%d, best=%d), want (3, 3)", out[0], out[1])
+	}
+}
+
+func TestInitLoop(t *testing.T) {
+	src := `
+void gc_main(const int *a, const int *b, int *c) {
+	for (int i = 0; i < 8; i = i + 1) {
+		c[i] = 0x7fffffff;
+	}
+	c[0] = 0;
+}
+`
+	out, _ := compileRun(t, src, []uint32{0}, []uint32{0}, 8)
+	for i := 1; i < 8; i++ {
+		if out[i] != 0x7fffffff {
+			t.Fatalf("c[%d] = %#x, want 0x7fffffff", i, out[i])
+		}
+	}
+	if out[0] != 0 {
+		t.Fatalf("c[0] = %#x", out[0])
+	}
+}

@@ -1,0 +1,357 @@
+package minicc
+
+import "fmt"
+
+// genExpr evaluates e into reg(depth), using reg(depth+1...) as scratch.
+// Expressions never set processor flags except through genCond/genBool
+// sites, which is what makes predicated commits sound.
+func (g *codegen) genExpr(e expr, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("minicc: %s: expression too deep (more than %d live temporaries)", g.fn.name, maxDepth)
+	}
+	rd := reg(depth)
+
+	if v, ok := g.constEval(e); ok {
+		g.emit("ldr %s, =%d", rd, uint32(v))
+		return nil
+	}
+
+	switch e := e.(type) {
+	case *varRef:
+		sym, err := g.resolve(e)
+		if err != nil {
+			return err
+		}
+		if sym.isArray {
+			return g.emitAddConst(rd, "sp", sym.offset)
+		}
+		g.emit("ldr %s, [sp, #%d]", rd, sym.offset)
+		return nil
+
+	case *index:
+		if err := g.genAddr(e, depth); err != nil {
+			return err
+		}
+		g.emit("ldr %s, [%s]", rd, rd)
+		return nil
+
+	case *unary:
+		switch e.op {
+		case "-":
+			if err := g.genExpr(e.x, depth); err != nil {
+				return err
+			}
+			g.emit("rsb %s, %s, #0", rd, rd)
+		case "~":
+			if err := g.genExpr(e.x, depth); err != nil {
+				return err
+			}
+			g.emit("mvn %s, %s", rd, rd)
+		case "!":
+			if err := g.genExpr(e.x, depth); err != nil {
+				return err
+			}
+			g.emit("cmp %s, #0", rd)
+			g.emit("mov %s, #0", rd)
+			g.emit("moveq %s, #1", rd)
+		default:
+			return fmt.Errorf("minicc: bad unary %q", e.op)
+		}
+		return nil
+
+	case *binary:
+		return g.genBinary(e, depth)
+
+	case *ternary:
+		// Both arms evaluate; the condition (last, so its flags are live)
+		// selects with one conditional move — a branch-free select.
+		if err := g.genExpr(e.then, depth); err != nil {
+			return err
+		}
+		if err := g.genExpr(e.els, depth+1); err != nil {
+			return err
+		}
+		cond, err := g.genCond(e.cond, depth+2)
+		if err != nil {
+			return err
+		}
+		g.emit("mov%s %s, %s", invertCond(cond), rd, reg(depth+1))
+		return nil
+
+	case *call:
+		if depth != 0 {
+			return fmt.Errorf("minicc: %s: call to %q must not be nested inside a larger expression", g.fn.name, e.name)
+		}
+		fn, ok := g.prog.funcs[e.name]
+		if !ok {
+			return fmt.Errorf("minicc: %s: call to undefined function %q", g.fn.name, e.name)
+		}
+		if len(e.args) != len(fn.params) {
+			return fmt.Errorf("minicc: %s: %q takes %d arguments, got %d", g.fn.name, e.name, len(fn.params), len(e.args))
+		}
+		for i, a := range e.args {
+			if err := g.genExpr(a, i); err != nil {
+				return err
+			}
+		}
+		for i := range e.args {
+			g.emit("mov r%d, %s", i, reg(i))
+		}
+		g.emit("bl %s", e.name)
+		g.emit("mov %s, r0", rd)
+		return nil
+	}
+	return fmt.Errorf("minicc: unhandled expression %T", e)
+}
+
+func (g *codegen) genBinary(e *binary, depth int) error {
+	rd := reg(depth)
+
+	if isCmpOp(e.op) || e.op == "&&" || e.op == "||" {
+		return g.genBool(e, depth)
+	}
+
+	mnemonic := map[string]string{"+": "add", "-": "sub", "&": "and", "|": "orr", "^": "eor"}
+
+	switch e.op {
+	case "<<", ">>":
+		if err := g.genExpr(e.l, depth); err != nil {
+			return err
+		}
+		sh := "lsl"
+		if e.op == ">>" {
+			sh = "lsr"
+			if !g.exprType(e.l).unsigned {
+				sh = "asr"
+			}
+		}
+		if v, ok := g.constEval(e.r); ok && v >= 0 && v <= 31 {
+			if v != 0 {
+				g.emit("mov %s, %s, %s #%d", rd, rd, sh, v)
+			}
+			return nil
+		}
+		if err := g.genExpr(e.r, depth+1); err != nil {
+			return err
+		}
+		g.emit("mov %s, %s, %s %s", rd, rd, sh, reg(depth+1))
+		return nil
+
+	case "*":
+		if err := g.genExpr(e.l, depth); err != nil {
+			return err
+		}
+		if err := g.genExpr(e.r, depth+1); err != nil {
+			return err
+		}
+		g.emit("mul %s, %s, %s", rd, rd, reg(depth+1))
+		return nil
+
+	case "+", "-":
+		lp := g.exprType(e.l).ptr
+		rp := g.exprType(e.r).ptr
+		if rp && !lp {
+			if e.op == "-" {
+				return fmt.Errorf("minicc: %s: int - pointer", g.fn.name)
+			}
+			e.l, e.r = e.r, e.l // normalize ptr + int
+			lp, rp = rp, lp
+		}
+		if err := g.genExpr(e.l, depth); err != nil {
+			return err
+		}
+		if lp && !rp {
+			// Pointer arithmetic scales by the 4-byte element size.
+			if v, ok := g.constEval(e.r); ok && immOK(4*v) {
+				g.emit("%s %s, %s, #%d", mnemonic[e.op], rd, rd, 4*v)
+				return nil
+			}
+			if err := g.genExpr(e.r, depth+1); err != nil {
+				return err
+			}
+			g.emit("%s %s, %s, %s, lsl #2", mnemonic[e.op], rd, rd, reg(depth+1))
+			return nil
+		}
+		fallthrough
+
+	case "&", "|", "^":
+		if err := g.genExpr(e.l, depth); err != nil {
+			return err
+		}
+		if v, ok := g.constEval(e.r); ok && immOK(v) {
+			g.emit("%s %s, %s, #%d", mnemonic[e.op], rd, rd, int32(v))
+			return nil
+		}
+		if err := g.genExpr(e.r, depth+1); err != nil {
+			return err
+		}
+		g.emit("%s %s, %s, %s", mnemonic[e.op], rd, rd, reg(depth+1))
+		return nil
+	}
+	return fmt.Errorf("minicc: unhandled operator %q", e.op)
+}
+
+// genBool evaluates a boolean expression to 0/1 in reg(depth),
+// branch-free (conditional moves; && and || are bitwise over 0/1).
+func (g *codegen) genBool(e expr, depth int) error {
+	rd := reg(depth)
+	if b, ok := e.(*binary); ok {
+		switch {
+		case isCmpOp(b.op):
+			cond, err := g.genCond(b, depth)
+			if err != nil {
+				return err
+			}
+			g.emit("mov %s, #0", rd)
+			g.emit("mov%s %s, #1", cond, rd)
+			return nil
+		case b.op == "&&" || b.op == "||":
+			if err := g.genBool(b.l, depth); err != nil {
+				return err
+			}
+			if err := g.genBool(b.r, depth+1); err != nil {
+				return err
+			}
+			op := "and"
+			if b.op == "||" {
+				op = "orr"
+			}
+			g.emit("%s %s, %s, %s", op, rd, rd, reg(depth+1))
+			return nil
+		}
+	}
+	// Any other value: normalize to 0/1.
+	if err := g.genExpr(e, depth); err != nil {
+		return err
+	}
+	g.emit("cmp %s, #0", rd)
+	g.emit("mov %s, #0", rd)
+	g.emit("movne %s, #1", rd)
+	return nil
+}
+
+// genAddr computes the byte address of an indexed element into reg(depth).
+func (g *codegen) genAddr(e *index, depth int) error {
+	rd := reg(depth)
+	if err := g.genExpr(e.base, depth); err != nil {
+		return err
+	}
+	if v, ok := g.constEval(e.idx); ok {
+		return g.emitAddConst(rd, rd, int(4*v))
+	}
+	if err := g.genExpr(e.idx, depth+1); err != nil {
+		return err
+	}
+	g.emit("add %s, %s, %s, lsl #2", rd, rd, reg(depth+1))
+	return nil
+}
+
+func (g *codegen) emitAddConst(rd, rs string, v int) error {
+	if v == 0 {
+		if rd != rs {
+			g.emit("mov %s, %s", rd, rs)
+		}
+		return nil
+	}
+	op := "add"
+	if v < 0 {
+		op, v = "sub", -v
+	}
+	g.emit("%s %s, %s, #%d", op, rd, rs, v)
+	return nil
+}
+
+// exprType computes the (loose) static type of an expression.
+func (g *codegen) exprType(e expr) ctype {
+	switch e := e.(type) {
+	case *numLit:
+		return ctype{}
+	case *varRef:
+		if s, err := g.resolve(e); err == nil {
+			t := s.typ
+			if s.isArray {
+				t.ptr = true
+			}
+			return t
+		}
+	case *index:
+		t := g.exprType(e.base)
+		t.ptr = false
+		return t
+	case *unary:
+		if e.op == "!" {
+			return ctype{}
+		}
+		return g.exprType(e.x)
+	case *binary:
+		if isCmpOp(e.op) || e.op == "&&" || e.op == "||" {
+			return ctype{}
+		}
+		lt, rt := g.exprType(e.l), g.exprType(e.r)
+		return ctype{unsigned: lt.unsigned || rt.unsigned, ptr: lt.ptr || rt.ptr}
+	case *ternary:
+		return g.exprType(e.then)
+	case *call:
+		if fn, ok := g.prog.funcs[e.name]; ok {
+			return fn.ret
+		}
+	}
+	return ctype{}
+}
+
+// constEval folds compile-time constants.
+func (g *codegen) constEval(e expr) (int64, bool) {
+	switch e := e.(type) {
+	case *numLit:
+		return e.val, true
+	case *unary:
+		v, ok := g.constEval(e.x)
+		if !ok {
+			return 0, false
+		}
+		switch e.op {
+		case "-":
+			return int64(int32(-uint32(v))), true
+		case "~":
+			return int64(int32(^uint32(v))), true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *binary:
+		l, ok1 := g.constEval(e.l)
+		r, ok2 := g.constEval(e.r)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		a, b := uint32(l), uint32(r)
+		switch e.op {
+		case "+":
+			return int64(int32(a + b)), true
+		case "-":
+			return int64(int32(a - b)), true
+		case "*":
+			return int64(int32(a * b)), true
+		case "&":
+			return int64(int32(a & b)), true
+		case "|":
+			return int64(int32(a | b)), true
+		case "^":
+			return int64(int32(a ^ b)), true
+		case "<<":
+			if b < 32 {
+				return int64(int32(a << b)), true
+			}
+		case ">>":
+			if b < 32 {
+				if g.exprType(e.l).unsigned {
+					return int64(int32(a >> b)), true
+				}
+				return int64(int32(a) >> b), true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,144 @@
+// Package minicc compiles MiniC — a small C subset — to the garbled
+// processor's assembly. It stands in for the paper's off-the-shelf
+// gcc-arm: the one property ARM2GC actually needs from the compiler is
+// that data-dependent conditionals become conditional (predicated)
+// instructions rather than branches (Figure 5), keeping the program
+// counter public; minicc performs exactly that if-conversion, plus
+// branch-free lowering of comparisons, ternaries, and logical operators.
+//
+// Supported language: int/unsigned scalars, pointers and local arrays,
+// functions with up to 4 parameters, arithmetic (+ - * & | ^ << >>),
+// comparisons, && || ! ~ and ?: (all compiled branch-free over 0/1
+// values, without C's short-circuit side-effect semantics), if/else,
+// while, for, return, and local array initializers. Division, globals,
+// and recursion-unsafe constructs are rejected at compile time.
+package minicc
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNum
+	tokPunct
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"int": true, "unsigned": true, "void": true, "const": true,
+	"if": true, "else": true, "while": true, "for": true, "return": true,
+	"break": true, "continue": true,
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '/' && l.peek(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek(1) == '*':
+			l.pos += 2
+			for l.pos < len(l.src) && !(l.src[l.pos] == '*' && l.peek(1) == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("line %d: unterminated comment", l.line)
+			}
+			l.pos += 2
+		case unicode.IsLetter(c) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			text := string(l.src[start:l.pos])
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			l.toks = append(l.toks, token{kind: kind, text: text, line: l.line})
+		case unicode.IsDigit(c):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(l.src[l.pos]) || unicode.IsLetter(l.src[l.pos])) {
+				l.pos++
+			}
+			text := string(l.src[start:l.pos])
+			v, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				u, uerr := strconv.ParseUint(text, 0, 32)
+				if uerr != nil {
+					return nil, fmt.Errorf("line %d: bad number %q", l.line, text)
+				}
+				v = int64(u)
+			}
+			l.toks = append(l.toks, token{kind: tokNum, text: text, val: v, line: l.line})
+		default:
+			for _, p := range []string{"<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=",
+				"&&", "||", "+=", "-=", "*=", "&=", "|=", "^=", "++", "--"} {
+				if l.match(p) {
+					l.toks = append(l.toks, token{kind: tokPunct, text: p, line: l.line})
+					goto next
+				}
+			}
+			if c == '{' || c == '}' || c == '(' || c == ')' || c == '[' || c == ']' ||
+				c == ';' || c == ',' || c == '=' || c == '+' || c == '-' || c == '*' ||
+				c == '&' || c == '|' || c == '^' || c == '<' || c == '>' || c == '!' ||
+				c == '~' || c == '?' || c == ':' || c == '%' || c == '/' {
+				l.toks = append(l.toks, token{kind: tokPunct, text: string(c), line: l.line})
+				l.pos++
+				goto next
+			}
+			return nil, fmt.Errorf("line %d: unexpected character %q", l.line, string(c))
+		next:
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) peek(n int) rune {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) match(s string) bool {
+	for i, r := range s {
+		if l.peek(i) != r {
+			return false
+		}
+	}
+	l.pos += len(s)
+	return true
+}

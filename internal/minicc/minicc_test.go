@@ -1,0 +1,403 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+
+	"arm2gc/internal/emu"
+	"arm2gc/internal/isa"
+)
+
+func compileRun(t *testing.T, src string, alice, bob []uint32, outWords int) ([]uint32, *Result) {
+	t.Helper()
+	res, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	l := isa.Layout{
+		IMemWords: 1024, AliceWords: max(len(alice), 1), BobWords: max(len(bob), 1),
+		OutWords: outWords, ScratchWords: 64,
+	}
+	p, err := isa.Link("test", res.Asm, l)
+	if err != nil {
+		t.Fatalf("link: %v\n%s", err, res.Asm)
+	}
+	m, err := emu.New(p, alice, bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(2_000_000); err != nil {
+		t.Fatalf("run: %v\nasm:\n%s", err, res.Asm)
+	}
+	return m.Output(), res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestSimpleAdd(t *testing.T) {
+	out, _ := compileRun(t, `
+void gc_main(const int *a, const int *b, int *c) {
+	c[0] = a[0] + b[0];
+}
+`, []uint32{40}, []uint32{2}, 1)
+	if out[0] != 42 {
+		t.Errorf("got %d, want 42", out[0])
+	}
+}
+
+func TestIfConversion(t *testing.T) {
+	src := `
+void gc_main(const int *a, const int *b, int *c) {
+	int x = a[0];
+	int y = b[0];
+	if (x > y) {
+		c[0] = x;
+	} else {
+		c[0] = y;
+	}
+}
+`
+	out, res := compileRun(t, src, []uint32{100}, []uint32{7}, 1)
+	if out[0] != 100 {
+		t.Errorf("max = %d, want 100", out[0])
+	}
+	if len(res.Warnings) != 0 {
+		t.Errorf("if-convertible code produced warnings: %v", res.Warnings)
+	}
+	// The body must be predicated (strgt/strle), with no branch.
+	if !strings.Contains(res.Asm, "strgt") || !strings.Contains(res.Asm, "strle") {
+		t.Errorf("if was not converted to conditional stores:\n%s", res.Asm)
+	}
+	for _, line := range strings.Split(res.Asm, "\n") {
+		f := strings.Fields(line)
+		if len(f) > 0 && (f[0] == "bgt" || f[0] == "ble") {
+			t.Errorf("found branch %q despite if-conversion", line)
+		}
+	}
+}
+
+func TestBranchWarning(t *testing.T) {
+	// A call in the body defeats if-conversion: branch + warning.
+	src := `
+int id(int x) { return x; }
+void gc_main(const int *a, const int *b, int *c) {
+	int r = 0;
+	if (a[0] > b[0]) {
+		r = id(a[0]);
+	}
+	c[0] = r;
+}
+`
+	out, res := compileRun(t, src, []uint32{9}, []uint32{4}, 1)
+	if out[0] != 9 {
+		t.Errorf("got %d, want 9", out[0])
+	}
+	if len(res.Warnings) == 0 {
+		t.Error("expected a secret-branch warning")
+	}
+}
+
+func TestTernaryAndLogic(t *testing.T) {
+	src := `
+void gc_main(const int *a, const int *b, int *c) {
+	int x = a[0];
+	int y = b[0];
+	c[0] = x < y ? x : y;
+	c[1] = (x > 0 && y > 0) ? 1 : 0;
+	c[2] = (x < 0 || y > 10) ? 7 : 8;
+	c[3] = !x;
+	c[4] = ~x;
+	c[5] = -y;
+}
+`
+	out, _ := compileRun(t, src, []uint32{5}, []uint32{12}, 6)
+	neg12 := -int32(12)
+	want := []uint32{5, 1, 7, 0, ^uint32(5), uint32(neg12)}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("c[%d] = %#x, want %#x", i, out[i], w)
+		}
+	}
+}
+
+func TestLoopsAndArrays(t *testing.T) {
+	src := `
+void gc_main(const int *a, const int *b, int *c) {
+	int acc = 0;
+	for (int i = 0; i < 8; i = i + 1) {
+		acc = acc + a[i] * b[i];
+	}
+	c[0] = acc;
+
+	int t[4] = {10, 20, 30, 40};
+	int j = 0;
+	int s = 0;
+	while (j < 4) {
+		s = s + t[j];
+		j = j + 1;
+	}
+	c[1] = s;
+}
+`
+	alice := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	bob := []uint32{8, 7, 6, 5, 4, 3, 2, 1}
+	out, _ := compileRun(t, src, alice, bob, 2)
+	var dot uint32
+	for i := range alice {
+		dot += alice[i] * bob[i]
+	}
+	if out[0] != dot {
+		t.Errorf("dot = %d, want %d", out[0], dot)
+	}
+	if out[1] != 100 {
+		t.Errorf("sum = %d, want 100", out[1])
+	}
+}
+
+func TestPopcountHamming(t *testing.T) {
+	// The tree-based popcount the paper cites for Hamming distance.
+	src := `
+unsigned popcount(unsigned x) {
+	x = x - ((x >> 1) & 0x55555555);
+	x = (x & 0x33333333) + ((x >> 2) & 0x33333333);
+	x = (x + (x >> 4)) & 0x0F0F0F0F;
+	return (x * 0x01010101) >> 24;
+}
+
+void gc_main(const int *a, const int *b, int *c) {
+	unsigned acc = 0;
+	for (int i = 0; i < 4; i = i + 1) {
+		acc = acc + popcount(a[i] ^ b[i]);
+	}
+	c[0] = acc;
+}
+`
+	alice := []uint32{0xffffffff, 0x0f0f0f0f, 0x12345678, 0}
+	bob := []uint32{0, 0xf0f0f0f0, 0x12345678, 0xdeadbeef}
+	out, _ := compileRun(t, src, alice, bob, 1)
+	want := uint32(32 + 32 + 0 + 24)
+	if out[0] != want {
+		t.Errorf("hamming = %d, want %d", out[0], want)
+	}
+}
+
+func TestShiftOps(t *testing.T) {
+	src := `
+void gc_main(const int *a, const int *b, int *c) {
+	int x = a[0];
+	int s = b[0];
+	unsigned u = a[0];
+	c[0] = x << 3;
+	c[1] = x >> 2;
+	c[2] = u >> 2;
+	c[3] = x << s;
+	c[4] = u >> s;
+}
+`
+	out, _ := compileRun(t, src, []uint32{0x80000040}, []uint32{4}, 5)
+	x := uint32(0x80000040)
+	want := []uint32{x << 3, uint32(int32(x) >> 2), x >> 2, x << 4, x >> 4}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("c[%d] = %#x, want %#x", i, out[i], w)
+		}
+	}
+}
+
+func TestBubbleSort(t *testing.T) {
+	src := `
+void gc_main(const int *a, const int *b, int *c) {
+	int v[8];
+	for (int i = 0; i < 8; i = i + 1) {
+		v[i] = a[i] ^ b[i];
+	}
+	for (int i = 0; i < 7; i = i + 1) {
+		for (int j = 0; j < 7 - i; j = j + 1) {
+			int x = v[j];
+			int y = v[j + 1];
+			if (x > y) {
+				v[j] = y;
+				v[j + 1] = x;
+			}
+		}
+	}
+	for (int i = 0; i < 8; i = i + 1) {
+		c[i] = v[i];
+	}
+}
+`
+	alice := []uint32{5, 1, 9, 3, 7, 2, 8, 6}
+	bob := []uint32{0, 0, 0, 0, 0, 0, 0, 0}
+	out, res := compileRun(t, src, alice, bob, 8)
+	want := []uint32{1, 2, 3, 5, 6, 7, 8, 9}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], w)
+		}
+	}
+	// The compare-and-swap must be predicated (data-oblivious).
+	if len(res.Warnings) != 0 {
+		t.Errorf("bubble sort produced secret-branch warnings: %v", res.Warnings)
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	src := `
+int square(int x) { return x * x; }
+int sumsq(int x, int y) {
+	int a = square(x);
+	int
+ b = square(y);
+	return a + b;
+}
+void gc_main(const int *a, const int *b, int *c) {
+	c[0] = sumsq(a[0], b[0]);
+}
+`
+	out, _ := compileRun(t, src, []uint32{3}, []uint32{4}, 1)
+	if out[0] != 25 {
+		t.Errorf("sumsq(3,4) = %d, want 25", out[0])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"void gc_main(const int *a, const int *b, int *c) { c[0] = a[0] / b[0]; }",
+		"void gc_main(const int *a, const int *b, int *c) { c[0] = undefined_var; }",
+		"void gc_main(const int *a, const int *b, int *c) { undefined_fn(); }",
+		"void other(int x) {}",
+		"void gc_main(int a, int b, int c, int d, int e) {}",
+		"void gc_main(const int *a) { int x; int x; }",
+		"void gc_main(const int *a) { 5 = 3; }",
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile succeeded on %q", src)
+		}
+	}
+}
+
+func TestUnsignedCompare(t *testing.T) {
+	src := `
+void gc_main(const int *a, const int *b, int *c) {
+	unsigned x = a[0];
+	unsigned y = b[0];
+	int sx = a[0];
+	int sy = b[0];
+	c[0] = x < y ? 1 : 0;
+	c[1] = sx < sy ? 1 : 0;
+}
+`
+	// 0xffffffff: huge unsigned, -1 signed.
+	out, _ := compileRun(t, src, []uint32{0xffffffff}, []uint32{3}, 2)
+	if out[0] != 0 {
+		t.Errorf("unsigned 0xffffffff < 3 = %d, want 0", out[0])
+	}
+	if out[1] != 1 {
+		t.Errorf("signed -1 < 3 = %d, want 1", out[1])
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+void gc_main(const int *a, const int *b, int *c) {
+	int acc = 0;
+	for (int i = 0; i < 100; i++) {
+		if (i >= 10) {
+			break;
+		}
+		if ((i & 1) == 1) {
+			continue;
+		}
+		acc += a[0];
+	}
+	c[0] = acc;
+
+	int j = 0;
+	int sum = 0;
+	while (1) {
+		j++;
+		if (j > 5) {
+			break;
+		}
+		sum += j;
+	}
+	c[1] = sum;
+}
+`
+	out, _ := compileRun(t, src, []uint32{7}, nil, 2)
+	if out[0] != 5*7 { // i = 0,2,4,6,8
+		t.Errorf("break/continue sum = %d, want 35", out[0])
+	}
+	if out[1] != 15 {
+		t.Errorf("while-break sum = %d, want 15", out[1])
+	}
+}
+
+func TestCompoundAssignAndIncDec(t *testing.T) {
+	src := `
+void gc_main(const int *a, const int *b, int *c) {
+	int x = a[0];
+	x += 5;
+	x -= 2;
+	x *= 3;
+	x ^= b[0];
+	x |= 1;
+	x &= 0xfff;
+	c[0] = x;
+	int v[2] = {10, 20};
+	v[1] += v[0];
+	c[1] = v[1];
+	int i = 0;
+	i++;
+	i++;
+	i--;
+	c[2] = i;
+	unsigned u = a[0];
+	u <<= 2;
+	u >>= 1;
+	c[3] = u;
+}
+`
+	out, _ := compileRun(t, src, []uint32{9}, []uint32{0x44}, 4)
+	x := ((uint32(9)+5-2)*3 ^ 0x44) | 1
+	x &= 0xfff
+	want := []uint32{x, 30, 1, 9 << 2 >> 1}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("c[%d] = %d, want %d", i, out[i], w)
+		}
+	}
+}
+
+func TestIfConversionWithLogicalCondition(t *testing.T) {
+	src := `
+void gc_main(const int *a, const int *b, int *c) {
+	int x = a[0];
+	int y = b[0];
+	int r = 0;
+	if (x > 0 && y > 0) {
+		r = x * y;
+	} else {
+		r = 100;
+	}
+	c[0] = r;
+}
+`
+	outTrue, res := compileRun(t, src, []uint32{3}, []uint32{4}, 1)
+	if outTrue[0] != 12 {
+		t.Errorf("true branch: got %d, want 12", outTrue[0])
+	}
+	if len(res.Warnings) != 0 {
+		t.Errorf("logical-condition if should be predicated, got warnings: %v", res.Warnings)
+	}
+	outFalse, _ := compileRun(t, src, []uint32{0}, []uint32{4}, 1)
+	if outFalse[0] != 100 {
+		t.Errorf("false branch: got %d, want 100", outFalse[0])
+	}
+}

@@ -1,0 +1,581 @@
+package minicc
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &program{funcs: map[string]*funcDef{}}
+	for !p.at(tokEOF, "") {
+		fn, err := p.funcDef()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.funcs[fn.name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate function %q", fn.line, fn.name)
+		}
+		prog.funcs[fn.name] = fn
+		prog.order = append(prog.order, fn.name)
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if p.accept(tokPunct, text) || p.accept(tokKeyword, text) {
+		return nil
+	}
+	return fmt.Errorf("line %d: expected %q, found %q", p.cur().line, text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: "+format, append([]any{p.cur().line}, args...)...)
+}
+
+// typeSpec parses [const] (int|unsigned [int]) [*].
+func (p *parser) typeSpec() (ctype, bool, error) {
+	p.accept(tokKeyword, "const")
+	var t ctype
+	switch {
+	case p.accept(tokKeyword, "unsigned"):
+		t.unsigned = true
+		p.accept(tokKeyword, "int")
+	case p.accept(tokKeyword, "int"):
+	case p.accept(tokKeyword, "void"):
+		return t, true, nil
+	default:
+		return t, false, p.errf("expected type, found %q", p.cur().text)
+	}
+	if p.accept(tokPunct, "*") {
+		t.ptr = true
+	}
+	return t, false, nil
+}
+
+func (p *parser) funcDef() (*funcDef, error) {
+	line := p.cur().line
+	ret, isVoid, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokIdent, "") {
+		return nil, p.errf("expected function name")
+	}
+	name := p.next().text
+	fn := &funcDef{name: name, ret: ret, isVoid: isVoid, line: line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.accept(tokPunct, ")") {
+		if len(fn.params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pt, pv, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		if pv {
+			return nil, p.errf("void parameter")
+		}
+		if !p.at(tokIdent, "") {
+			return nil, p.errf("expected parameter name")
+		}
+		fn.params = append(fn.params, param{name: p.next().text, typ: pt})
+	}
+	if len(fn.params) > 4 {
+		return nil, fmt.Errorf("line %d: function %q has %d parameters; at most 4 fit in registers", line, name, len(fn.params))
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.body = body
+	return fn, nil
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) stmtOrBlock() ([]stmt, error) {
+	if p.at(tokPunct, "{") {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, nil
+	}
+	return []stmt{s}, nil
+}
+
+func (p *parser) stmt() (stmt, error) {
+	switch {
+	case p.accept(tokPunct, ";"):
+		return nil, nil
+	case p.at(tokKeyword, "const"), p.at(tokKeyword, "int"), p.at(tokKeyword, "unsigned"):
+		return p.declStmt()
+	case p.accept(tokKeyword, "if"):
+		return p.ifStmt()
+	case p.accept(tokKeyword, "while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body}, nil
+	case p.accept(tokKeyword, "for"):
+		return p.forStmt()
+	case p.accept(tokKeyword, "break"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &breakStmt{}, nil
+	case p.accept(tokKeyword, "continue"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &continueStmt{}, nil
+	case p.accept(tokKeyword, "return"):
+		var x expr
+		if !p.at(tokPunct, ";") {
+			var err error
+			x, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &returnStmt{x: x}, nil
+	case p.at(tokPunct, "{"):
+		// Nested block: flatten (MiniC scopes are function-wide).
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ifStmt{cond: &numLit{val: 1}, then: body}, nil
+	default:
+		return p.simpleStmt(true)
+	}
+}
+
+// simpleStmt parses an assignment or expression statement; when consume
+// is set the trailing semicolon is required.
+func (p *parser) simpleStmt(consume bool) (stmt, error) {
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var s stmt
+	compound := map[string]string{
+		"+=": "+", "-=": "-", "*=": "*", "&=": "&", "|=": "|", "^=": "^",
+		"<<=": "<<", ">>=": ">>",
+	}
+	switch {
+	case p.accept(tokPunct, "="):
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := assignable(lhs, p); err != nil {
+			return nil, err
+		}
+		s = &assignStmt{lhs: lhs, rhs: rhs}
+	case compound[p.cur().text] != "" && p.cur().kind == tokPunct:
+		op := compound[p.next().text]
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := assignable(lhs, p); err != nil {
+			return nil, err
+		}
+		// Desugar: lhs op= rhs  →  lhs = lhs op rhs. For indexed targets
+		// the address expression is evaluated twice; MiniC expressions
+		// have no side effects, so this is sound.
+		s = &assignStmt{lhs: lhs, rhs: &binary{op: op, l: cloneExpr(lhs), r: rhs}}
+	case p.at(tokPunct, "++") || p.at(tokPunct, "--"):
+		op := "+"
+		if p.next().text == "--" {
+			op = "-"
+		}
+		if err := assignable(lhs, p); err != nil {
+			return nil, err
+		}
+		s = &assignStmt{lhs: lhs, rhs: &binary{op: op, l: cloneExpr(lhs), r: &numLit{val: 1}}}
+	default:
+		s = &exprStmt{x: lhs}
+	}
+	if consume {
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) declStmt() (stmt, error) {
+	typ, isVoid, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	if isVoid {
+		return nil, p.errf("void variable")
+	}
+	if !p.at(tokIdent, "") {
+		return nil, p.errf("expected variable name")
+	}
+	name := p.next().text
+	d := &declStmt{name: name, typ: typ}
+	if p.accept(tokPunct, "[") {
+		if !p.at(tokNum, "") {
+			return nil, p.errf("array length must be a constant")
+		}
+		d.arrayLen = int(p.next().val)
+		if d.arrayLen <= 0 {
+			return nil, p.errf("bad array length %d", d.arrayLen)
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokPunct, "=") {
+		if p.accept(tokPunct, "{") {
+			if d.arrayLen == 0 {
+				return nil, p.errf("initializer list on a scalar")
+			}
+			for !p.accept(tokPunct, "}") {
+				if len(d.initList) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+					if p.accept(tokPunct, "}") { // trailing comma
+						break
+					}
+				}
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				d.initList = append(d.initList, e)
+			}
+			if len(d.initList) > d.arrayLen {
+				return nil, p.errf("%d initializers for array of %d", len(d.initList), d.arrayLen)
+			}
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.init = e
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) ifStmt() (stmt, error) {
+	line := p.cur().line
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.stmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	var els []stmt
+	if p.accept(tokKeyword, "else") {
+		if p.accept(tokKeyword, "if") {
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			els = []stmt{nested}
+		} else {
+			els, err = p.stmtOrBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &ifStmt{cond: cond, then: then, els: els, line: line}, nil
+}
+
+func (p *parser) forStmt() (stmt, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var init stmt
+	var err error
+	if !p.at(tokPunct, ";") {
+		if p.at(tokKeyword, "int") || p.at(tokKeyword, "unsigned") {
+			init, err = p.declStmt()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			init, err = p.simpleStmt(true)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	var cond expr = &numLit{val: 1}
+	if !p.at(tokPunct, ";") {
+		cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	var post stmt
+	if !p.at(tokPunct, ")") {
+		post, err = p.simpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	loop := &whileStmt{cond: cond, body: body, forPost: post}
+	if init != nil {
+		return &ifStmt{cond: &numLit{val: 1}, then: []stmt{init, loop}}, nil
+	}
+	return loop, nil
+}
+
+// Expression grammar with C precedence (no short-circuit: && and || are
+// branch-free over 0/1 values).
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6, "<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (expr, error) { return p.ternaryExpr() }
+
+func (p *parser) ternaryExpr() (expr, error) {
+	cond, err := p.binExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokPunct, "?") {
+		return cond, nil
+	}
+	then, err := p.ternaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.ternaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ternary{cond: cond, then: then, els: els}, nil
+}
+
+func (p *parser) binExpr(minPrec int) (expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := binPrec[t.text]
+		if t.kind != tokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		if t.text == "/" || t.text == "%" {
+			return nil, p.errf("division is not supported (no divider in the ISA; use shifts or CORDIC)")
+		}
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binary{op: t.text, l: lhs, r: rhs}
+	}
+}
+
+func (p *parser) unaryExpr() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "!" || t.text == "~" || t.text == "-") {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &unary{op: t.text, x: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (expr, error) {
+	base, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			base = &index{base: base, idx: idx}
+		default:
+			return base, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNum:
+		p.next()
+		return &numLit{val: t.val}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.accept(tokPunct, "(") {
+			c := &call{name: t.text}
+			for !p.accept(tokPunct, ")") {
+				if len(c.args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				c.args = append(c.args, a)
+			}
+			return c, nil
+		}
+		return &varRef{name: t.text}, nil
+	case p.accept(tokPunct, "("):
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}
+
+func assignable(lhs expr, p *parser) error {
+	switch lhs.(type) {
+	case *varRef, *index:
+		return nil
+	}
+	return p.errf("left side of assignment must be a variable or element")
+}
+
+// cloneExpr deep-copies an expression so desugared forms do not share
+// nodes (resolution mutates varRef bindings in place).
+func cloneExpr(e expr) expr {
+	switch e := e.(type) {
+	case *numLit:
+		c := *e
+		return &c
+	case *varRef:
+		c := *e
+		return &c
+	case *index:
+		return &index{base: cloneExpr(e.base), idx: cloneExpr(e.idx)}
+	case *unary:
+		return &unary{op: e.op, x: cloneExpr(e.x)}
+	case *binary:
+		return &binary{op: e.op, l: cloneExpr(e.l), r: cloneExpr(e.r), typ: e.typ}
+	case *ternary:
+		return &ternary{cond: cloneExpr(e.cond), then: cloneExpr(e.then), els: cloneExpr(e.els)}
+	case *call:
+		c := &call{name: e.name, fn: e.fn}
+		for _, a := range e.args {
+			c.args = append(c.args, cloneExpr(a))
+		}
+		return c
+	}
+	return e
+}

@@ -1,0 +1,345 @@
+package minicc
+
+import "fmt"
+
+// resolveFunc performs the pre-codegen passes on one function:
+//
+//  1. call hoisting — nested calls are moved into fresh temporaries before
+//     the statement that used them, so every call happens with no live
+//     expression temporaries (loop conditions cannot hoist, because the
+//     hoisted call would not be re-evaluated each iteration; they are
+//     rejected instead);
+//  2. lexical scoping — declarations are block-scoped; every variable
+//     reference is bound to a symbol and duplicates across sibling scopes
+//     get distinct stack slots.
+func resolveFunc(fn *funcDef) error {
+	r := &resolver{fn: fn}
+	body, err := r.hoistBody(fn.body)
+	if err != nil {
+		return err
+	}
+	fn.body = body
+
+	r.push()
+	for _, p := range fn.params {
+		if err := r.declare(p.name, p.typ, 0, nil); err != nil {
+			return err
+		}
+	}
+	if err := r.scopeStmts(fn.body); err != nil {
+		return err
+	}
+	r.pop()
+
+	// Assign frame offsets: params first (so the prologue spill offsets
+	// are the first slots), then every other symbol.
+	off := 0
+	for _, s := range r.all {
+		s.offset = off
+		words := 1
+		if s.isArray {
+			words = s.arrayLen
+		}
+		off += 4 * words
+	}
+	fn.frame = off
+	fn.makesCall = callsAnything(fn.body)
+	if fn.makesCall {
+		fn.frame += lrSaved
+	}
+	fn.syms = map[string]*symbol{}
+	for i, p := range fn.params {
+		fn.syms[p.name] = r.all[i]
+	}
+	return nil
+}
+
+type resolver struct {
+	fn     *funcDef
+	scopes []map[string]*symbol
+	all    []*symbol
+	temps  int
+}
+
+func (r *resolver) push() { r.scopes = append(r.scopes, map[string]*symbol{}) }
+func (r *resolver) pop()  { r.scopes = r.scopes[:len(r.scopes)-1] }
+
+func (r *resolver) declare(name string, typ ctype, arrLen int, d *declStmt) error {
+	top := r.scopes[len(r.scopes)-1]
+	if _, dup := top[name]; dup {
+		return fmt.Errorf("minicc: %s: duplicate variable %q", r.fn.name, name)
+	}
+	s := &symbol{name: name, typ: typ, isArray: arrLen > 0, arrayLen: arrLen}
+	top[name] = s
+	r.all = append(r.all, s)
+	if d != nil {
+		d.sym = s
+	}
+	return nil
+}
+
+func (r *resolver) lookup(name string) (*symbol, error) {
+	for i := len(r.scopes) - 1; i >= 0; i-- {
+		if s, ok := r.scopes[i][name]; ok {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("minicc: %s: undefined variable %q", r.fn.name, name)
+}
+
+func (r *resolver) scopeStmts(body []stmt) error {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *declStmt:
+			// Initializers see the outer binding (C semantics are murky
+			// here; MiniC resolves the initializer first).
+			if err := r.scopeExpr(s.init); err != nil {
+				return err
+			}
+			for _, e := range s.initList {
+				if err := r.scopeExpr(e); err != nil {
+					return err
+				}
+			}
+			if err := r.declare(s.name, s.typ, s.arrayLen, s); err != nil {
+				return err
+			}
+		case *assignStmt:
+			if err := r.scopeExpr(s.lhs); err != nil {
+				return err
+			}
+			if err := r.scopeExpr(s.rhs); err != nil {
+				return err
+			}
+		case *exprStmt:
+			if err := r.scopeExpr(s.x); err != nil {
+				return err
+			}
+		case *returnStmt:
+			if err := r.scopeExpr(s.x); err != nil {
+				return err
+			}
+		case *ifStmt:
+			if err := r.scopeExpr(s.cond); err != nil {
+				return err
+			}
+			r.push()
+			if err := r.scopeStmts(s.then); err != nil {
+				return err
+			}
+			r.pop()
+			r.push()
+			if err := r.scopeStmts(s.els); err != nil {
+				return err
+			}
+			r.pop()
+		case *whileStmt:
+			if err := r.scopeExpr(s.cond); err != nil {
+				return err
+			}
+			r.push()
+			if err := r.scopeStmts(s.body); err != nil {
+				return err
+			}
+			if s.forPost != nil {
+				if err := r.scopeStmts([]stmt{s.forPost}); err != nil {
+					return err
+				}
+			}
+			r.pop()
+		}
+	}
+	return nil
+}
+
+func (r *resolver) scopeExpr(e expr) error {
+	var err error
+	walkExpr(e, func(x expr) {
+		if v, ok := x.(*varRef); ok && err == nil {
+			v.sym, err = r.lookup(v.name)
+		}
+	})
+	return err
+}
+
+// hoistBody rewrites statements so calls only occur as a whole statement's
+// right-hand side (depth 0 at codegen time).
+func (r *resolver) hoistBody(body []stmt) ([]stmt, error) {
+	var out []stmt
+	for _, s := range body {
+		pre, ns, err := r.hoistStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pre...)
+		out = append(out, ns)
+	}
+	return out, nil
+}
+
+func (r *resolver) hoistStmt(s stmt) (pre []stmt, _ stmt, err error) {
+	switch s := s.(type) {
+	case *declStmt:
+		if s.init != nil {
+			if pre, s.init, err = r.hoistExpr(s.init, true); err != nil {
+				return nil, nil, err
+			}
+		}
+		var all []stmt
+		all = append(all, pre...)
+		for i := range s.initList {
+			p, ne, err := r.hoistExpr(s.initList[i], false)
+			if err != nil {
+				return nil, nil, err
+			}
+			all = append(all, p...)
+			s.initList[i] = ne
+		}
+		return all, s, nil
+	case *assignStmt:
+		if pre, s.rhs, err = r.hoistExpr(s.rhs, true); err != nil {
+			return nil, nil, err
+		}
+		p2, lhs, err := r.hoistExpr(s.lhs, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.lhs = lhs
+		return append(pre, p2...), s, nil
+	case *exprStmt:
+		if pre, s.x, err = r.hoistExpr(s.x, true); err != nil {
+			return nil, nil, err
+		}
+		return pre, s, nil
+	case *returnStmt:
+		if s.x != nil {
+			if pre, s.x, err = r.hoistExpr(s.x, true); err != nil {
+				return nil, nil, err
+			}
+		}
+		return pre, s, nil
+	case *ifStmt:
+		if pre, s.cond, err = r.hoistExpr(s.cond, false); err != nil {
+			return nil, nil, err
+		}
+		if s.then, err = r.hoistBody(s.then); err != nil {
+			return nil, nil, err
+		}
+		if s.els, err = r.hoistBody(s.els); err != nil {
+			return nil, nil, err
+		}
+		return pre, s, nil
+	case *whileStmt:
+		if exprHasCall(s.cond) {
+			return nil, nil, fmt.Errorf("minicc: %s: function call in a loop condition is not supported; assign it to a variable inside the loop", r.fn.name)
+		}
+		if s.body, err = r.hoistBody(s.body); err != nil {
+			return nil, nil, err
+		}
+		if s.forPost != nil {
+			var post []stmt
+			p, np, err := r.hoistStmt(s.forPost)
+			if err != nil {
+				return nil, nil, err
+			}
+			post = append(post, p...)
+			post = append(post, np)
+			if len(post) > 1 {
+				// Fold hoisted temps into the loop body tail.
+				s.body = append(s.body, post[:len(post)-1]...)
+				s.forPost = post[len(post)-1]
+			}
+		}
+		return nil, s, nil
+	}
+	return nil, s, nil
+}
+
+// hoistExpr extracts nested calls from e into temporary declarations.
+// When topCall is set, a call at the root of e may stay (it will compile
+// at depth 0).
+func (r *resolver) hoistExpr(e expr, topCall bool) ([]stmt, expr, error) {
+	if e == nil {
+		return nil, e, nil
+	}
+	var pre []stmt
+	var rewrite func(x expr, top bool) (expr, error)
+	rewrite = func(x expr, top bool) (expr, error) {
+		switch x := x.(type) {
+		case *call:
+			for i := range x.args {
+				na, err := rewrite(x.args[i], false)
+				if err != nil {
+					return nil, err
+				}
+				x.args[i] = na
+			}
+			if top {
+				return x, nil
+			}
+			r.temps++
+			name := fmt.Sprintf("__call%d", r.temps)
+			d := &declStmt{name: name, typ: ctype{}, init: x}
+			pre = append(pre, d)
+			return &varRef{name: name}, nil
+		case *index:
+			nb, err := rewrite(x.base, false)
+			if err != nil {
+				return nil, err
+			}
+			ni, err := rewrite(x.idx, false)
+			if err != nil {
+				return nil, err
+			}
+			x.base, x.idx = nb, ni
+			return x, nil
+		case *unary:
+			nx, err := rewrite(x.x, false)
+			if err != nil {
+				return nil, err
+			}
+			x.x = nx
+			return x, nil
+		case *binary:
+			nl, err := rewrite(x.l, false)
+			if err != nil {
+				return nil, err
+			}
+			nr, err := rewrite(x.r, false)
+			if err != nil {
+				return nil, err
+			}
+			x.l, x.r = nl, nr
+			return x, nil
+		case *ternary:
+			nc, err := rewrite(x.cond, false)
+			if err != nil {
+				return nil, err
+			}
+			nt, err := rewrite(x.then, false)
+			if err != nil {
+				return nil, err
+			}
+			ne, err := rewrite(x.els, false)
+			if err != nil {
+				return nil, err
+			}
+			x.cond, x.then, x.els = nc, nt, ne
+			return x, nil
+		default:
+			return x, nil
+		}
+	}
+	ne, err := rewrite(e, topCall)
+	return pre, ne, err
+}
+
+func exprHasCall(e expr) bool {
+	found := false
+	walkExpr(e, func(x expr) {
+		if _, ok := x.(*call); ok {
+			found = true
+		}
+	})
+	return found
+}

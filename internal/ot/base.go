@@ -1,0 +1,145 @@
+// Package ot implements 1-out-of-2 oblivious transfer for the
+// honest-but-curious model: a Diffie-Hellman base OT on NIST P-256 (in the
+// style of Naor-Pinkas/Chou-Orlandi simplified for passive adversaries)
+// and the IKNP OT extension, which turns 128 base OTs into any number of
+// label transfers using only symmetric cryptography.
+//
+// All protocols run over an io.ReadWriter with internal length-prefixed
+// framing; the two parties call the matching Send/Receive functions on the
+// two ends of a connection (net.Pipe in tests, TCP in the protocol layer).
+package ot
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+type key = [16]byte
+
+// curve is the base-OT group.
+var curve = elliptic.P256()
+
+func writeMsg(w io.Writer, b []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readMsg(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > 1<<28 {
+		return nil, fmt.Errorf("ot: message of %d bytes refused", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func randScalar() (*big.Int, error) {
+	n := curve.Params().N
+	for {
+		k, err := rand.Int(rand.Reader, n)
+		if err != nil {
+			return nil, err
+		}
+		if k.Sign() > 0 {
+			return k, nil
+		}
+	}
+}
+
+// negY returns the y-coordinate of -P for a point with y-coordinate y.
+func negY(y *big.Int) *big.Int {
+	p := curve.Params().P
+	ny := new(big.Int).Sub(p, y)
+	return ny.Mod(ny, p)
+}
+
+func hashPoint(x, y *big.Int) key {
+	h := sha256.New()
+	h.Write(x.Bytes())
+	h.Write([]byte{0x1f})
+	h.Write(y.Bytes())
+	var k key
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// baseSenderKeys runs n base OTs as the sender, returning for each OT the
+// pair of derived keys (k0, k1); the receiver learns exactly one of each
+// pair, unknown to the sender.
+func baseSenderKeys(conn io.ReadWriter, n int) ([][2]key, error) {
+	a, err := randScalar()
+	if err != nil {
+		return nil, err
+	}
+	ax, ay := curve.ScalarBaseMult(a.Bytes())
+	if err := writeMsg(conn, elliptic.Marshal(curve, ax, ay)); err != nil {
+		return nil, err
+	}
+	nayInv := negY(ay) // -A, reused for every B_i - A
+
+	keys := make([][2]key, n)
+	for i := 0; i < n; i++ {
+		msg, err := readMsg(conn)
+		if err != nil {
+			return nil, err
+		}
+		bx, by := elliptic.Unmarshal(curve, msg)
+		if bx == nil {
+			return nil, fmt.Errorf("ot: base OT %d: bad point", i)
+		}
+		// k0 = H(a·B), k1 = H(a·(B−A))
+		x0, y0 := curve.ScalarMult(bx, by, a.Bytes())
+		dx, dy := curve.Add(bx, by, ax, nayInv)
+		x1, y1 := curve.ScalarMult(dx, dy, a.Bytes())
+		keys[i] = [2]key{hashPoint(x0, y0), hashPoint(x1, y1)}
+	}
+	return keys, nil
+}
+
+// baseReceiverKeys runs n base OTs as the receiver with the given choice
+// bits, returning the chosen key of each pair.
+func baseReceiverKeys(conn io.ReadWriter, choices []bool) ([]key, error) {
+	msg, err := readMsg(conn)
+	if err != nil {
+		return nil, err
+	}
+	ax, ay := elliptic.Unmarshal(curve, msg)
+	if ax == nil {
+		return nil, fmt.Errorf("ot: bad sender point")
+	}
+	keys := make([]key, len(choices))
+	for i, c := range choices {
+		b, err := randScalar()
+		if err != nil {
+			return nil, err
+		}
+		bx, by := curve.ScalarBaseMult(b.Bytes())
+		if c {
+			// B = bG + A
+			bx, by = curve.Add(bx, by, ax, ay)
+		}
+		if err := writeMsg(conn, elliptic.Marshal(curve, bx, by)); err != nil {
+			return nil, err
+		}
+		kx, ky := curve.ScalarMult(ax, ay, b.Bytes())
+		keys[i] = hashPoint(kx, ky)
+	}
+	return keys, nil
+}

@@ -1,0 +1,173 @@
+package ot
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"arm2gc/internal/gc"
+)
+
+func TestBaseOT(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	const n = 32
+	choices := make([]bool, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range choices {
+		choices[i] = rng.Intn(2) == 1
+	}
+
+	type sres struct {
+		keys [][2]key
+		err  error
+	}
+	ch := make(chan sres, 1)
+	go func() {
+		keys, err := baseSenderKeys(a, n)
+		ch <- sres{keys, err}
+	}()
+	rkeys, rerr := baseReceiverKeys(b, choices)
+	s := <-ch
+	if s.err != nil || rerr != nil {
+		t.Fatalf("sender err %v, receiver err %v", s.err, rerr)
+	}
+	for i, c := range choices {
+		want := s.keys[i][0]
+		other := s.keys[i][1]
+		if c {
+			want, other = other, want
+		}
+		if rkeys[i] != want {
+			t.Fatalf("OT %d: receiver key != chosen sender key", i)
+		}
+		if rkeys[i] == other {
+			t.Fatalf("OT %d: receiver key equals unchosen key", i)
+		}
+	}
+}
+
+func runExtension(t *testing.T, m int, seed int64) {
+	t.Helper()
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([][2]gc.Label, m)
+	for i := range pairs {
+		pairs[i] = [2]gc.Label{
+			{Lo: rng.Uint64(), Hi: rng.Uint64()},
+			{Lo: rng.Uint64(), Hi: rng.Uint64()},
+		}
+	}
+	choices := make([]bool, m)
+	for i := range choices {
+		choices[i] = rng.Intn(2) == 1
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- SendLabels(a, pairs) }()
+	got, err := ReceiveLabels(b, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range choices {
+		want := pairs[i][0]
+		other := pairs[i][1]
+		if c {
+			want, other = other, want
+		}
+		if got[i] != want {
+			t.Fatalf("m=%d: OT %d: wrong label received", m, i)
+		}
+		if got[i] == other {
+			t.Fatalf("m=%d: OT %d: received the unchosen label", m, i)
+		}
+	}
+}
+
+func TestExtensionSizes(t *testing.T) {
+	for _, m := range []int{1, 7, 8, 64, 127, 500, 1024} {
+		runExtension(t, m, int64(m))
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := 40
+	cols := make([][]byte, kappa)
+	for j := range cols {
+		cols[j] = make([]byte, (m+7)/8)
+		rng.Read(cols[j])
+	}
+	rows := transpose(cols, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < kappa; j++ {
+			cb := cols[j][i/8]&(1<<uint(i%8)) != 0
+			rb := rows[i][j/8]&(1<<uint(j%8)) != 0
+			if cb != rb {
+				t.Fatalf("transpose mismatch at row %d col %d", i, j)
+			}
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if err := SendLabels(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReceiveLabels(nil, nil)
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestBaseOTRejectsBadPoint(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := baseSenderKeys(a, 1)
+		errc <- err
+	}()
+	// Read the sender's point, then reply with garbage instead of a point.
+	if _, err := readMsg(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMsg(b, []byte{0x04, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err == nil {
+		t.Error("sender accepted a malformed receiver point")
+	}
+}
+
+func TestExtensionRejectsShortVectors(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- SendLabels(a, make([][2]gc.Label, 64))
+	}()
+	// Play a broken receiver: run the base OTs honestly, then send a
+	// truncated correction vector.
+	seedPairs, err := baseSenderKeys(b, kappa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = seedPairs
+	if err := writeMsg(b, []byte{1}); err != nil { // 1 byte, want 8
+		t.Fatal(err)
+	}
+	if err := <-errc; err == nil {
+		t.Error("sender accepted a short correction vector")
+	}
+}

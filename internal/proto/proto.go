@@ -1,0 +1,390 @@
+// Package proto runs the ARM2GC protocol between two parties over a byte
+// stream (TCP in the cmd tools, net.Pipe in tests): circuit/parameter
+// agreement, direct transfer of the garbler's input labels, IKNP oblivious
+// transfer for the evaluator's labels, per-cycle garbled-table streaming
+// with SkipGate on both sides, and two-way output decoding.
+//
+// Both parties independently run the shared SkipGate scheduler from the
+// same public data, so no classification information is ever exchanged —
+// only garbled tables and labels cross the wire, exactly as in the paper.
+package proto
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/core"
+	"arm2gc/internal/gc"
+	"arm2gc/internal/ot"
+)
+
+// OutputMode selects who learns the outputs (the paper's "one or both of
+// them learn the output c").
+type OutputMode uint8
+
+// Output modes.
+const (
+	OutputBoth OutputMode = iota
+	OutputGarblerOnly
+	OutputEvaluatorOnly
+)
+
+// Config fixes the public parameters both parties must agree on.
+type Config struct {
+	Circuit *circuit.Circuit
+	Public  []bool // the public input p (e.g. the program binary)
+	Cycles  int    // maximum clock cycles
+
+	// StopOutput optionally names the public halt flag output.
+	StopOutput string
+
+	// Outputs selects who learns the result (default: both).
+	Outputs OutputMode
+}
+
+// sessionID digests everything public; a mismatch aborts the handshake.
+func (c Config) sessionID() ([32]byte, error) {
+	if c.Circuit == nil || c.Cycles <= 0 {
+		return [32]byte{}, fmt.Errorf("proto: incomplete config")
+	}
+	h := sha256.New()
+	ch := c.Circuit.Hash()
+	h.Write(ch[:])
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(c.Cycles))
+	h.Write(buf[:])
+	h.Write([]byte{byte(c.Outputs)})
+	h.Write([]byte(c.StopOutput))
+	packed := packBits(c.Public)
+	h.Write(packed)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out, nil
+}
+
+// Message types.
+const (
+	msgHello byte = iota + 1
+	msgAliceLabels
+	msgTables
+	msgDecode
+	msgOutputs
+)
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader, wantType byte) ([]byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != wantType {
+		return nil, fmt.Errorf("proto: got message type %d, want %d", hdr[0], wantType)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > 1<<30 {
+		return nil, fmt.Errorf("proto: frame of %d bytes refused", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func packBits(bits []bool) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+func unpackBits(b []byte, n int) []bool {
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = b[i/8]&(1<<uint(i%8)) != 0
+	}
+	return bits
+}
+
+func packLabels(ls []gc.Label) []byte {
+	out := make([]byte, 0, 16*len(ls))
+	for _, l := range ls {
+		b := l.Bytes()
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+func unpackLabels(b []byte) []gc.Label {
+	ls := make([]gc.Label, len(b)/16)
+	for i := range ls {
+		ls[i] = gc.LabelFromBytes(b[16*i:])
+	}
+	return ls
+}
+
+// Result reports a protocol run.
+type Result struct {
+	Outputs []bool // all output buses flattened (resolved, final cycle)
+	Stats   core.Stats
+	Halted  bool
+}
+
+// RunGarbler plays Alice.
+func RunGarbler(conn io.ReadWriter, cfg Config, aliceInput []bool, rnd io.Reader) (*Result, error) {
+	sid, err := cfg.sessionID()
+	if err != nil {
+		return nil, err
+	}
+	if rnd == nil {
+		rnd = gc.CryptoRand
+	}
+	// Hello: session id + fingerprint seed (public, garbler-chosen).
+	var seed core.Seed
+	if _, err := io.ReadFull(rnd, seed[:]); err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, msgHello, append(sid[:], seed[:]...)); err != nil {
+		return nil, err
+	}
+	ack, err := readFrame(conn, msgHello)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(ack, sid[:]) {
+		return nil, fmt.Errorf("proto: evaluator session mismatch")
+	}
+
+	s := core.NewScheduler(cfg.Circuit, seed, cfg.Public)
+	g := core.NewGarbler(s, rnd)
+	if err := writeFrame(conn, msgAliceLabels, packLabels(g.AliceActiveLabels(aliceInput))); err != nil {
+		return nil, err
+	}
+	if err := ot.SendLabels(conn, g.BobPairs()); err != nil {
+		return nil, fmt.Errorf("proto: OT: %w", err)
+	}
+
+	res := &Result{}
+	run := newRun(cfg)
+	var tables []gc.Table
+	for cyc := 1; cyc <= cfg.Cycles; cyc++ {
+		final := cyc == cfg.Cycles
+		cs := s.Classify(final)
+		res.Stats.Total.Add(cs)
+		res.Stats.Cycles++
+		tables = g.GarbleCycle(tables[:0])
+		payload := make([]byte, 0, len(tables)*gc.TableBytes)
+		for _, t := range tables {
+			tg, te := t.TG.Bytes(), t.TE.Bytes()
+			payload = append(payload, tg[:]...)
+			payload = append(payload, te[:]...)
+		}
+		if err := writeFrame(conn, msgTables, payload); err != nil {
+			return nil, err
+		}
+		if run.stopped(s) {
+			res.Halted = true
+			break
+		}
+		g.CopyDFFs()
+		s.Commit()
+	}
+
+	switch cfg.Outputs {
+	case OutputEvaluatorOnly:
+		// Send decode bits; learn nothing back.
+		if err := writeFrame(conn, msgDecode, packBits(run.decodeBits(s, g))); err != nil {
+			return nil, err
+		}
+	case OutputGarblerOnly:
+		// Receive the evaluator's permute bits and decode locally; the
+		// evaluator never sees the decode bits.
+		perm, err := readFrame(conn, msgOutputs)
+		if err != nil {
+			return nil, err
+		}
+		bits := unpackBits(perm, len(run.outWires))
+		out := make([]bool, len(run.outWires))
+		for i, w := range run.outWires {
+			if v, pub := s.WireState(w); pub {
+				out[i] = v
+			} else {
+				out[i] = bits[i] != g.DecodeBit(w)
+			}
+		}
+		res.Outputs = out
+	default:
+		// Both learn: send decode bits, receive final values.
+		if err := writeFrame(conn, msgDecode, packBits(run.decodeBits(s, g))); err != nil {
+			return nil, err
+		}
+		vals, err := readFrame(conn, msgOutputs)
+		if err != nil {
+			return nil, err
+		}
+		res.Outputs = unpackBits(vals, len(run.outWires))
+	}
+	return res, nil
+}
+
+// RunEvaluator plays Bob.
+func RunEvaluator(conn io.ReadWriter, cfg Config, bobInput []bool) (*Result, error) {
+	sid, err := cfg.sessionID()
+	if err != nil {
+		return nil, err
+	}
+	hello, err := readFrame(conn, msgHello)
+	if err != nil {
+		return nil, err
+	}
+	if len(hello) != 32+16 || !bytes.Equal(hello[:32], sid[:]) {
+		return nil, fmt.Errorf("proto: garbler session mismatch")
+	}
+	var seed core.Seed
+	copy(seed[:], hello[32:])
+	if err := writeFrame(conn, msgHello, sid[:]); err != nil {
+		return nil, err
+	}
+
+	s := core.NewScheduler(cfg.Circuit, seed, cfg.Public)
+	e := core.NewEvaluator(s)
+	aliceBytes, err := readFrame(conn, msgAliceLabels)
+	if err != nil {
+		return nil, err
+	}
+	choices := make([]bool, cfg.Circuit.BobBits)
+	for i := range choices {
+		choices[i] = i < len(bobInput) && bobInput[i]
+	}
+	bobLabels, err := ot.ReceiveLabels(conn, choices)
+	if err != nil {
+		return nil, fmt.Errorf("proto: OT: %w", err)
+	}
+	if err := e.SetInputs(unpackLabels(aliceBytes), bobLabels); err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	run := newRun(cfg)
+	for cyc := 1; cyc <= cfg.Cycles; cyc++ {
+		final := cyc == cfg.Cycles
+		cs := s.Classify(final)
+		res.Stats.Total.Add(cs)
+		res.Stats.Cycles++
+		payload, err := readFrame(conn, msgTables)
+		if err != nil {
+			return nil, err
+		}
+		tables := make([]gc.Table, len(payload)/gc.TableBytes)
+		for i := range tables {
+			tables[i].TG = gc.LabelFromBytes(payload[i*gc.TableBytes:])
+			tables[i].TE = gc.LabelFromBytes(payload[i*gc.TableBytes+16:])
+		}
+		rest, err := e.EvalCycle(tables)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("proto: cycle %d: %d unconsumed tables", cyc, len(rest))
+		}
+		if run.stopped(s) {
+			res.Halted = true
+			break
+		}
+		e.CopyDFFs()
+		s.Commit()
+	}
+
+	switch cfg.Outputs {
+	case OutputGarblerOnly:
+		// Send only the active labels' permute bits; without the decode
+		// bits they reveal nothing to us and everything to the garbler.
+		perm := make([]bool, len(run.outWires))
+		for i, w := range run.outWires {
+			if _, pub := s.WireState(w); !pub {
+				perm[i] = e.ActiveBit(w)
+			}
+		}
+		if err := writeFrame(conn, msgOutputs, packBits(perm)); err != nil {
+			return nil, err
+		}
+	default:
+		decBytes, err := readFrame(conn, msgDecode)
+		if err != nil {
+			return nil, err
+		}
+		decode := unpackBits(decBytes, len(run.outWires))
+		out := make([]bool, len(run.outWires))
+		for i, w := range run.outWires {
+			if v, pub := s.WireState(w); pub {
+				out[i] = v
+			} else {
+				out[i] = e.ActiveBit(w) != decode[i]
+			}
+		}
+		if cfg.Outputs == OutputBoth {
+			if err := writeFrame(conn, msgOutputs, packBits(out)); err != nil {
+				return nil, err
+			}
+		}
+		res.Outputs = out
+	}
+	return res, nil
+}
+
+// runState holds per-run derived data shared by both roles.
+type runState struct {
+	outWires []circuit.Wire
+	stopWire circuit.Wire
+}
+
+func newRun(cfg Config) *runState {
+	r := &runState{stopWire: -1}
+	for _, w := range cfg.Circuit.OutputWires() {
+		r.outWires = append(r.outWires, cfg.Circuit.ResolveOutput(w))
+	}
+	if cfg.StopOutput != "" {
+		if o := cfg.Circuit.FindOutput(cfg.StopOutput); o != nil {
+			r.stopWire = cfg.Circuit.ResolveOutput(o.Wires[0])
+		}
+	}
+	return r
+}
+
+// decodeBits collects the garbler's point-and-permute bits for the secret
+// outputs.
+func (r *runState) decodeBits(s *core.Scheduler, g *core.Garbler) []bool {
+	decode := make([]bool, len(r.outWires))
+	for i, w := range r.outWires {
+		if _, pub := s.WireState(w); !pub {
+			decode[i] = g.DecodeBit(w)
+		}
+	}
+	return decode
+}
+
+// stopped checks the public halt flag after a cycle's classification.
+func (r *runState) stopped(s *core.Scheduler) bool {
+	if r.stopWire < 0 {
+		return false
+	}
+	v, pub := s.WireState(r.stopWire)
+	return pub && v
+}

@@ -1,0 +1,204 @@
+package proto
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"arm2gc/internal/build"
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/circuit/circtest"
+	"arm2gc/internal/sim"
+)
+
+// runBoth executes the protocol on both ends of a pipe.
+func runBoth(t *testing.T, cfg Config, alice, bob []bool) (*Result, *Result) {
+	t.Helper()
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	type res struct {
+		r   *Result
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		r, err := RunGarbler(ca, cfg, alice, nil)
+		ch <- res{r, err}
+	}()
+	rb, err := RunEvaluator(cb, cfg, bob)
+	if err != nil {
+		t.Fatalf("evaluator: %v", err)
+	}
+	ra := <-ch
+	if ra.err != nil {
+		t.Fatalf("garbler: %v", ra.err)
+	}
+	return ra.r, rb
+}
+
+func TestProtocolAdder(t *testing.T) {
+	b := build.New("adder")
+	a := b.Input(circuit.Alice, "a", 32)
+	x := b.Input(circuit.Bob, "x", 32)
+	b.Output("sum", b.Add(a, x))
+	c := b.MustCompile()
+
+	cfg := Config{Circuit: c, Cycles: 1}
+	av, bv := uint64(123456789), uint64(987654321)
+	ra, rb := runBoth(t, cfg, sim.UnpackUint(av, 32), sim.UnpackUint(bv, 32))
+	want := (av + bv) & 0xffffffff
+	if got := sim.PackUint(ra.Outputs); got != want {
+		t.Errorf("garbler sees %d, want %d", got, want)
+	}
+	if got := sim.PackUint(rb.Outputs); got != want {
+		t.Errorf("evaluator sees %d, want %d", got, want)
+	}
+	if ra.Stats != rb.Stats {
+		t.Errorf("stats diverge: %+v vs %+v", ra.Stats, rb.Stats)
+	}
+	if ra.Stats.Total.Garbled != 31 {
+		t.Errorf("garbled %d tables, want 31", ra.Stats.Total.Garbled)
+	}
+}
+
+func TestProtocolRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		c, nA, nB := circtest.Random(rng, 60, 8)
+		in := sim.Inputs{
+			Alice:  circtest.RandBits(rng, nA),
+			Bob:    circtest.RandBits(rng, nB),
+			Public: circtest.RandBits(rng, c.PublicBits),
+		}
+		cycles := 1 + rng.Intn(4)
+		cfg := Config{Circuit: c, Public: in.Public, Cycles: cycles}
+		ra, rb := runBoth(t, cfg, in.Alice, in.Bob)
+
+		want := sim.Run(c, in, cycles)
+		// Protocol outputs are resolved (post-copy) like the simulator's.
+		for i := range want {
+			if ra.Outputs[i] != want[i] || rb.Outputs[i] != want[i] {
+				t.Fatalf("trial %d output %d: garbler %v evaluator %v sim %v",
+					trial, i, ra.Outputs[i], rb.Outputs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestProtocolOverTCP(t *testing.T) {
+	b := build.New("cmp")
+	a := b.Input(circuit.Alice, "a", 16)
+	x := b.Input(circuit.Bob, "x", 16)
+	b.Output("lt", build.Bus{b.LtU(a, x)})
+	c := b.MustCompile()
+	cfg := Config{Circuit: c, Cycles: 1}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		r, err := RunGarbler(conn, cfg, sim.UnpackUint(100, 16), nil)
+		if err == nil && !r.Outputs[0] {
+			t.Error("garbler: 100 < 200 decoded false")
+		}
+		done <- err
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rb, err := RunEvaluator(conn, cfg, sim.UnpackUint(200, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rb.Outputs[0] {
+		t.Error("evaluator: 100 < 200 decoded false")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionMismatch(t *testing.T) {
+	b := build.New("m1")
+	a := b.Input(circuit.Alice, "a", 4)
+	b.Output("o", a)
+	c1 := b.MustCompile()
+	b2 := build.New("m2")
+	x := b2.Input(circuit.Bob, "x", 4)
+	b2.Output("o", b2.NotBus(x))
+	c2 := b2.MustCompile()
+
+	ca, cb := net.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunGarbler(ca, Config{Circuit: c1, Cycles: 1}, nil, nil)
+		errc <- err
+	}()
+	if _, err := RunEvaluator(cb, Config{Circuit: c2, Cycles: 1}, nil); err == nil {
+		t.Error("evaluator accepted mismatched circuit")
+	}
+	// The garbler may be blocked waiting for an ack that will never come;
+	// closing the pipe unblocks it with an error.
+	ca.Close()
+	cb.Close()
+	if err := <-errc; err == nil {
+		t.Error("garbler succeeded against mismatched evaluator")
+	}
+}
+
+func TestOneSidedOutputs(t *testing.T) {
+	b := build.New("onesided")
+	a := b.Input(circuit.Alice, "a", 8)
+	x := b.Input(circuit.Bob, "x", 8)
+	b.Output("sum", b.Add(a, x))
+	c := b.MustCompile()
+
+	for _, mode := range []OutputMode{OutputGarblerOnly, OutputEvaluatorOnly} {
+		cfg := Config{Circuit: c, Cycles: 1, Outputs: mode}
+		ra, rb := runBoth(t, cfg, sim.UnpackUint(33, 8), sim.UnpackUint(9, 8))
+		var learner, blind *Result
+		if mode == OutputGarblerOnly {
+			learner, blind = ra, rb
+		} else {
+			learner, blind = rb, ra
+		}
+		if got := sim.PackUint(learner.Outputs); got != 42 {
+			t.Errorf("mode %d: learner got %d, want 42", mode, got)
+		}
+		if blind.Outputs != nil {
+			t.Errorf("mode %d: the other party learned outputs %v", mode, blind.Outputs)
+		}
+	}
+}
+
+func TestOutputModeMismatchRejected(t *testing.T) {
+	b := build.New("mm")
+	a := b.Input(circuit.Alice, "a", 4)
+	b.Output("o", a)
+	c := b.MustCompile()
+	ca, cb := net.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunGarbler(ca, Config{Circuit: c, Cycles: 1, Outputs: OutputGarblerOnly}, nil, nil)
+		errc <- err
+	}()
+	_, err := RunEvaluator(cb, Config{Circuit: c, Cycles: 1, Outputs: OutputBoth}, nil)
+	if err == nil {
+		t.Error("evaluator accepted a mismatched output mode")
+	}
+	ca.Close()
+	cb.Close()
+	<-errc
+}

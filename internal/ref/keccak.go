@@ -1,0 +1,246 @@
+// Package ref holds plain-Go reference implementations of the benchmark
+// algorithms — the oracles the circuit library and the garbled-processor
+// programs are verified against. AES needs no reference here (crypto/aes
+// is the oracle); Keccak/SHA3 is not in the standard library, so it is
+// implemented from the specification and checked against known vectors.
+package ref
+
+import (
+	"math"
+	"math/bits"
+)
+
+// keccak round constants.
+var keccakRC = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+	0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rho rotation offsets, indexed [x][y].
+var keccakRot = [5][5]int{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+// KeccakF1600 applies the Keccak-f[1600] permutation to a 25-lane state
+// (lane [x][y] at index x+5y, little-endian lanes).
+func KeccakF1600(a *[25]uint64) {
+	for round := 0; round < 24; round++ {
+		// θ
+		var c [5]uint64
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		var d [5]uint64
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
+		}
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d[x]
+			}
+		}
+		// ρ and π
+		var b [25]uint64
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = bits.RotateLeft64(a[x+5*y], keccakRot[x][y])
+			}
+		}
+		// χ
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+		// ι
+		a[0] ^= keccakRC[round]
+	}
+}
+
+// SHA3-256 parameters: rate 1088 bits = 136 bytes, capacity 512.
+const sha3Rate = 136
+
+// SHA3_256 hashes a message with SHA3-256 (FIPS 202 padding 0x06).
+func SHA3_256(msg []byte) [32]byte {
+	var st [25]uint64
+	// Absorb.
+	block := make([]byte, sha3Rate)
+	for len(msg) >= sha3Rate {
+		copy(block, msg[:sha3Rate])
+		absorb(&st, block)
+		KeccakF1600(&st)
+		msg = msg[sha3Rate:]
+	}
+	for i := range block {
+		block[i] = 0
+	}
+	copy(block, msg)
+	block[len(msg)] = 0x06
+	block[sha3Rate-1] |= 0x80
+	absorb(&st, block)
+	KeccakF1600(&st)
+	// Squeeze 32 bytes.
+	var out [32]byte
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			out[8*i+j] = byte(st[i] >> (8 * j))
+		}
+	}
+	return out
+}
+
+func absorb(st *[25]uint64, block []byte) {
+	for i := 0; i < sha3Rate/8; i++ {
+		var lane uint64
+		for j := 0; j < 8; j++ {
+			lane |= uint64(block[8*i+j]) << (8 * j)
+		}
+		st[i] ^= lane
+	}
+}
+
+// Popcount32 is the tree-based population count used by the Hamming
+// benchmarks.
+func Popcount32(x uint32) uint32 { return uint32(bits.OnesCount32(x)) }
+
+// HammingWords is the paper's §5.3 Hamming workload: the distance between
+// two vectors of 32-bit integers (bitwise XOR popcount across all words).
+func HammingWords(a, b []uint32) uint32 {
+	var acc uint32
+	for i := range a {
+		acc += Popcount32(a[i] ^ b[i])
+	}
+	return acc
+}
+
+// BubbleSort sorts in place (reference for the Table 5 workload).
+func BubbleSort(v []uint32) {
+	for i := 0; i < len(v); i++ {
+		for j := 0; j+1 < len(v)-i; j++ {
+			if v[j] > v[j+1] {
+				v[j], v[j+1] = v[j+1], v[j]
+			}
+		}
+	}
+}
+
+// Dijkstra computes shortest distances from node 0 on a dense adjacency
+// matrix (n×n, 0 meaning no edge; inf = ^uint32(0)).
+func Dijkstra(adj []uint32, n int) []uint32 {
+	const inf = ^uint32(0)
+	dist := make([]uint32, n)
+	visited := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	for range dist {
+		u, best := -1, inf
+		for i, d := range dist {
+			if !visited[i] && d < best {
+				u, best = i, d
+			}
+		}
+		if u < 0 {
+			break
+		}
+		visited[u] = true
+		for v := 0; v < n; v++ {
+			w := adj[u*n+v]
+			if w != 0 && dist[u] != inf && dist[u]+w < dist[v] {
+				dist[v] = dist[u] + w
+			}
+		}
+	}
+	return dist
+}
+
+// CORDIC constants: atan(2^-i) in Q2.30 fixed point.
+func CordicAtanTable(n int) []uint32 {
+	// Computed from the closed form; hard floats are avoided in library
+	// code elsewhere, but the reference table generator may use them.
+	table := make([]uint32, n)
+	for i := range table {
+		table[i] = atanQ30(i)
+	}
+	return table
+}
+
+// atanQ30 returns atan(2^-i) in Q2.30.
+func atanQ30(i int) uint32 {
+	// atan values precomputed with 64-bit integer math via the arctangent
+	// series would be overkill; the standard library float64 atan is exact
+	// enough for Q2.30 (30 fractional bits, float64 has 52).
+	return uint32(atanF(i)*float64(1<<30) + 0.5)
+}
+
+func atanF(i int) float64 {
+	x := 1.0
+	for k := 0; k < i; k++ {
+		x /= 2
+	}
+	return math.Atan(x)
+}
+
+// CordicGainQ30 is the CORDIC gain K = Π cos(atan(2^-i)) in Q2.30 after n
+// iterations.
+func CordicGainQ30(n int) uint32 {
+	k := 1.0
+	for i := 0; i < n; i++ {
+		x := 1.0
+		for j := 0; j < i; j++ {
+			x /= 2
+		}
+		k *= 1 / math.Sqrt(1+x*x)
+	}
+	return uint32(k*float64(1<<30) + 0.5)
+}
+
+// CordicRotate runs n iterations of circular-rotation CORDIC on Q2.30
+// fixed-point values, rotating (x, y) by angle z (radians in Q2.30).
+// The result still carries the CORDIC gain 1/K.
+func CordicRotate(x, y, z int32, n int, atanTab []uint32) (int32, int32) {
+	for i := 0; i < n; i++ {
+		xs := x >> uint(i)
+		ys := y >> uint(i)
+		t := int32(atanTab[i])
+		if z >= 0 {
+			x, y, z = x-ys, y+xs, z-t
+		} else {
+			x, y, z = x+ys, y-xs, z+t
+		}
+	}
+	return x, y
+}
+
+// KeccakRC exposes round constant i (callers may index mod 24).
+func KeccakRC(i int) uint64 { return keccakRC[i%24] }
+
+// KeccakRot exposes the rho rotation offset for lane (x, y).
+func KeccakRot(x, y int) int { return keccakRot[x][y] }
+
+// CordicDiv computes y/x in Q2.30 fixed point with n linear-vectoring
+// CORDIC iterations (the division mode of Universal CORDIC the paper's
+// §5.7 compares against [12]): drive y to 0 while accumulating the
+// quotient in z. Inputs must satisfy |y| < 2|x| for convergence.
+func CordicDiv(y, x int32, n int) int32 {
+	var z int32
+	for i := 0; i < n; i++ {
+		if (y >= 0) == (x >= 0) {
+			y -= x >> uint(i)
+			z += int32(uint32(1) << uint(30-i)) // 2^-i in Q2.30
+		} else {
+			y += x >> uint(i)
+			z -= int32(uint32(1) << uint(30-i))
+		}
+	}
+	return z
+}

@@ -1,0 +1,97 @@
+package ref
+
+import (
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+func TestSHA3KnownVectors(t *testing.T) {
+	// FIPS 202 / well-known test vectors.
+	cases := []struct{ msg, want string }{
+		{"", "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"},
+		{"abc", "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"},
+	}
+	for _, c := range cases {
+		got := SHA3_256([]byte(c.msg))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("SHA3-256(%q) = %x, want %s", c.msg, got, c.want)
+		}
+	}
+}
+
+func TestSHA3MultiBlock(t *testing.T) {
+	// > rate bytes forces a second permutation; just check determinism and
+	// sensitivity.
+	msg := make([]byte, 300)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	h1 := SHA3_256(msg)
+	msg[299] ^= 1
+	h2 := SHA3_256(msg)
+	if h1 == h2 {
+		t.Error("hash not sensitive to last byte")
+	}
+}
+
+func TestDijkstraSmall(t *testing.T) {
+	// 4 nodes: 0->1 (1), 1->2 (2), 0->2 (10), 2->3 (1).
+	n := 4
+	adj := make([]uint32, n*n)
+	adj[0*n+1] = 1
+	adj[1*n+2] = 2
+	adj[0*n+2] = 10
+	adj[2*n+3] = 1
+	d := Dijkstra(adj, n)
+	want := []uint32{0, 1, 3, 4}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestBubbleSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v := make([]uint32, 50)
+	for i := range v {
+		v[i] = rng.Uint32()
+	}
+	BubbleSort(v)
+	for i := 1; i < len(v); i++ {
+		if v[i-1] > v[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestCordicRotate(t *testing.T) {
+	// Rotating (K, 0) by angle z gives (cos z, sin z) (gain cancels when
+	// starting from K = Π cos(...)).
+	const n = 30
+	tab := CordicAtanTable(n)
+	k := int32(CordicGainQ30(n))
+	// z = 0.5 rad in Q2.30.
+	z := int32(0.5 * float64(1<<30))
+	x, y := CordicRotate(k, 0, z, n, tab)
+	// cos(0.5) ≈ 0.87758, sin(0.5) ≈ 0.47943.
+	cx := float64(x) / float64(1<<30)
+	cy := float64(y) / float64(1<<30)
+	if cx < 0.877 || cx > 0.878 || cy < 0.479 || cy > 0.480 {
+		t.Errorf("CORDIC rotate: got (%f, %f), want (cos .5, sin .5)", cx, cy)
+	}
+}
+
+func TestCordicDiv(t *testing.T) {
+	// 0.75 / 1.5 = 0.5 in Q2.30.
+	q30 := func(f float64) int32 { return int32(f * float64(int64(1)<<30)) }
+	got := CordicDiv(q30(0.75), q30(1.5), 30)
+	if d := got - q30(0.5); d > 4 || d < -4 {
+		t.Errorf("0.75/1.5 = %d, want ≈%d", got, q30(0.5))
+	}
+	got = CordicDiv(q30(-0.6), q30(1.2), 30)
+	if d := got - q30(-0.5); d > 4 || d < -4 {
+		t.Errorf("-0.6/1.2 = %d, want ≈%d", got, q30(-0.5))
+	}
+}

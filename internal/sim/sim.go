@@ -1,0 +1,201 @@
+// Package sim is a cycle-accurate plaintext simulator for circuit.Circuit.
+// It is the semantic ground truth against which both garbled engines
+// (conventional GC and GC+SkipGate) are verified.
+package sim
+
+import (
+	"fmt"
+
+	"arm2gc/internal/circuit"
+)
+
+// Inputs carries the three input bit-vectors of c = f(a, b, p).
+type Inputs struct {
+	Public []bool // p, known to both parties
+	Alice  []bool // a
+	Bob    []bool // b
+}
+
+// Bit fetches input bit i of the given owner, defaulting to false when the
+// vector is short (unreferenced bits).
+func (in *Inputs) Bit(o circuit.Owner, i int) bool {
+	var v []bool
+	switch o {
+	case circuit.Public:
+		v = in.Public
+	case circuit.Alice:
+		v = in.Alice
+	case circuit.Bob:
+		v = in.Bob
+	}
+	if i < 0 || i >= len(v) {
+		return false
+	}
+	return v[i]
+}
+
+// Sim simulates a circuit over clock cycles.
+type Sim struct {
+	c    *circuit.Circuit
+	vals []bool // current wire values
+	next []bool // DFF next-state buffer
+	in   Inputs
+	cyc  int
+}
+
+// New creates a simulator and applies cycle-1 initialization: constants,
+// port values, and DFF initial values.
+func New(c *circuit.Circuit, in Inputs) *Sim {
+	s := &Sim{
+		c:    c,
+		vals: make([]bool, c.NumWires()),
+		next: make([]bool, len(c.DFFs)),
+		in:   in,
+	}
+	s.vals[circuit.Const1] = true
+	for _, p := range c.Ports {
+		for b := 0; b < p.Bits; b++ {
+			s.vals[int(p.Base)+b] = in.Bit(p.Owner, p.Off+b)
+		}
+	}
+	for i, d := range c.DFFs {
+		s.vals[c.QWire(i)] = initBit(d.Init, &in)
+	}
+	return s
+}
+
+func initBit(init circuit.Init, in *Inputs) bool {
+	switch init.Kind {
+	case circuit.InitZero:
+		return false
+	case circuit.InitOne:
+		return true
+	case circuit.InitPublic:
+		return in.Bit(circuit.Public, init.Idx)
+	case circuit.InitAlice:
+		return in.Bit(circuit.Alice, init.Idx)
+	case circuit.InitBob:
+		return in.Bit(circuit.Bob, init.Idx)
+	}
+	panic(fmt.Sprintf("sim: bad init kind %d", init.Kind))
+}
+
+// Cycle returns the number of completed cycles.
+func (s *Sim) Cycle() int { return s.cyc }
+
+// Step evaluates one clock cycle: all gates in topological order, then the
+// DFF D→Q copy. Wire values remain readable until the next Step.
+func (s *Sim) Step() {
+	c := s.c
+	vals := s.vals
+	for i, g := range c.Gates {
+		var v bool
+		if g.Op == circuit.MUX {
+			v = circuit.EvalMux(vals[g.S], vals[g.A], vals[g.B])
+		} else if g.Op.IsUnary() {
+			v = g.Op.Eval(vals[g.A], false)
+		} else {
+			v = g.Op.Eval(vals[g.A], vals[g.B])
+		}
+		vals[int(c.GateBase)+i] = v
+	}
+	for i, d := range c.DFFs {
+		s.next[i] = vals[d.D]
+	}
+	for i := range c.DFFs {
+		vals[c.QWire(i)] = s.next[i]
+	}
+	s.cyc++
+}
+
+// Wire returns the current value of a wire (post-Step: gate outputs are the
+// values computed in the last cycle; Q wires hold next cycle's state).
+func (s *Sim) Wire(w circuit.Wire) bool { return s.vals[w] }
+
+// Output returns the named output bus value after the most recent Step,
+// least significant bit first.
+func (s *Sim) Output(name string) ([]bool, error) {
+	o := s.c.FindOutput(name)
+	if o == nil {
+		return nil, fmt.Errorf("sim: no output %q", name)
+	}
+	bits := make([]bool, len(o.Wires))
+	for i, w := range o.Wires {
+		bits[i] = s.vals[w]
+	}
+	return bits, nil
+}
+
+// OutputUint interprets the named output as a little-endian unsigned
+// integer of up to 64 bits.
+func (s *Sim) OutputUint(name string) (uint64, error) {
+	bits, err := s.Output(name)
+	if err != nil {
+		return 0, err
+	}
+	return PackUint(bits), nil
+}
+
+// Run steps the simulator for n cycles and returns all output buses
+// flattened, in declaration order.
+func Run(c *circuit.Circuit, in Inputs, cycles int) []bool {
+	s := New(c, in)
+	for i := 0; i < cycles; i++ {
+		s.Step()
+	}
+	var out []bool
+	for _, o := range c.Outputs {
+		for _, w := range o.Wires {
+			out = append(out, s.vals[w])
+		}
+	}
+	return out
+}
+
+// PackUint packs up to 64 bits (LSB first) into a uint64.
+func PackUint(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if i >= 64 {
+			break
+		}
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// UnpackUint expands a value into n bits, LSB first.
+func UnpackUint(v uint64, n int) []bool {
+	bits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		bits[i] = v&(1<<uint(i)) != 0
+	}
+	return bits
+}
+
+// UnpackWords expands 32-bit words into a bit vector, word 0 first, LSB
+// first within each word. This is the layout used for memory images and
+// party input vectors throughout the repository.
+func UnpackWords(words []uint32) []bool {
+	bits := make([]bool, 32*len(words))
+	for w, v := range words {
+		for i := 0; i < 32; i++ {
+			bits[w*32+i] = v&(1<<uint(i)) != 0
+		}
+	}
+	return bits
+}
+
+// PackWords packs a bit vector (as produced by UnpackWords) back into
+// 32-bit words, padding the tail with zeros.
+func PackWords(bits []bool) []uint32 {
+	words := make([]uint32, (len(bits)+31)/32)
+	for i, b := range bits {
+		if b {
+			words[i/32] |= 1 << uint(i%32)
+		}
+	}
+	return words
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"arm2gc/internal/circuit"
+)
+
+// handCircuit: 2-bit Alice port a, 1-bit public p, one DFF (toggles when
+// p), gates covering every operator.
+func handCircuit() *circuit.Circuit {
+	c := &circuit.Circuit{Name: "hand", PortBase: 2}
+	c.Ports = []circuit.Port{
+		{Name: "a", Owner: circuit.Alice, Base: 2, Bits: 2},
+		{Name: "p", Owner: circuit.Public, Base: 4, Bits: 1},
+	}
+	c.DFFBase = 5
+	c.GateBase = 6
+	// q=5; gates: 6=XOR(q,p) 7=AND(a0,a1) 8=NOR(a0,a1) 9=MUX(p;7,8) 10=NOT(9) 11=XNOR(6,10)
+	c.Gates = []circuit.Gate{
+		{Op: circuit.XOR, A: 5, B: 4},
+		{Op: circuit.AND, A: 2, B: 3},
+		{Op: circuit.NOR, A: 2, B: 3},
+		{Op: circuit.MUX, A: 7, B: 8, S: 4},
+		{Op: circuit.NOT, A: 9, B: 9},
+		{Op: circuit.XNOR, A: 6, B: 10},
+	}
+	c.DFFs = []circuit.DFF{{D: 6, Init: circuit.Init{Kind: circuit.InitZero}}}
+	c.Outputs = []circuit.Output{{Name: "o", Wires: []circuit.Wire{11, 5}}}
+	c.AliceBits = 2
+	c.PublicBits = 1
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestStepSemantics(t *testing.T) {
+	c := handCircuit()
+	s := New(c, Inputs{Alice: []bool{true, false}, Public: []bool{true}})
+	// Cycle 1: q=0, p=1 → g6 = 1; a=10: g7=0, g8=0, g9=mux(1;g8.. wait
+	// MUX: out = S ? B : A = p ? NOR : AND = 0; g10 = 1; g11 = XNOR(1,1)=1.
+	s.Step()
+	if !s.Wire(11) {
+		t.Error("cycle 1: out gate should be 1")
+	}
+	if !s.Wire(5) {
+		t.Error("cycle 1: q should have toggled to 1 after the copy")
+	}
+	// Cycle 2: q=1, p=1 → g6 = 0 → q toggles back to 0.
+	s.Step()
+	if s.Wire(5) {
+		t.Error("cycle 2: q should toggle back to 0")
+	}
+	if s.Cycle() != 2 {
+		t.Errorf("cycle count %d", s.Cycle())
+	}
+}
+
+func TestOutputAccessors(t *testing.T) {
+	c := handCircuit()
+	s := New(c, Inputs{Alice: []bool{true, true}, Public: []bool{false}})
+	s.Step()
+	bits, err := s.Output("o")
+	if err != nil || len(bits) != 2 {
+		t.Fatalf("Output: %v %v", bits, err)
+	}
+	if _, err := s.Output("nope"); err == nil {
+		t.Error("missing output bus not rejected")
+	}
+	v, err := s.OutputUint("o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 3 {
+		t.Errorf("2-bit output = %d", v)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(v uint64, n uint8) bool {
+		bits := n % 65
+		masked := v
+		if bits < 64 {
+			masked = v & ((1 << bits) - 1)
+		}
+		return PackUint(UnpackUint(masked, int(bits))) == masked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		words := make([]uint32, rng.Intn(20))
+		for i := range words {
+			words[i] = rng.Uint32()
+		}
+		back := PackWords(UnpackWords(words))
+		for i := range words {
+			if back[i] != words[i] {
+				t.Fatalf("word %d: %#x != %#x", i, back[i], words[i])
+			}
+		}
+	}
+}
+
+func TestInputsBit(t *testing.T) {
+	in := Inputs{Alice: []bool{true}, Bob: []bool{false, true}, Public: nil}
+	cases := []struct {
+		owner circuit.Owner
+		idx   int
+		want  bool
+	}{
+		{circuit.Alice, 0, true},
+		{circuit.Alice, 1, false}, // out of range → false
+		{circuit.Bob, 1, true},
+		{circuit.Public, 0, false},
+		{circuit.Alice, -1, false},
+	}
+	for _, tc := range cases {
+		if got := in.Bit(tc.owner, tc.idx); got != tc.want {
+			t.Errorf("Bit(%v, %d) = %v", tc.owner, tc.idx, got)
+		}
+	}
+}
+
+func TestRunMatchesManualStepping(t *testing.T) {
+	c := handCircuit()
+	in := Inputs{Alice: []bool{false, true}, Public: []bool{true}}
+	out := Run(c, in, 5)
+	s := New(c, in)
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	manual, _ := s.Output("o")
+	for i := range out {
+		if out[i] != manual[i] {
+			t.Fatalf("Run and manual stepping disagree at bit %d", i)
+		}
+	}
+}
