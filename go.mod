@@ -1,0 +1,3 @@
+module arm2gc
+
+go 1.24

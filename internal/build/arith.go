@@ -1,0 +1,220 @@
+package build
+
+import "fmt"
+
+// Arithmetic and word-level combinators. Everything here is synthesized
+// for the free-XOR cost model: a full adder is a single AND plus XORs
+// (Boyar-Peralta), so an n-bit adder costs n−1 tables without carry-out
+// and n with, and the n-bit truncated multiplier costs n + (n−1)² — the
+// counts the seed's Table 1/2 regressions pin.
+
+// FullAdder returns (sum, carry) of three bits using one AND:
+//
+//	sum  = a ⊕ b ⊕ c
+//	cout = c ⊕ ((a⊕c) ∧ (b⊕c))
+func (b *Builder) FullAdder(a, x, cin W) (sum, cout W) {
+	axc := b.Xor(a, cin)
+	bxc := b.Xor(x, cin)
+	sum = b.Xor(axc, x)
+	cout = b.Xor(cin, b.And(axc, bxc))
+	return sum, cout
+}
+
+// AddCarry adds two equal-width buses with a carry-in and returns the sum
+// and the carry-out. Cost: one AND per bit.
+func (b *Builder) AddCarry(x, y Bus, cin W) (Bus, W) {
+	b.checkSameWidth("AddCarry", x, y)
+	sum := make(Bus, len(x))
+	c := cin
+	for i := range x {
+		sum[i], c = b.FullAdder(x[i], y[i], c)
+	}
+	return sum, c
+}
+
+// Add adds two equal-width buses, discarding the carry-out. Cost: one AND
+// per bit except the last.
+func (b *Builder) Add(x, y Bus) Bus {
+	b.checkSameWidth("Add", x, y)
+	if len(x) == 0 {
+		return Bus{}
+	}
+	n := len(x)
+	sum, c := b.AddCarry(x[:n-1], y[:n-1], F)
+	return append(sum, b.Xor(b.Xor(x[n-1], c), y[n-1]))
+}
+
+// Sub returns x − y (two's complement), discarding the borrow.
+func (b *Builder) Sub(x, y Bus) Bus {
+	b.checkSameWidth("Sub", x, y)
+	if len(x) == 0 {
+		return Bus{}
+	}
+	n := len(x)
+	ny := b.NotBus(y)
+	sum, c := b.AddCarry(x[:n-1], ny[:n-1], T)
+	return append(sum, b.Xor(b.Xor(x[n-1], c), ny[n-1]))
+}
+
+// Inc increments a bus by one, returning the sum and the carry-out.
+// Cost: one AND per bit except the first.
+func (b *Builder) Inc(x Bus) (Bus, W) {
+	sum := make(Bus, len(x))
+	c := T
+	for i, w := range x {
+		sum[i] = b.Xor(w, c)
+		c = b.And(w, c)
+	}
+	return sum, c
+}
+
+// Eq compares two equal-width buses for equality. Cost: n−1 ANDs.
+func (b *Builder) Eq(x, y Bus) W {
+	b.checkSameWidth("Eq", x, y)
+	same := make(Bus, len(x))
+	for i := range x {
+		same[i] = b.Xnor(x[i], y[i])
+	}
+	return b.AndTree(same)
+}
+
+// EqZero tests a bus against zero. Cost: n−1 ORs.
+func (b *Builder) EqZero(x Bus) W { return b.Not(b.OrTree(x)) }
+
+// LtU computes the unsigned comparison x < y with the serial recurrence
+// lt' = (xᵢ⊕yᵢ) ? yᵢ : lt from the LSB up (one MUX per bit), the same
+// construction as the paper's bit-serial comparator.
+func (b *Builder) LtU(x, y Bus) W {
+	b.checkSameWidth("LtU", x, y)
+	lt := F
+	for i := range x {
+		lt = b.Mux(b.Xor(x[i], y[i]), y[i], lt)
+	}
+	return lt
+}
+
+// MulLow multiplies two equal-width buses, keeping the low half of the
+// product (C semantics). Shift-and-add over AND partial products:
+// n + (n−1)² non-XOR gates for width n (993 at 32 bits, the truncated
+// multiplier the benchmarks count).
+func (b *Builder) MulLow(x, y Bus) Bus {
+	b.checkSameWidth("MulLow", x, y)
+	n := len(x)
+	if n == 0 {
+		return Bus{}
+	}
+	acc := b.AndWith(y[0], x)
+	for j := 1; j < n; j++ {
+		pp := b.AndWith(y[j], x[:n-j])
+		hi := b.Add(acc[j:], pp)
+		acc = append(append(Bus(nil), acc[:j]...), hi...)
+	}
+	return acc
+}
+
+// --- Selection ---
+
+// MuxTree selects items[v] where v is the little-endian value of sel.
+// Fewer than 2^len(sel) items are allowed; missing entries read as zero.
+// All items must share one width. Cost: one MUX per bit per internal
+// node — but with a public select (the processor's common case: opcode,
+// register index, public memory address) SkipGate resolves every level to
+// wires for free.
+func (b *Builder) MuxTree(sel Bus, items []Bus) Bus {
+	if len(items) == 0 {
+		panic(fmt.Sprintf("build: %s: MuxTree with no items", b.name))
+	}
+	if len(items) > 1<<len(sel) {
+		panic(fmt.Sprintf("build: %s: MuxTree: %d items exceed %d-bit select", b.name, len(items), len(sel)))
+	}
+	width := len(items[0])
+	for _, it := range items {
+		b.checkSameWidth("MuxTree", items[0], it)
+	}
+	cur := append([]Bus(nil), items...)
+	for k := 0; k < len(sel); k++ {
+		next := make([]Bus, (len(cur)+1)/2)
+		for i := range next {
+			lo := cur[2*i]
+			hi := ZeroBus(width)
+			if 2*i+1 < len(cur) {
+				hi = cur[2*i+1]
+			}
+			next[i] = b.MuxBus(sel[k], hi, lo)
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// Decoder returns the 2^len(sel) one-hot lines en ∧ (sel == i), built by
+// recursive doubling (2^(k+1)−2 ANDs beyond the enable). With a public
+// select only the en line survives, making decoded register/memory writes
+// free.
+func (b *Builder) Decoder(sel Bus, en W) []W {
+	b.checkWire(en)
+	cur := []W{en}
+	for k := 0; k < len(sel); k++ {
+		ns := b.Not(sel[k])
+		next := make([]W, 2*len(cur))
+		for i, w := range cur {
+			next[i] = b.And(w, ns)
+			next[i+len(cur)] = b.And(w, sel[k])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// --- Variable shifts and rotates (barrel constructions) ---
+
+// ShlVar shifts x left by the unsigned amount bus: one MUX stage per
+// amount bit. Amounts ≥ len(x) yield zero, matching the emulator's LSL.
+func (b *Builder) ShlVar(x Bus, amt Bus) Bus {
+	cur := append(Bus(nil), x...)
+	for k, s := range amt {
+		shifted := ZeroBus(len(x))
+		if sh := 1 << uint(k); sh < len(x) {
+			shifted = ShlConst(cur, sh)
+		}
+		cur = b.MuxBus(s, shifted, cur)
+	}
+	return cur
+}
+
+// ShrVar shifts x right by the unsigned amount bus; arith selects an
+// arithmetic shift (sign fill). Logical amounts ≥ len(x) yield zero and
+// arithmetic ones saturate to all-sign, matching the emulator's LSR/ASR.
+func (b *Builder) ShrVar(x Bus, amt Bus, arith bool) Bus {
+	cur := append(Bus(nil), x...)
+	for k, s := range amt {
+		fill := F
+		if arith && len(x) > 0 {
+			fill = cur[len(cur)-1]
+		}
+		shifted := ShrConst(cur, 1<<uint(k), fill)
+		cur = b.MuxBus(s, shifted, cur)
+	}
+	return cur
+}
+
+// AsrVar is ShrVar with sign fill (ARM's ASR).
+func (b *Builder) AsrVar(x Bus, amt Bus) Bus { return b.ShrVar(x, amt, true) }
+
+// RorVar rotates x right by the amount bus, modulo the width (ARM's ROR
+// by register: stages whose rotation is a multiple of the width fold
+// away).
+func (b *Builder) RorVar(x Bus, amt Bus) Bus {
+	cur := append(Bus(nil), x...)
+	if len(x) == 0 {
+		return cur
+	}
+	for k, s := range amt {
+		rot := (1 << uint(k)) % len(x)
+		if rot == 0 {
+			continue
+		}
+		cur = b.MuxBus(s, RorConst(cur, rot), cur)
+	}
+	return cur
+}

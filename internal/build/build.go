@@ -1,0 +1,421 @@
+// Package build is the netlist-builder DSL: every circuit in this
+// repository — the hand-built benchmark circuits, the AES/SHA3 cores and
+// the garbled ARM processor itself — is constructed through it and frozen
+// into an immutable circuit.Circuit by Compile.
+//
+// The programming model is structural hardware description, not software
+// evaluation: a Builder call like b.Add(x, y) does not add numbers, it
+// appends full-adder cells to the netlist and returns the wires carrying
+// the sum. Values are
+//
+//   - W: a single wire. The package-level constants T and F are the
+//     constant-one and constant-zero wires present in every circuit.
+//   - Bus: a little-endian wire vector ([]W; bus[0] is the LSB). Buses are
+//     plain slices: slicing, appending and re-wiring them (ShlConst,
+//     ShrConst, ZeroExtend, SignExtend, rotations by re-indexing) costs no
+//     gates.
+//   - *Reg: a bank of flip-flops made with Reg or RegInit, read with Q and
+//     driven with SetNext. A register whose next state is its own Q is a
+//     ROM; initialization can pull bits from the public/Alice/Bob input
+//     vectors (the paper's memory model).
+//
+// The builder is XOR-aware, mirroring the cost model of half-gates
+// garbling with free-XOR: XOR/XNOR/NOT cost nothing, so all composite
+// primitives (adders, comparators, multipliers, barrel shifters) are
+// synthesized to minimize AND-class gates, and MUX is kept as an atomic
+// cell so SkipGate can collapse it under a public select. Two
+// normalizations run at construction time:
+//
+//   - constant folding: gates fed by T/F, by structurally identical
+//     wires (x∧x → x), or by a wire and its inverter are replaced by the
+//     folded wire — they never reach the netlist;
+//   - structural sharing: re-requesting a gate with the same operator and
+//     input wires returns the existing output wire (commutative operators
+//     are normalized first), so XOR-heavy constructions stay free and no
+//     duplicate garbled tables are ever shipped.
+//
+// Note the builder only folds structural identities. A public *input* is
+// not a constant here — deciding what its value makes free is exactly
+// SkipGate's runtime job (package core), and the netlist must retain those
+// gates for it to classify.
+//
+// Gates created between b.Scope("name") and the returned close function
+// are tagged with the scope name; the instruction-level-pruning baseline
+// (package baseline) uses the tags to charge whole processor modules the
+// way garbled MIPS does.
+//
+// Builder methods panic on structural misuse (width mismatches, foreign
+// wires, out-of-range arguments): netlist construction is programmer
+// error territory, like indexing a slice. Compile validates the finished
+// netlist and returns any residual error; MustCompile panics instead.
+package build
+
+import (
+	"fmt"
+
+	"arm2gc/internal/circuit"
+)
+
+// W is a wire handle. F and T are the constant wires; all other handles
+// are created by a Builder and are only meaningful with that Builder.
+type W int32
+
+// Constant wires, shared by every builder.
+const (
+	F W = 0 // constant zero
+	T W = 1 // constant one
+)
+
+// Const returns the constant wire for a Boolean value.
+func Const(v bool) W {
+	if v {
+		return T
+	}
+	return F
+}
+
+// IsConst reports whether w is one of the two constant wires.
+func (w W) IsConst() bool { return w == F || w == T }
+
+// nodeKind discriminates the builder's wire-producing entities.
+type nodeKind uint8
+
+const (
+	nodePort nodeKind = iota // primary input bit
+	nodeDFF                  // flip-flop Q bit
+	nodeGate                 // logic gate output
+)
+
+// node is one wire-producing entity. Ports and DFF Q bits are placed
+// before all gates in the frozen wire layout regardless of creation
+// order; gates keep their creation order, which is topological by
+// construction (a gate can only reference wires that already exist).
+type node struct {
+	kind  nodeKind
+	op    circuit.Op // nodeGate
+	a, b  W          // nodeGate inputs
+	s     W          // nodeGate MUX select
+	scope int32      // nodeGate: index into Builder.scopes
+}
+
+// gateKey identifies a gate for structural sharing. Commutative operators
+// are normalized (a ≤ b) before lookup.
+type gateKey struct {
+	op      circuit.Op
+	a, b, s W
+}
+
+// Builder accumulates a netlist under construction. The zero value is not
+// usable; create builders with New.
+type Builder struct {
+	name  string
+	nodes []node
+
+	ports   []circuit.Port // Base filled in by Compile
+	dffs    []dffSlot
+	outputs []circuit.Output // Wires hold builder W values until Compile
+
+	alloc [3]int // allocated input bits per owner (Public, Alice, Bob)
+
+	scopes   []string
+	scopeIdx map[string]int32
+	curScope int32
+	anyScope bool
+
+	cache map[gateKey]W
+}
+
+// dffSlot is one flip-flop: its initialization, its D input (a builder
+// wire; defaults to its own Q, i.e. hold), and its Q handle.
+type dffSlot struct {
+	init circuit.Init
+	d    W
+	q    W
+}
+
+// New creates an empty builder for a named circuit.
+func New(name string) *Builder {
+	return &Builder{
+		name:     name,
+		scopes:   []string{""},
+		scopeIdx: map[string]int32{"": 0},
+		cache:    make(map[gateKey]W),
+	}
+}
+
+// Name returns the circuit name passed to New.
+func (b *Builder) Name() string { return b.name }
+
+// wire appends a node and returns its handle.
+func (b *Builder) wire(n node) W {
+	b.nodes = append(b.nodes, n)
+	return W(len(b.nodes) + 1) // handles 0 and 1 are the constants
+}
+
+// node returns the node behind a non-constant wire handle.
+func (b *Builder) node(w W) *node {
+	return &b.nodes[int(w)-2]
+}
+
+// checkWire panics when w cannot be a wire of this builder: negative or
+// beyond the wires created so far. A handle from another Builder that
+// happens to fall in range is NOT detected — wire handles carry no
+// ownership tag — so keep each circuit's construction to one Builder.
+func (b *Builder) checkWire(w W) {
+	if w < 0 || int(w)-2 >= len(b.nodes) {
+		panic(fmt.Sprintf("build: %s: wire %d does not belong to this builder", b.name, w))
+	}
+}
+
+func (b *Builder) checkBus(bus Bus) {
+	for _, w := range bus {
+		b.checkWire(w)
+	}
+}
+
+// AllocInputBits reserves n bits in an owner's input bit-vector and
+// returns the offset of the first one. The reservation carries no wires:
+// it is referenced from flip-flop initializations (circuit.Init), which is
+// how the paper loads party inputs into processor memory.
+func (b *Builder) AllocInputBits(owner circuit.Owner, n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("build: %s: AllocInputBits(%v, %d): negative count", b.name, owner, n))
+	}
+	if owner > circuit.Bob {
+		panic(fmt.Sprintf("build: %s: AllocInputBits: bad owner %d", b.name, owner))
+	}
+	off := b.alloc[owner]
+	b.alloc[owner] += n
+	return off
+}
+
+// Input declares a named primary-input port of the given width, allocating
+// its bits from the owner's input vector, and returns its wires. Port
+// wires hold their value for the whole run.
+func (b *Builder) Input(owner circuit.Owner, name string, bits int) Bus {
+	if bits <= 0 {
+		panic(fmt.Sprintf("build: %s: input %q: %d bits", b.name, name, bits))
+	}
+	off := b.AllocInputBits(owner, bits)
+	b.ports = append(b.ports, circuit.Port{Name: name, Owner: owner, Bits: bits, Off: off})
+	bus := make(Bus, bits)
+	for i := range bus {
+		bus[i] = b.wire(node{kind: nodePort})
+	}
+	return bus
+}
+
+// Output declares a named output bus. Names must be unique: the circuit
+// lookup (FindOutput) is first-match, so a silent duplicate would shadow
+// the later declaration.
+func (b *Builder) Output(name string, bus Bus) {
+	b.checkBus(bus)
+	for _, o := range b.outputs {
+		if o.Name == name {
+			panic(fmt.Sprintf("build: %s: duplicate output %q", b.name, name))
+		}
+	}
+	ws := make([]circuit.Wire, len(bus))
+	for i, w := range bus {
+		ws[i] = circuit.Wire(w) // builder handle; remapped by Compile
+	}
+	b.outputs = append(b.outputs, circuit.Output{Name: name, Wires: ws})
+}
+
+// Scope opens a named attribution scope: gates created until the returned
+// function is called are tagged with the name. Scopes may nest; the close
+// function restores the enclosing scope.
+func (b *Builder) Scope(name string) func() {
+	idx, ok := b.scopeIdx[name]
+	if !ok {
+		idx = int32(len(b.scopes))
+		b.scopes = append(b.scopes, name)
+		b.scopeIdx[name] = idx
+	}
+	prev := b.curScope
+	b.curScope = idx
+	b.anyScope = true
+	return func() { b.curScope = prev }
+}
+
+// Reg creates a register of the given width with all bits initialized to
+// zero. Until SetNext is called the register holds its value.
+func (b *Builder) Reg(name string, bits int) *Reg {
+	if bits <= 0 {
+		panic(fmt.Sprintf("build: %s: reg %q: %d bits", b.name, name, bits))
+	}
+	inits := make([]circuit.Init, bits)
+	return b.RegInit(name, inits)
+}
+
+// RegInit creates a register with one flip-flop per initialization entry.
+// Init kinds InitPublic/InitAlice/InitBob pull the cycle-1 value from the
+// corresponding input bit-vector (use AllocInputBits to reserve indices).
+func (b *Builder) RegInit(name string, inits []circuit.Init) *Reg {
+	if len(inits) == 0 {
+		panic(fmt.Sprintf("build: %s: reg %q: empty initialization", b.name, name))
+	}
+	r := &Reg{b: b, name: name, first: len(b.dffs), bits: len(inits)}
+	for _, init := range inits {
+		q := b.wire(node{kind: nodeDFF})
+		b.dffs = append(b.dffs, dffSlot{init: init, d: q, q: q})
+	}
+	return r
+}
+
+// Reg is a register: a contiguous bank of flip-flops.
+type Reg struct {
+	b     *Builder
+	name  string
+	first int // index of the first flip-flop in Builder.dffs
+	bits  int
+}
+
+// Bits returns the register width.
+func (r *Reg) Bits() int { return r.bits }
+
+// Q returns the register's output wires (the flip-flop Q bits).
+func (r *Reg) Q() Bus {
+	bus := make(Bus, r.bits)
+	for i := range bus {
+		bus[i] = r.b.dffs[r.first+i].q
+	}
+	return bus
+}
+
+// SetNext drives the register's next-state inputs. The bus width must
+// match the register; calling SetNext again replaces the previous wiring.
+func (r *Reg) SetNext(d Bus) {
+	if len(d) != r.bits {
+		panic(fmt.Sprintf("build: %s: reg %q: SetNext width %d, want %d", r.b.name, r.name, len(d), r.bits))
+	}
+	r.b.checkBus(d)
+	for i, w := range d {
+		r.b.dffs[r.first+i].d = w
+	}
+}
+
+// Compile freezes the netlist into a validated circuit.Circuit. The wire
+// layout is the one package circuit documents: constants, then port bits
+// in declaration order, then flip-flop Q bits in declaration order, then
+// gates in creation order (which is topological by construction).
+func (b *Builder) Compile() (*circuit.Circuit, error) {
+	c := &circuit.Circuit{
+		Name:       b.name,
+		PortBase:   2,
+		PublicBits: b.alloc[circuit.Public],
+		AliceBits:  b.alloc[circuit.Alice],
+		BobBits:    b.alloc[circuit.Bob],
+	}
+
+	// Pass 1: assign final wire indices to every builder node.
+	remap := make([]circuit.Wire, len(b.nodes)+2)
+	remap[F] = circuit.Const0
+	remap[T] = circuit.Const1
+	nPorts := 0
+	for _, n := range b.nodes {
+		if n.kind == nodePort {
+			nPorts++
+		}
+	}
+	c.DFFBase = c.PortBase + circuit.Wire(nPorts)
+	c.GateBase = c.DFFBase + circuit.Wire(len(b.dffs))
+	portW, dffW, gateW := c.PortBase, c.DFFBase, c.GateBase
+	for i := range b.nodes {
+		switch b.nodes[i].kind {
+		case nodePort:
+			remap[i+2] = portW
+			portW++
+		case nodeDFF:
+			remap[i+2] = dffW
+			dffW++
+		case nodeGate:
+			remap[i+2] = gateW
+			gateW++
+		}
+	}
+
+	// Pass 2: emit the frozen netlist.
+	c.Ports = make([]circuit.Port, len(b.ports))
+	base := c.PortBase
+	for i, p := range b.ports {
+		p.Base = base
+		base += circuit.Wire(p.Bits)
+		c.Ports[i] = p
+	}
+	c.DFFs = make([]circuit.DFF, len(b.dffs))
+	for i, d := range b.dffs {
+		c.DFFs[i] = circuit.DFF{D: remap[d.d], Init: d.init}
+	}
+	nGates := int(gateW - c.GateBase)
+	c.Gates = make([]circuit.Gate, 0, nGates)
+	var scopeTags []int32
+	if b.anyScope {
+		scopeTags = make([]int32, 0, nGates)
+	}
+	for i := range b.nodes {
+		n := &b.nodes[i]
+		if n.kind != nodeGate {
+			continue
+		}
+		g := circuit.Gate{Op: n.op, A: remap[n.a], B: remap[n.b]}
+		if n.op == circuit.MUX {
+			g.S = remap[n.s]
+		}
+		c.Gates = append(c.Gates, g)
+		if b.anyScope {
+			scopeTags = append(scopeTags, n.scope)
+		}
+	}
+	if b.anyScope {
+		c.GateScope = scopeTags
+		c.ScopeNames = append([]string(nil), b.scopes...)
+	}
+	c.Outputs = make([]circuit.Output, len(b.outputs))
+	for i, o := range b.outputs {
+		ws := make([]circuit.Wire, len(o.Wires))
+		for j, w := range o.Wires {
+			ws[j] = remap[w]
+		}
+		c.Outputs[i] = circuit.Output{Name: o.Name, Wires: ws}
+	}
+
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("build: %s: %w", b.name, err)
+	}
+	return c, nil
+}
+
+// MustCompile is Compile panicking on error, for circuits whose structure
+// is fixed at build time.
+func (b *Builder) MustCompile() *circuit.Circuit {
+	c, err := b.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats previews the gate composition of the netlist under construction
+// (Compile's circuit reports the same numbers).
+func (b *Builder) Stats() circuit.Stats {
+	var s circuit.Stats
+	s.DFFs = len(b.dffs)
+	s.Ports = len(b.ports)
+	for i := range b.nodes {
+		n := &b.nodes[i]
+		if n.kind != nodeGate {
+			continue
+		}
+		s.Gates++
+		switch n.op {
+		case circuit.AND, circuit.OR, circuit.NAND, circuit.NOR, circuit.MUX:
+			s.NonXOR++
+		case circuit.XOR, circuit.XNOR:
+			s.XOR++
+		default:
+			s.NotBuf++
+		}
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package build
+
+import "fmt"
+
+// Bus is a little-endian wire vector: bus[0] is the least significant
+// bit. Buses are ordinary slices; slicing and appending them is free
+// rewiring. The combinators in this file create no gates.
+type Bus []W
+
+// ConstBus returns an n-bit bus wired to the little-endian bits of v.
+func ConstBus(v uint64, n int) Bus {
+	bus := make(Bus, n)
+	for i := range bus {
+		bus[i] = Const(v>>uint(i)&1 == 1)
+	}
+	return bus
+}
+
+// ZeroBus returns an n-bit bus of constant zeros.
+func ZeroBus(n int) Bus { return ConstBus(0, n) }
+
+// ZeroExtend widens a bus to n bits with constant zeros.
+func ZeroExtend(a Bus, n int) Bus {
+	if len(a) > n {
+		panic(fmt.Sprintf("build: ZeroExtend: bus of %d bits to %d", len(a), n))
+	}
+	out := make(Bus, n)
+	copy(out, a)
+	for i := len(a); i < n; i++ {
+		out[i] = F
+	}
+	return out
+}
+
+// SignExtend widens a bus to n bits by replicating its most significant
+// bit (free: it is rewiring, not logic).
+func SignExtend(a Bus, n int) Bus {
+	if len(a) == 0 || len(a) > n {
+		panic(fmt.Sprintf("build: SignExtend: bus of %d bits to %d", len(a), n))
+	}
+	out := make(Bus, n)
+	copy(out, a)
+	msb := a[len(a)-1]
+	for i := len(a); i < n; i++ {
+		out[i] = msb
+	}
+	return out
+}
+
+// ShlConst shifts a bus left by a constant amount, keeping the width and
+// filling vacated low bits with zero.
+func ShlConst(a Bus, k int) Bus {
+	if k < 0 {
+		panic(fmt.Sprintf("build: ShlConst by %d", k))
+	}
+	out := make(Bus, len(a))
+	for i := range out {
+		if i < k {
+			out[i] = F
+		} else {
+			out[i] = a[i-k]
+		}
+	}
+	return out
+}
+
+// ShrConst shifts a bus right by a constant amount, keeping the width and
+// filling vacated high bits with fill (F for a logical shift, the sign
+// wire for an arithmetic one).
+func ShrConst(a Bus, k int, fill W) Bus {
+	if k < 0 {
+		panic(fmt.Sprintf("build: ShrConst by %d", k))
+	}
+	out := make(Bus, len(a))
+	for i := range out {
+		if i+k < len(a) {
+			out[i] = a[i+k]
+		} else {
+			out[i] = fill
+		}
+	}
+	return out
+}
+
+// RorConst rotates a bus right by a constant amount (free rewiring).
+func RorConst(a Bus, k int) Bus {
+	n := len(a)
+	if n == 0 {
+		return Bus{}
+	}
+	k = ((k % n) + n) % n
+	out := make(Bus, n)
+	for i := range out {
+		out[i] = a[(i+k)%n]
+	}
+	return out
+}

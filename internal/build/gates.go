@@ -1,0 +1,266 @@
+package build
+
+import (
+	"fmt"
+
+	"arm2gc/internal/circuit"
+)
+
+// This file holds the gate-level primitives. All construction funnels
+// through newGate, which hash-conses on (op, inputs); the public wrappers
+// apply the constant/identity/complement folds documented in the package
+// comment before any gate is created. The synthesis normal form uses only
+// AND, OR, XOR, NOT and the atomic MUX cell: NAND/NOR/XNOR are exposed as
+// API but lower to an inverted AND/OR/XOR, which costs the same under
+// free-XOR garbling and keeps the fold rules small.
+
+// newGate appends a gate (or returns the existing structurally identical
+// one) and returns its output wire.
+func (b *Builder) newGate(op circuit.Op, a, bb, s W) W {
+	key := gateKey{op: op, a: a, b: bb, s: s}
+	switch op {
+	case circuit.AND, circuit.OR, circuit.XOR:
+		if key.a > key.b {
+			key.a, key.b = key.b, key.a
+		}
+	}
+	if w, ok := b.cache[key]; ok {
+		return w
+	}
+	w := b.wire(node{kind: nodeGate, op: op, a: key.a, b: key.b, s: key.s, scope: b.curScope})
+	b.cache[key] = w
+	return w
+}
+
+// isInvOf reports whether wire x is structurally the inverter of wire y.
+// With NOT-NOT folding and hash-consing this recognizes every complement
+// pair the builder itself can produce.
+func (b *Builder) isInvOf(x, y W) bool {
+	if x.IsConst() {
+		return y.IsConst() && x != y
+	}
+	n := b.node(x)
+	return n.kind == nodeGate && n.op == circuit.NOT && n.a == y
+}
+
+func (b *Builder) complementary(x, y W) bool {
+	return b.isInvOf(x, y) || b.isInvOf(y, x)
+}
+
+// Not returns ¬a (free under free-XOR).
+func (b *Builder) Not(a W) W {
+	b.checkWire(a)
+	switch {
+	case a == F:
+		return T
+	case a == T:
+		return F
+	}
+	if n := b.node(a); n.kind == nodeGate && n.op == circuit.NOT {
+		return n.a
+	}
+	return b.newGate(circuit.NOT, a, a, 0)
+}
+
+// And returns a ∧ b (one garbled table when both inputs stay secret).
+func (b *Builder) And(a, x W) W {
+	b.checkWire(a)
+	b.checkWire(x)
+	switch {
+	case a == F || x == F:
+		return F
+	case a == T:
+		return x
+	case x == T:
+		return a
+	case a == x:
+		return a
+	case b.complementary(a, x):
+		return F
+	}
+	return b.newGate(circuit.AND, a, x, 0)
+}
+
+// Or returns a ∨ b.
+func (b *Builder) Or(a, x W) W {
+	b.checkWire(a)
+	b.checkWire(x)
+	switch {
+	case a == T || x == T:
+		return T
+	case a == F:
+		return x
+	case x == F:
+		return a
+	case a == x:
+		return a
+	case b.complementary(a, x):
+		return T
+	}
+	return b.newGate(circuit.OR, a, x, 0)
+}
+
+// Xor returns a ⊕ b (free).
+func (b *Builder) Xor(a, x W) W {
+	b.checkWire(a)
+	b.checkWire(x)
+	switch {
+	case a == F:
+		return x
+	case x == F:
+		return a
+	case a == T:
+		return b.Not(x)
+	case x == T:
+		return b.Not(a)
+	case a == x:
+		return F
+	case b.complementary(a, x):
+		return T
+	}
+	return b.newGate(circuit.XOR, a, x, 0)
+}
+
+// Nand returns ¬(a ∧ b), synthesized as an inverted AND.
+func (b *Builder) Nand(a, x W) W { return b.Not(b.And(a, x)) }
+
+// Nor returns ¬(a ∨ b), synthesized as an inverted OR.
+func (b *Builder) Nor(a, x W) W { return b.Not(b.Or(a, x)) }
+
+// Xnor returns ¬(a ⊕ b) (free), synthesized as an inverted XOR.
+func (b *Builder) Xnor(a, x W) W { return b.Not(b.Xor(a, x)) }
+
+// Mux returns s ? t : f as an atomic MUX cell (one garbled table; free
+// whenever SkipGate resolves the select publicly — the property the
+// garbled processor is built on).
+func (b *Builder) Mux(s, t, f W) W {
+	b.checkWire(s)
+	b.checkWire(t)
+	b.checkWire(f)
+	switch {
+	case s == T:
+		return t
+	case s == F:
+		return f
+	case t == f:
+		return t
+	case t == T && f == F:
+		return s
+	case t == F && f == T:
+		return b.Not(s)
+	case b.complementary(t, f):
+		// out = f ⊕ (s ∧ (f⊕t)) = f ⊕ s: free.
+		return b.Xor(s, f)
+	case t == T:
+		return b.Or(s, f)
+	case f == F:
+		return b.And(s, t)
+	case t == F:
+		return b.And(b.Not(s), f)
+	case f == T:
+		return b.Or(b.Not(s), t)
+	}
+	// circuit.Gate encodes out = S ? B : A.
+	return b.newGate(circuit.MUX, f, t, s)
+}
+
+// --- Bus variants (elementwise) ---
+
+func (b *Builder) checkSameWidth(what string, x, y Bus) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("build: %s: %s: width %d vs %d", b.name, what, len(x), len(y)))
+	}
+}
+
+// NotBus inverts every bit.
+func (b *Builder) NotBus(a Bus) Bus {
+	out := make(Bus, len(a))
+	for i, w := range a {
+		out[i] = b.Not(w)
+	}
+	return out
+}
+
+// AndBus is the elementwise AND of two equal-width buses.
+func (b *Builder) AndBus(x, y Bus) Bus {
+	b.checkSameWidth("AndBus", x, y)
+	out := make(Bus, len(x))
+	for i := range out {
+		out[i] = b.And(x[i], y[i])
+	}
+	return out
+}
+
+// OrBus is the elementwise OR of two equal-width buses.
+func (b *Builder) OrBus(x, y Bus) Bus {
+	b.checkSameWidth("OrBus", x, y)
+	out := make(Bus, len(x))
+	for i := range out {
+		out[i] = b.Or(x[i], y[i])
+	}
+	return out
+}
+
+// XorBus is the elementwise XOR of two equal-width buses (free).
+func (b *Builder) XorBus(x, y Bus) Bus {
+	b.checkSameWidth("XorBus", x, y)
+	out := make(Bus, len(x))
+	for i := range out {
+		out[i] = b.Xor(x[i], y[i])
+	}
+	return out
+}
+
+// AndWith ANDs a single wire into every bit of a bus (the partial-product
+// row of a multiplier).
+func (b *Builder) AndWith(w W, a Bus) Bus {
+	out := make(Bus, len(a))
+	for i, x := range a {
+		out[i] = b.And(w, x)
+	}
+	return out
+}
+
+// MuxBus selects between two equal-width buses: s ? t : f, one MUX cell
+// per bit.
+func (b *Builder) MuxBus(s W, t, f Bus) Bus {
+	b.checkSameWidth("MuxBus", t, f)
+	out := make(Bus, len(t))
+	for i := range out {
+		out[i] = b.Mux(s, t[i], f[i])
+	}
+	return out
+}
+
+// --- Reduction trees ---
+
+// tree reduces ws pairwise with op, balanced to keep depth logarithmic.
+func (b *Builder) tree(ws Bus, op func(a, x W) W, empty W) W {
+	switch len(ws) {
+	case 0:
+		return empty
+	case 1:
+		return ws[0]
+	}
+	cur := append(Bus(nil), ws...)
+	for len(cur) > 1 {
+		next := cur[:0]
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, op(cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// AndTree ANDs all wires together (T for an empty list).
+func (b *Builder) AndTree(ws Bus) W { return b.tree(ws, b.And, T) }
+
+// OrTree ORs all wires together (F for an empty list).
+func (b *Builder) OrTree(ws Bus) W { return b.tree(ws, b.Or, F) }
+
+// XorTree XORs all wires together (free; F for an empty list).
+func (b *Builder) XorTree(ws Bus) W { return b.tree(ws, b.Xor, F) }

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"arm2gc/internal/circuit"
@@ -10,14 +11,64 @@ import (
 	"arm2gc/internal/sim"
 )
 
+// fuzzCPU caches the processor circuit shared by the differential
+// harnesses below: the netlist depends only on the layout, so rebuilding
+// it per fuzz iteration would waste nearly the whole time budget.
+var fuzzCPU = sync.OnceValues(func() (*CPU, error) {
+	return Build(isa.Layout{IMemWords: 256, AliceWords: 8, BobWords: 8, OutWords: 13, ScratchWords: 16})
+})
+
+// checkCircuitVsEmulator runs one program on the reference emulator and on
+// the processor circuit (plaintext simulation) and fails the test on any
+// output-region mismatch.
+func checkCircuitVsEmulator(t *testing.T, c *CPU, prog *isa.Program, alice, bob []uint32) {
+	t.Helper()
+	m, err := emu.New(prog, alice, bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := m.Run(10000)
+	if err != nil {
+		t.Fatalf("emulator: %v\n%s", err, prog.Disassemble())
+	}
+
+	pub, err := c.PublicBits(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := c.InputBits(circuit.Alice, alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := c.InputBits(circuit.Bob, bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(c.Circuit, sim.Inputs{Public: pub, Alice: ab, Bob: bb})
+	for i := 0; i < cycles; i++ {
+		s.Step()
+	}
+	outBits, err := s.Output("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := OutWords(outBits)
+	want := m.Output()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %#x, emulator %#x\nprogram:\n%s",
+				i, got[i], want[i], prog.Disassemble())
+		}
+	}
+}
+
 // TestRandomInstructionFuzz generates random straight-line programs over
 // the full data-processing/multiply/memory instruction set (predicated
 // and flag-setting variants included) and checks the processor circuit
 // against the emulator register-for-register via a store-out epilogue.
 func TestRandomInstructionFuzz(t *testing.T) {
 	rng := rand.New(rand.NewSource(4242))
-	l := isa.Layout{IMemWords: 256, AliceWords: 8, BobWords: 8, OutWords: 13, ScratchWords: 16}
-	c, err := Build(l)
+	c, err := fuzzCPU()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,48 +78,57 @@ func TestRandomInstructionFuzz(t *testing.T) {
 		trials = 5
 	}
 	for trial := 0; trial < trials; trial++ {
-		words := randomProgram(rng)
-		prog := &isa.Program{Words: words, Layout: l, Name: "fuzz"}
-
+		prog := &isa.Program{Words: randomProgram(rng), Layout: c.Layout, Name: "fuzz"}
 		alice := make([]uint32, 8)
 		bob := make([]uint32, 8)
 		for i := range alice {
 			alice[i] = rng.Uint32()
 			bob[i] = rng.Uint32()
 		}
-
-		m, err := emu.New(prog, alice, bob)
-		if err != nil {
-			t.Fatal(err)
-		}
-		cycles, err := m.Run(10000)
-		if err != nil {
-			t.Fatalf("trial %d: emulator: %v\n%s", trial, err, prog.Disassemble())
-		}
-
-		pub, err := c.PublicBits(prog)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ab, _ := c.InputBits(circuit.Alice, alice)
-		bb, _ := c.InputBits(circuit.Bob, bob)
-		s := sim.New(c.Circuit, sim.Inputs{Public: pub, Alice: ab, Bob: bb})
-		for i := 0; i < cycles; i++ {
-			s.Step()
-		}
-		outBits, err := s.Output("out")
-		if err != nil {
-			t.Fatal(err)
-		}
-		got := OutWords(outBits)
-		want := m.Output()
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("trial %d: out[%d] = %#x, emulator %#x\nprogram:\n%s",
-					trial, i, got[i], want[i], prog.Disassemble())
-			}
-		}
+		t.Logf("trial %d", trial)
+		checkCircuitVsEmulator(t, c, prog, alice, bob)
 	}
+}
+
+// FuzzInstructionStream is the native fuzz entry (go test -fuzz). The
+// program comes from the seeded generator (arbitrary instruction words
+// would rarely assemble into halting programs), while the parties' input
+// words are taken directly from the fuzz data so coverage-guided mutation
+// meaningfully explores the data-dependent paths: flags, predication,
+// register-specified shift amounts, carry chains. The emulator and the
+// processor circuit must agree on the stored register file and flag
+// observations.
+func FuzzInstructionStream(f *testing.F) {
+	f.Add(int64(4242), []byte{1, 0, 0, 0, 2})
+	f.Add(int64(-1), []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0x80})
+	f.Add(int64(31337), append(make([]byte, 32), 0x7f, 0xff, 0x80, 0x01))
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		c, err := fuzzCPU()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		prog := &isa.Program{Words: randomProgram(rng), Layout: c.Layout, Name: "fuzz"}
+
+		// First 32 bytes feed Alice's words, next 32 Bob's; short inputs
+		// read as zero.
+		at := func(i int) uint32 {
+			if i < len(data) {
+				return uint32(data[i])
+			}
+			return 0
+		}
+		word := func(i int) uint32 {
+			return at(4*i) | at(4*i+1)<<8 | at(4*i+2)<<16 | at(4*i+3)<<24
+		}
+		alice := make([]uint32, 8)
+		bob := make([]uint32, 8)
+		for i := range alice {
+			alice[i] = word(i)
+			bob[i] = word(8 + i)
+		}
+		checkCircuitVsEmulator(t, c, prog, alice, bob)
+	})
 }
 
 // randomProgram builds: load 8+8 input words into r3..r10 (xor-combining),

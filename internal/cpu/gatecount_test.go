@@ -1,0 +1,77 @@
+package cpu
+
+import (
+	"testing"
+
+	"arm2gc/internal/isa"
+)
+
+// TestGateCountGolden pins the processor netlist's gate composition for
+// two reference layouts: the quickstart layout (the package-comment
+// example) and the test-suite layout. The non-XOR count is the paper's
+// cost metric — it is what a conventional garbler pays per cycle and the
+// ceiling SkipGate prunes from — so an "optimization" that silently
+// inflates it is a correctness problem for every Table 1/2/4 comparison.
+//
+// If a deliberate netlist change moves these numbers, re-derive the
+// goldens (t.Logf prints the observed stats) and update them in the same
+// commit, noting the per-cycle cost delta in the commit message.
+func TestGateCountGolden(t *testing.T) {
+	cases := []struct {
+		name                string
+		layout              isa.Layout
+		nonXOR, gates, dffs int
+		wires               int
+	}{
+		{
+			name:   "quickstart",
+			layout: isa.Layout{IMemWords: 64, AliceWords: 1, BobWords: 1, OutWords: 1, ScratchWords: 16},
+			nonXOR: 8445, gates: 11039, dffs: 3173, wires: 14214,
+		},
+		{
+			name:   "testsuite",
+			layout: isa.Layout{IMemWords: 64, AliceWords: 8, BobWords: 8, OutWords: 8, ScratchWords: 8},
+			nonXOR: 9181, gates: 11775, dffs: 3589, wires: 15366,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Build(tc.layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := c.Circuit.Stats()
+			t.Logf("observed: %+v (wires %d)", st, c.Circuit.NumWires())
+			if st.NonXOR != tc.nonXOR {
+				t.Errorf("non-XOR gates = %d, want %d (garbling cost per cycle changed)", st.NonXOR, tc.nonXOR)
+			}
+			if st.Gates != tc.gates {
+				t.Errorf("total gates = %d, want %d", st.Gates, tc.gates)
+			}
+			if st.DFFs != tc.dffs {
+				t.Errorf("flip-flops = %d, want %d", st.DFFs, tc.dffs)
+			}
+			if got := c.Circuit.NumWires(); got != tc.wires {
+				t.Errorf("wire count = %d, want %d", got, tc.wires)
+			}
+		})
+	}
+}
+
+// TestBuildDeterministic: both parties synthesize the processor
+// independently and must agree on the exact netlist (the protocol
+// compares circuit hashes before garbling).
+func TestBuildDeterministic(t *testing.T) {
+	l := testLayout()
+	a, err := Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Circuit.Hash() != b.Circuit.Hash() {
+		t.Fatal("two builds of the same layout produced different netlists")
+	}
+}
