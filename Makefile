@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke cover ci
+.PHONY: all build vet test race fuzz-smoke bench-engine cover ci
 
 all: build vet test
 
@@ -22,8 +22,13 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/cpu -run '^$$' -fuzz FuzzInstructionStream -fuzztime $(FUZZTIME)
 
+# Cache-hit guard: warm Engine sessions must perform zero netlist
+# synthesis (the benchmark fails if they rebuild).
+bench-engine:
+	$(GO) test -run '^$$' -bench BenchmarkEngineSessionReuse -benchtime 50x .
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-ci: build vet race fuzz-smoke
+ci: build vet race fuzz-smoke bench-engine

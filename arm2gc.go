@@ -12,18 +12,21 @@
 //	prog, _, err := arm2gc.CompileC("add", src, arm2gc.Layout{
 //	    IMemWords: 64, AliceWords: 1, BobWords: 1, OutWords: 1, ScratchWords: 16,
 //	})
-//	m, err := arm2gc.NewMachine(prog.Layout)
-//	res, err := m.Run(prog, []uint32{2}, []uint32{40}, 10000)
+//	eng := arm2gc.NewEngine()
+//	sess, err := eng.Session(prog, arm2gc.WithMaxCycles(10_000))
+//	res, err := sess.Run(ctx, []uint32{2}, []uint32{40})
 //	// res.Outputs[0] == 42; res.GarbledTables == 31
 //
-// For a real two-party execution over a network, each side calls
-// m.Garble or m.Evaluate with its private input on its end of a
-// connection; everything else — oblivious transfer, per-cycle garbled
+// The Engine caches the synthesized processor netlist per memory Layout,
+// so any number of concurrent sessions over the same geometry share one
+// immutable machine. For a real two-party execution over a network, each
+// side calls sess.Garble or sess.Evaluate with its private input on its
+// end of a connection; everything else — oblivious transfer, garbled
 // table streaming, output decoding — is handled internally.
 package arm2gc
 
 import (
-	"fmt"
+	"context"
 	"io"
 
 	"arm2gc/internal/circuit"
@@ -32,8 +35,6 @@ import (
 	"arm2gc/internal/emu"
 	"arm2gc/internal/isa"
 	"arm2gc/internal/minicc"
-	"arm2gc/internal/proto"
-	"arm2gc/internal/sim"
 )
 
 // Layout is the processor memory geometry: instruction words plus the four
@@ -89,19 +90,19 @@ func Emulate(p *Program, alice, bob []uint32, maxCycles int) ([]uint32, int, err
 }
 
 // Machine is a garbled processor instance for one memory layout; it can
-// run any program linked against that layout.
+// run any program linked against that layout. Machines are immutable
+// after construction and safe for concurrent use.
 type Machine struct {
 	cpu *cpu.CPU
 }
 
-// NewMachine synthesizes the processor netlist for a layout.
-func NewMachine(l Layout) (*Machine, error) {
-	c, err := cpu.Build(l)
-	if err != nil {
-		return nil, err
-	}
-	return &Machine{cpu: c}, nil
-}
+// NewMachine returns the processor for a layout, synthesizing the netlist
+// on first use — it serves from DefaultEngine's cache, so repeated calls
+// for one layout (the old per-run pattern) no longer pay repeated builds.
+//
+// Deprecated: use Engine.Machine, or skip the Machine entirely with
+// Engine.Session.
+func NewMachine(l Layout) (*Machine, error) { return DefaultEngine.Machine(l) }
 
 // Stats reports the processor's netlist composition (the per-cycle cost a
 // conventional garbler would pay).
@@ -113,7 +114,7 @@ func (m *Machine) WriteNetlist(w io.Writer) error { return m.cpu.Circuit.WriteTe
 
 // RunInfo reports a garbled execution.
 type RunInfo struct {
-	Outputs []uint32 // the output region c[]
+	Outputs []uint32 // the output region c[] (nil when this party does not learn it)
 	Cycles  int
 	Halted  bool
 
@@ -124,6 +125,11 @@ type RunInfo struct {
 	// Conventional is cycles × processor non-XOR gates: the cost without
 	// SkipGate (Table 4's w/o column).
 	Conventional int64
+
+	// TableFrames is the number of garbled-table network frames a
+	// two-party run exchanged (see WithCycleBatch); zero for in-process
+	// runs.
+	TableFrames int
 
 	Detail core.CycleStats
 }
@@ -144,35 +150,39 @@ func (m *Machine) inputs(p *Program, alice, bob []uint32) (pub, ab, bb []bool, e
 	return pub, ab, bb, nil
 }
 
-// Run executes the full garbled protocol in process (both parties), with
-// real garbling and evaluation; use it to validate programs and measure
-// costs before deploying the two-party version.
+// session wraps the machine in a one-shot Session carrying maxCycles, for
+// the deprecated positional-argument methods.
+func (m *Machine) session(p *Program, maxCycles int) (*Session, error) {
+	cfg, err := newSessionConfig([]Option{WithMaxCycles(maxCycles)})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{m: m, prog: p, cfg: cfg}, nil
+}
+
+// Run executes the full garbled protocol in process (both parties).
+//
+// Deprecated: use Engine.Session and Session.Run, which add context
+// cancellation and per-session options.
 func (m *Machine) Run(p *Program, alice, bob []uint32, maxCycles int) (*RunInfo, error) {
-	pub, ab, bb, err := m.inputs(p, alice, bob)
+	s, err := m.session(p, maxCycles)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.RunLocal(m.cpu.Circuit, sim.Inputs{Public: pub, Alice: ab, Bob: bb},
-		core.RunOpts{Cycles: maxCycles, StopOutput: "halted"})
-	if err != nil {
-		return nil, err
-	}
-	return m.info(p, res.Outputs, res.Stats, res.Halted), nil
+	return s.Run(context.Background(), alice, bob)
 }
 
 // Count measures the garbled-table counts of a program without doing any
 // cryptography (the schedule is independent of label values, so the
 // counts are exact).
+//
+// Deprecated: use Engine.Session and Session.Count.
 func (m *Machine) Count(p *Program, maxCycles int) (*RunInfo, error) {
-	pub, err := m.cpu.PublicBits(p)
+	s, err := m.session(p, maxCycles)
 	if err != nil {
 		return nil, err
 	}
-	st, err := core.Count(m.cpu.Circuit, pub, core.CountOpts{Cycles: maxCycles, StopOutput: "halted"})
-	if err != nil {
-		return nil, err
-	}
-	return m.info(p, nil, st, true), nil
+	return s.Count(context.Background())
 }
 
 func (m *Machine) info(p *Program, outBits []bool, st core.Stats, halted bool) *RunInfo {
@@ -191,31 +201,26 @@ func (m *Machine) info(p *Program, outBits []bool, st core.Stats, halted bool) *
 
 // Garble plays Alice (the garbler) over a connection: she contributes the
 // alice[] input array and learns the outputs.
+//
+// Deprecated: use Engine.Session and Session.Garble, which add context
+// cancellation, output-mode selection and cycle batching.
 func (m *Machine) Garble(conn io.ReadWriter, p *Program, alice []uint32, maxCycles int) (*RunInfo, error) {
-	pub, ab, err := m.partyBits(p, circuit.Alice, alice)
+	s, err := m.session(p, maxCycles)
 	if err != nil {
 		return nil, err
 	}
-	cfg := proto.Config{Circuit: m.cpu.Circuit, Public: pub, Cycles: maxCycles, StopOutput: "halted"}
-	res, err := proto.RunGarbler(conn, cfg, ab, nil)
-	if err != nil {
-		return nil, err
-	}
-	return m.info(p, res.Outputs, res.Stats, res.Halted), nil
+	return s.Garble(context.Background(), conn, alice)
 }
 
 // Evaluate plays Bob (the evaluator) over a connection.
+//
+// Deprecated: use Engine.Session and Session.Evaluate.
 func (m *Machine) Evaluate(conn io.ReadWriter, p *Program, bob []uint32, maxCycles int) (*RunInfo, error) {
-	pub, bb, err := m.partyBits(p, circuit.Bob, bob)
+	s, err := m.session(p, maxCycles)
 	if err != nil {
 		return nil, err
 	}
-	cfg := proto.Config{Circuit: m.cpu.Circuit, Public: pub, Cycles: maxCycles, StopOutput: "halted"}
-	res, err := proto.RunEvaluator(conn, cfg, bb)
-	if err != nil {
-		return nil, err
-	}
-	return m.info(p, res.Outputs, res.Stats, res.Halted), nil
+	return s.Evaluate(context.Background(), conn, bob)
 }
 
 func (m *Machine) partyBits(p *Program, owner circuit.Owner, words []uint32) ([]bool, []bool, error) {
@@ -233,25 +238,10 @@ func (m *Machine) partyBits(p *Program, owner circuit.Owner, words []uint32) ([]
 // Disassemble renders a linked program.
 func Disassemble(p *Program) string { return p.Disassemble() }
 
-// Verify cross-checks a garbled run against native execution, returning an
-// error on any mismatch — the quickest way to validate a new program.
+// Verify cross-checks a garbled run against native execution via
+// DefaultEngine, so the machine comes from the layout cache.
+//
+// Deprecated: use Engine.Verify, which takes a context and options.
 func Verify(p *Program, alice, bob []uint32, maxCycles int) (*RunInfo, error) {
-	want, _, err := Emulate(p, alice, bob, maxCycles)
-	if err != nil {
-		return nil, err
-	}
-	m, err := NewMachine(p.Layout)
-	if err != nil {
-		return nil, err
-	}
-	info, err := m.Run(p, alice, bob, maxCycles)
-	if err != nil {
-		return nil, err
-	}
-	for i := range want {
-		if info.Outputs[i] != want[i] {
-			return nil, fmt.Errorf("arm2gc: garbled output[%d] = %#x, native %#x", i, info.Outputs[i], want[i])
-		}
-	}
-	return info, nil
+	return DefaultEngine.Verify(context.Background(), p, alice, bob, WithMaxCycles(maxCycles))
 }

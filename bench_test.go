@@ -8,6 +8,7 @@ package arm2gc
 // Run: go test -bench=. -benchmem
 
 import (
+	"context"
 	"testing"
 
 	"arm2gc/internal/bencher"
@@ -176,20 +177,22 @@ func BenchmarkConventionalGCCycle(b *testing.B) {
 }
 
 // BenchmarkEndToEndSum32 runs the complete garbled execution of the Sum 32
-// program (the paper's headline example).
+// program (the paper's headline example) through the Engine API.
 func BenchmarkEndToEndSum32(b *testing.B) {
 	prog, _, err := CompileC("sum", "void gc_main(const int *a, const int *b, int *c) { c[0] = a[0] + b[0]; }",
 		Layout{IMemWords: 64, AliceWords: 1, BobWords: 1, OutWords: 1, ScratchWords: 8})
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := NewMachine(prog.Layout)
+	eng := NewEngine()
+	sess, err := eng.Session(prog, WithMaxCycles(1000))
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		info, err := m.Run(prog, []uint32{uint32(i)}, []uint32{7}, 1000)
+		info, err := sess.Run(ctx, []uint32{uint32(i)}, []uint32{7})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -197,6 +200,44 @@ func BenchmarkEndToEndSum32(b *testing.B) {
 			b.Fatal("wrong sum")
 		}
 	}
+}
+
+// BenchmarkEngineSessionReuse guards the machine cache: creating a
+// session on a cold Engine pays the ~10ms netlist synthesis; every
+// subsequent session for the same Layout must find the machine for free
+// (the warm case runs Session + a schedule-only Count to show the
+// end-to-end reuse path, and asserts zero extra builds).
+func BenchmarkEngineSessionReuse(b *testing.B) {
+	prog, _, err := CompileC("sum", "void gc_main(const int *a, const int *b, int *c) { c[0] = a[0] + b[0]; }",
+		Layout{IMemWords: 64, AliceWords: 1, BobWords: 1, OutWords: 1, ScratchWords: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := NewEngine()
+			if _, err := eng.Session(prog, WithMaxCycles(1000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := NewEngine()
+		if _, err := eng.Session(prog, WithMaxCycles(1000)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Session(prog, WithMaxCycles(1000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if got := eng.Builds(); got != 1 {
+			b.Fatalf("warm sessions rebuilt the netlist: %d builds", got)
+		}
+	})
 }
 
 // BenchmarkPlainSimCPU is the plaintext-simulation floor for the same

@@ -2,27 +2,47 @@
 //
 //	arm2gc-asm prog.s           # hex words on stdout
 //	arm2gc-asm -d prog.s        # assemble, then disassemble (round-trip view)
+//	arm2gc-asm -cost prog.s     # link against a layout and price the
+//	                            # program in garbled tables (no crypto)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"arm2gc"
+	"arm2gc/internal/cli"
 	"arm2gc/internal/isa"
 )
 
 func main() {
 	dis := flag.Bool("d", false, "disassemble after assembling")
+	cost := flag.Bool("cost", false, "link and report the SkipGate garbled-table cost")
+	maxCycles := flag.Int("max-cycles", 1_000_000, "cost mode: cycle budget")
+	layout := cli.LayoutFlags(" (cost mode)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: arm2gc-asm [-d] prog.s")
+		log.Fatal("usage: arm2gc-asm [-d | -cost] prog.s")
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *cost {
+		prog, err := arm2gc.Assemble(flag.Arg(0), string(src), layout())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cli.PrintCost(context.Background(), prog, *maxCycles); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	words, err := isa.Assemble(string(src))
 	if err != nil {
 		log.Fatal(err)

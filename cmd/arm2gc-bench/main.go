@@ -8,14 +8,19 @@
 //	arm2gc-bench -big           # full paper parameter sets (minutes)
 //	arm2gc-bench -table 4       # a single table (1-6, or "mips")
 //	arm2gc-bench -figure 5      # a single figure (1, 2, 3, 5, 6)
+//	arm2gc-bench -workload dijkstra8   # one workload, full crypto, via the Engine
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"arm2gc"
 	"arm2gc/internal/bencher"
 )
 
@@ -23,6 +28,7 @@ func main() {
 	big := flag.Bool("big", false, "use the paper's full parameter sets (slow)")
 	table := flag.String("table", "", "generate one table: 1..6 or mips")
 	figure := flag.String("figure", "", "generate one figure: 1, 2, 3, 5, 6")
+	workload := flag.String("workload", "", "run one named workload end-to-end (full crypto) on the garbled processor")
 	flag.Parse()
 
 	gens := map[string]func() (*bencher.Table, error){
@@ -58,6 +64,8 @@ func main() {
 	}
 
 	switch {
+	case *workload != "":
+		runWorkload(*workload)
 	case *table != "":
 		run(*table)
 	case *figure != "":
@@ -68,4 +76,40 @@ func main() {
 			run(key)
 		}
 	}
+}
+
+// runWorkload executes one named workload with real garbling through the
+// root Engine API, cross-checked against native emulation. Ctrl-C aborts
+// a long run cleanly.
+func runWorkload(name string) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	w, err := bencher.FindWorkload(name)
+	if err != nil {
+		names := ""
+		for _, w := range bencher.AllWorkloads(true) {
+			names += " " + w.Name
+		}
+		log.Fatalf("%v\navailable:%s", err, names)
+	}
+	prog, warnings, err := w.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, warn := range warnings {
+		log.Printf("compiler warning: %s", warn)
+	}
+	info, err := arm2gc.DefaultEngine.Verify(ctx, prog, w.Alice, w.Bob, arm2gc.WithMaxCycles(50_000_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: verified against native emulation\n", name)
+	fmt.Printf("output:")
+	for _, v := range info.Outputs {
+		fmt.Printf(" %d", v)
+	}
+	fmt.Println()
+	fmt.Printf("cycles: %d  garbled tables: %d  (conventional GC: %d, %.0fx saved)\n",
+		info.Cycles, info.GarbledTables, info.Conventional,
+		float64(info.Conventional)/float64(info.GarbledTables))
 }

@@ -1,27 +1,49 @@
 // arm2gc-cc compiles MiniC to the garbled processor's assembly.
 //
 //	arm2gc-cc prog.c            # assembly on stdout
-//	arm2gc-cc -ast prog.c       # (reserved)
+//	arm2gc-cc -cost prog.c      # link against a layout and price the
+//	                            # program in garbled tables (no crypto)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"arm2gc"
+	"arm2gc/internal/cli"
 	"arm2gc/internal/minicc"
 )
 
 func main() {
+	cost := flag.Bool("cost", false, "link and report the SkipGate garbled-table cost instead of printing assembly")
+	maxCycles := flag.Int("max-cycles", 1_000_000, "cost mode: cycle budget")
+	layout := cli.LayoutFlags(" (cost mode)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: arm2gc-cc prog.c")
+		log.Fatal("usage: arm2gc-cc [-cost] prog.c")
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *cost {
+		prog, warnings, err := arm2gc.CompileC(flag.Arg(0), string(src), layout())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+		}
+		if err := cli.PrintCost(context.Background(), prog, *maxCycles); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	res, err := minicc.Compile(string(src))
 	if err != nil {
 		log.Fatal(err)

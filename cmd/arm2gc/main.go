@@ -10,19 +10,24 @@
 //
 // prog.c defines gc_main(const int *a, const int *b, int *c); both sides
 // must pass identical program and layout flags (the binary is the public
-// input p both parties know).
+// input p both parties know). Ctrl-C cancels a run cleanly, even while
+// blocked on a hung peer.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"arm2gc"
+	"arm2gc/internal/cli"
 )
 
 func main() {
@@ -33,20 +38,18 @@ func main() {
 	asmFile := flag.String("asm", "", "assembly source file (gc_main entry)")
 	input := flag.String("input", "", "this party's input words, comma separated")
 	otherInput := flag.String("other-input", "", "local role only: the other party's input")
-	aliceWords := flag.Int("alice-words", 4, "size of Alice's input region (words)")
-	bobWords := flag.Int("bob-words", 4, "size of Bob's input region (words)")
-	outWords := flag.Int("out-words", 4, "size of the output region (words)")
-	scratch := flag.Int("scratch", 64, "scratch+stack region (words)")
+	layout := cli.LayoutFlags("; both parties must pass the same value — it is part of the public layout the session id covers")
 	maxCycles := flag.Int("max-cycles", 1_000_000, "cycle budget")
+	cycleBatch := flag.Int("cycle-batch", 1, "cycles of garbled tables per network frame (both parties must agree)")
+	outputMode := flag.String("output-mode", "both", "who learns the outputs: both | garbler | evaluator (both parties must agree)")
 	disasm := flag.Bool("S", false, "print the linked program and exit")
 	dumpNetlist := flag.String("dump-netlist", "", "write the processor netlist (text format) to a file and exit")
 	flag.Parse()
 
-	l := arm2gc.Layout{
-		IMemWords: 64, AliceWords: *aliceWords, BobWords: *bobWords,
-		OutWords: *outWords, ScratchWords: *scratch,
-	}
-	prog, warnings := load(*cFile, *asmFile, l)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	prog, warnings := load(*cFile, *asmFile, layout())
 	for _, w := range warnings {
 		log.Printf("compiler warning: %s", w)
 	}
@@ -55,12 +58,16 @@ func main() {
 		return
 	}
 
-	words := parseWords(*input)
-	m, err := arm2gc.NewMachine(prog.Layout)
+	mode, err := parseOutputMode(*outputMode)
 	if err != nil {
 		log.Fatal(err)
 	}
+	eng := arm2gc.NewEngine()
 	if *dumpNetlist != "" {
+		m, err := eng.Machine(prog.Layout)
+		if err != nil {
+			log.Fatal(err)
+		}
 		f, err := os.Create(*dumpNetlist)
 		if err != nil {
 			log.Fatal(err)
@@ -77,10 +84,19 @@ func main() {
 		return
 	}
 
+	sess, err := eng.Session(prog,
+		arm2gc.WithMaxCycles(*maxCycles),
+		arm2gc.WithCycleBatch(*cycleBatch),
+		arm2gc.WithOutputMode(mode))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	words := parseWords(*input)
 	var info *arm2gc.RunInfo
 	switch *role {
 	case "local":
-		info, err = m.Run(prog, words, parseWords(*otherInput), *maxCycles)
+		info, err = sess.Run(ctx, words, parseWords(*otherInput))
 	case "garbler":
 		if *listen == "" {
 			log.Fatal("-role garbler needs -listen")
@@ -91,22 +107,23 @@ func main() {
 		}
 		defer ln.Close()
 		fmt.Fprintf(os.Stderr, "garbler listening on %s...\n", ln.Addr())
-		conn, aerr := ln.Accept()
+		conn, aerr := acceptCtx(ctx, ln)
 		if aerr != nil {
 			log.Fatal(aerr)
 		}
 		defer conn.Close()
-		info, err = m.Garble(conn, prog, words, *maxCycles)
+		info, err = sess.Garble(ctx, conn, words)
 	case "evaluator":
 		if *connect == "" {
 			log.Fatal("-role evaluator needs -connect")
 		}
-		conn, derr := net.Dial("tcp", *connect)
+		var d net.Dialer
+		conn, derr := d.DialContext(ctx, "tcp", *connect)
 		if derr != nil {
 			log.Fatal(derr)
 		}
 		defer conn.Close()
-		info, err = m.Evaluate(conn, prog, words, *maxCycles)
+		info, err = sess.Evaluate(ctx, conn, words)
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
@@ -114,13 +131,51 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("output:")
-	for _, w := range info.Outputs {
-		fmt.Printf(" %d", w)
+	if info.Outputs != nil {
+		fmt.Printf("output:")
+		for _, w := range info.Outputs {
+			fmt.Printf(" %d", w)
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("output withheld from this party (-output-mode %s)\n", *outputMode)
 	}
-	fmt.Println()
 	fmt.Printf("cycles: %d  garbled tables: %d  (conventional GC: %d)\n",
 		info.Cycles, info.GarbledTables, info.Conventional)
+	if info.TableFrames > 0 {
+		fmt.Printf("table frames: %d (cycle batch %d)\n", info.TableFrames, *cycleBatch)
+	}
+}
+
+// acceptCtx is Accept with cancellation: Ctrl-C while waiting for the
+// evaluator to dial closes the listener instead of hanging.
+func acceptCtx(ctx context.Context, ln net.Listener) (net.Conn, error) {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+		case <-done:
+		}
+	}()
+	conn, err := ln.Accept()
+	if err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return conn, err
+}
+
+func parseOutputMode(s string) (arm2gc.OutputMode, error) {
+	switch s {
+	case "both":
+		return arm2gc.OutputBoth, nil
+	case "garbler":
+		return arm2gc.OutputGarblerOnly, nil
+	case "evaluator":
+		return arm2gc.OutputEvaluatorOnly, nil
+	}
+	return 0, fmt.Errorf("unknown -output-mode %q (want both, garbler or evaluator)", s)
 }
 
 func load(cFile, asmFile string, l arm2gc.Layout) (*arm2gc.Program, []string) {

@@ -1,0 +1,283 @@
+package arm2gc
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/core"
+	"arm2gc/internal/cpu"
+	"arm2gc/internal/proto"
+	"arm2gc/internal/sim"
+)
+
+// OutputMode selects who learns a two-party execution's outputs (the
+// paper's "one or both of them learn the output c"). The default is
+// OutputBoth; use WithOutputMode to restrict decoding to one side.
+type OutputMode = proto.OutputMode
+
+// Output modes, re-exported at the root so callers never import internal
+// packages.
+const (
+	OutputBoth          = proto.OutputBoth
+	OutputGarblerOnly   = proto.OutputGarblerOnly
+	OutputEvaluatorOnly = proto.OutputEvaluatorOnly
+)
+
+// DefaultMaxCycles is the cycle budget a Session runs with unless
+// WithMaxCycles overrides it.
+const DefaultMaxCycles = 1_000_000
+
+// Engine is the process-wide entry point of the API: a concurrency-safe
+// factory of garbled-processor sessions with a layout-keyed machine
+// cache. Synthesizing the processor netlist costs ~10ms for the 256-word
+// layouts (~29k wires), so the Engine builds each Layout exactly once —
+// concurrent requests for the same Layout share one in-flight build — and
+// every Session over that geometry reuses the immutable netlist.
+//
+// An Engine is safe for concurrent use; a server typically holds one for
+// its lifetime. The cache never evicts (entries are a few MB and layouts
+// are few); create a throwaway Engine for one-off geometries if that ever
+// matters.
+type Engine struct {
+	cache *cpu.Cache
+}
+
+// NewEngine creates an Engine with its own empty cache. DefaultEngine
+// serves callers that do not need cache isolation.
+func NewEngine() *Engine { return &Engine{cache: new(cpu.Cache)} }
+
+// DefaultEngine backs the package-level compatibility shims (NewMachine,
+// Verify) and is free for direct use. It shares the process-wide machine
+// cache with the internal tooling, so a binary mixing both (the bencher)
+// never synthesizes a layout twice.
+var DefaultEngine = &Engine{cache: cpu.SharedCache()}
+
+// Machine returns the cached processor for a layout, synthesizing it on
+// first use. The returned Machine shares the Engine's immutable netlist
+// and is safe for concurrent use.
+func (e *Engine) Machine(l Layout) (*Machine, error) {
+	c, err := e.cache.Get(l)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{cpu: c}, nil
+}
+
+// Builds reports how many netlist syntheses this Engine has performed —
+// an observable for cache-effectiveness tests and monitoring.
+func (e *Engine) Builds() int64 { return e.cache.Builds() }
+
+// StatsSink receives per-cycle scheduling statistics as a run progresses
+// (see WithStatsSink). It is called synchronously from the cycle loop, so
+// it must be fast; hand off to a channel for slow consumers.
+type StatsSink func(CycleUpdate)
+
+// CycleUpdate is one cycle's scheduling outcome, streamed to a StatsSink.
+type CycleUpdate struct {
+	Cycle int // 1-based clock cycle
+	Stats core.CycleStats
+}
+
+// sessionConfig collects the option-settable knobs of a Session.
+type sessionConfig struct {
+	maxCycles  int
+	outputs    OutputMode
+	cycleBatch int
+	rand       io.Reader
+	sink       StatsSink
+}
+
+// Option configures a Session (functional options).
+type Option func(*sessionConfig)
+
+// WithMaxCycles sets the cycle budget (default DefaultMaxCycles). Runs
+// stop earlier at the program's halt flag; the budget bounds runaway
+// programs.
+func WithMaxCycles(n int) Option { return func(c *sessionConfig) { c.maxCycles = n } }
+
+// WithOutputMode restricts which party's networked run decodes the
+// outputs (default OutputBoth). Both parties must configure the same
+// mode; it is part of the protocol's session id, so a mismatch aborts the
+// handshake. In-process Run ignores the mode (it plays both parties).
+func WithOutputMode(m OutputMode) Option { return func(c *sessionConfig) { c.outputs = m } }
+
+// WithCycleBatch makes the networked protocol pack n cycles of garbled
+// tables into each table frame (default 1), cutting the frame count — and
+// the per-frame syscall and round-trip overhead — by ~n× without changing
+// any table byte. Both parties must agree on n (it is part of the session
+// id). Larger batches trade streaming latency for throughput.
+func WithCycleBatch(n int) Option { return func(c *sessionConfig) { c.cycleBatch = n } }
+
+// WithRand sets the label-randomness source for the garbling side
+// (default crypto/rand). Only deterministic tests should override it.
+func WithRand(r io.Reader) Option { return func(c *sessionConfig) { c.rand = r } }
+
+// WithStatsSink streams every cycle's scheduling statistics to sink as
+// the run progresses — live SkipGate telemetry for long executions.
+func WithStatsSink(sink StatsSink) Option { return func(c *sessionConfig) { c.sink = sink } }
+
+// Session is one garbled execution of a program: a cached Machine plus
+// the per-run configuration. Sessions are cheap — all the weight lives in
+// the Engine's machine cache — so create one per execution. A Session is
+// stateless across its method calls; reusing one for several sequential
+// runs is fine, but a single networked run should own its connection.
+type Session struct {
+	m    *Machine
+	prog *Program
+	cfg  sessionConfig
+}
+
+// Session creates a session for a program, drawing the machine from the
+// layout cache (the first session for a Layout pays the netlist build;
+// every later one finds it for free).
+func (e *Engine) Session(p *Program, opts ...Option) (*Session, error) {
+	m, err := e.Machine(p.Layout)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := newSessionConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{m: m, prog: p, cfg: cfg}, nil
+}
+
+// newSessionConfig applies opts over the defaults and validates — the one
+// place session defaults live (Engine.Session and the deprecated Machine
+// shims both go through it).
+func newSessionConfig(opts []Option) (sessionConfig, error) {
+	cfg := sessionConfig{maxCycles: DefaultMaxCycles, cycleBatch: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxCycles <= 0 {
+		return cfg, fmt.Errorf("arm2gc: WithMaxCycles(%d): cycle budget must be positive", cfg.maxCycles)
+	}
+	if cfg.cycleBatch < 1 {
+		return cfg, fmt.Errorf("arm2gc: WithCycleBatch(%d): batch must be at least 1", cfg.cycleBatch)
+	}
+	return cfg, nil
+}
+
+// Machine exposes the session's shared processor instance.
+func (s *Session) Machine() *Machine { return s.m }
+
+// Program returns the program this session executes.
+func (s *Session) Program() *Program { return s.prog }
+
+// coreSink adapts the session's StatsSink to the cycle-loop callback.
+func (s *Session) coreSink() func(int, core.CycleStats) {
+	if s.cfg.sink == nil {
+		return nil
+	}
+	sink := s.cfg.sink
+	return func(cyc int, cs core.CycleStats) { sink(CycleUpdate{Cycle: cyc, Stats: cs}) }
+}
+
+// Run executes the full garbled protocol in process (both parties), with
+// real garbling and evaluation; use it to validate programs and measure
+// costs before deploying the two-party version. Cancelling ctx aborts the
+// cycle loop with ctx.Err().
+func (s *Session) Run(ctx context.Context, alice, bob []uint32) (*RunInfo, error) {
+	pub, ab, bb, err := s.m.inputs(s.prog, alice, bob)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunLocal(ctx, s.m.cpu.Circuit, sim.Inputs{Public: pub, Alice: ab, Bob: bb},
+		core.RunOpts{Cycles: s.cfg.maxCycles, StopOutput: "halted", Rand: s.cfg.rand, Sink: s.coreSink()})
+	if err != nil {
+		return nil, err
+	}
+	return s.m.info(s.prog, res.Outputs, res.Stats, res.Halted), nil
+}
+
+// Count measures the garbled-table counts of the program without doing
+// any cryptography (the schedule is independent of label values, so the
+// counts are exact). Cancelling ctx aborts with ctx.Err().
+func (s *Session) Count(ctx context.Context) (*RunInfo, error) {
+	pub, err := s.m.cpu.PublicBits(s.prog)
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.Count(ctx, s.m.cpu.Circuit, pub,
+		core.CountOpts{Cycles: s.cfg.maxCycles, StopOutput: "halted", Sink: s.coreSink()})
+	if err != nil {
+		return nil, err
+	}
+	return s.m.info(s.prog, nil, st, true), nil
+}
+
+// Garble plays Alice (the garbler) over a connection: she contributes the
+// alice[] input array and, unless WithOutputMode says otherwise, learns
+// the outputs. Cancelling ctx aborts the protocol — including any
+// in-flight read or write when conn supports deadlines (every net.Conn
+// does) — with an error wrapping ctx.Err().
+func (s *Session) Garble(ctx context.Context, conn io.ReadWriter, alice []uint32) (*RunInfo, error) {
+	pub, ab, err := s.m.partyBits(s.prog, circuit.Alice, alice)
+	if err != nil {
+		return nil, err
+	}
+	res, err := proto.RunGarbler(ctx, conn, s.protoConfig(pub), ab, s.cfg.rand)
+	if err != nil {
+		return nil, err
+	}
+	info := s.m.info(s.prog, res.Outputs, res.Stats, res.Halted)
+	info.TableFrames = res.TableFrames
+	return info, nil
+}
+
+// Evaluate plays Bob (the evaluator) over a connection. Cancellation
+// behaves as in Garble.
+func (s *Session) Evaluate(ctx context.Context, conn io.ReadWriter, bob []uint32) (*RunInfo, error) {
+	pub, bb, err := s.m.partyBits(s.prog, circuit.Bob, bob)
+	if err != nil {
+		return nil, err
+	}
+	res, err := proto.RunEvaluator(ctx, conn, s.protoConfig(pub), bb)
+	if err != nil {
+		return nil, err
+	}
+	info := s.m.info(s.prog, res.Outputs, res.Stats, res.Halted)
+	info.TableFrames = res.TableFrames
+	return info, nil
+}
+
+func (s *Session) protoConfig(pub []bool) proto.Config {
+	return proto.Config{
+		Circuit:    s.m.cpu.Circuit,
+		Public:     pub,
+		Cycles:     s.cfg.maxCycles,
+		StopOutput: "halted",
+		Outputs:    s.cfg.outputs,
+		CycleBatch: s.cfg.cycleBatch,
+		Sink:       s.coreSink(),
+	}
+}
+
+// Verify cross-checks a garbled run against native execution, returning
+// an error on any mismatch — the quickest way to validate a new program.
+// The machine comes from the Engine cache, so verifying after a Run (or
+// cross-checking many programs on one layout) pays no extra netlist
+// build.
+func (e *Engine) Verify(ctx context.Context, p *Program, alice, bob []uint32, opts ...Option) (*RunInfo, error) {
+	s, err := e.Session(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	want, _, err := Emulate(p, alice, bob, s.cfg.maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	info, err := s.Run(ctx, alice, bob)
+	if err != nil {
+		return nil, err
+	}
+	for i := range want {
+		if info.Outputs[i] != want[i] {
+			return nil, fmt.Errorf("arm2gc: garbled output[%d] = %#x, native %#x", i, info.Outputs[i], want[i])
+		}
+	}
+	return info, nil
+}

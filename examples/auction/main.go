@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,10 @@ func main() {
 	aliceBids := []uint32{120, 410, 95, 333, 78, 501, 222, 64}
 	bobBids := []uint32{90, 388, 505, 17, 444, 260, 71, 119}
 
-	info, err := arm2gc.Verify(prog, aliceBids, bobBids, 50_000)
+	// Engine.Verify cross-checks the garbled run against native emulation
+	// on a cached machine.
+	info, err := arm2gc.DefaultEngine.Verify(context.Background(), prog, aliceBids, bobBids,
+		arm2gc.WithMaxCycles(50_000))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,12 +2,15 @@
 // network's link costs (neither sees the real topology weights); they
 // jointly compute the shortest distances from a depot without revealing
 // the shares. This is the paper's Table 5 Dijkstra workload, run with the
-// full cryptographic protocol in process.
+// full cryptographic protocol in process. The per-cycle stats sink
+// streams live SkipGate telemetry for the long run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"arm2gc"
 	"arm2gc/internal/bencher"
@@ -25,7 +28,17 @@ func main() {
 		log.Printf("compiler note: %s", warn)
 	}
 
-	info, err := arm2gc.Verify(prog, w.Alice, w.Bob, 5_000_000)
+	// Stream coarse progress while the ~100k-cycle run grinds.
+	var garbled int
+	sink := func(u arm2gc.CycleUpdate) {
+		garbled += u.Stats.Garbled
+		if u.Cycle%20_000 == 0 {
+			fmt.Fprintf(os.Stderr, "  cycle %d: %d garbled tables so far\n", u.Cycle, garbled)
+		}
+	}
+
+	info, err := arm2gc.DefaultEngine.Verify(context.Background(), prog, w.Alice, w.Bob,
+		arm2gc.WithMaxCycles(5_000_000), arm2gc.WithStatsSink(sink))
 	if err != nil {
 		log.Fatal(err)
 	}

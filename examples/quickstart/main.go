@@ -3,12 +3,14 @@
 // Alice and Bob each hold a net worth; they learn who is richer and
 // nothing else. The comparison is written in plain C, compiled with the
 // bundled MiniC compiler, and executed under the full garbled-circuit
-// protocol (in process). The printed statistics show SkipGate at work:
-// the processor evaluates thousands of gates per cycle, but only the ~130
-// that touch the private values cost any communication.
+// protocol (in process) through the Engine/Session API. The printed
+// statistics show SkipGate at work: the processor evaluates thousands of
+// gates per cycle, but only the ~130 that touch the private values cost
+// any communication.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,11 +39,12 @@ func main() {
 	alice := []uint32{1_500_000}
 	bob := []uint32{2_750_000}
 
-	m, err := arm2gc.NewMachine(prog.Layout)
+	eng := arm2gc.NewEngine()
+	sess, err := eng.Session(prog, arm2gc.WithMaxCycles(10_000))
 	if err != nil {
 		log.Fatal(err)
 	}
-	info, err := m.Run(prog, alice, bob, 10_000)
+	info, err := sess.Run(context.Background(), alice, bob)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"arm2gc/internal/core"
@@ -60,7 +61,7 @@ gc_main:
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := core.Count(c.Circuit, pub, core.CountOpts{Cycles: cycles, StopOutput: "halted"})
+	st, err := core.Count(context.Background(), c.Circuit, pub, core.CountOpts{Cycles: cycles, StopOutput: "halted"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bencher
 
 import (
+	"context"
 	"fmt"
 
 	"arm2gc/internal/build"
@@ -67,7 +68,7 @@ func AblationMuxCell() (*Table, error) {
 		if tc.owner == circuit.Public {
 			pub = []bool{tc.sel}
 		}
-		st, err := core.Count(c, pub, core.CountOpts{Cycles: 1})
+		st, err := core.Count(context.Background(), c, pub, core.CountOpts{Cycles: 1})
 		if err != nil {
 			return nil, err
 		}

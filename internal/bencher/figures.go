@@ -1,6 +1,7 @@
 package bencher
 
 import (
+	"context"
 	"fmt"
 
 	"arm2gc/internal/build"
@@ -48,7 +49,7 @@ func Figure1() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := core.Count(c, []bool{tc.pval}, core.CountOpts{Cycles: 1})
+		st, err := core.Count(context.Background(), c, []bool{tc.pval}, core.CountOpts{Cycles: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +112,7 @@ func Figure2() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := core.Count(c, []bool{true}, core.CountOpts{Cycles: 1})
+		st, err := core.Count(context.Background(), c, []bool{true}, core.CountOpts{Cycles: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -146,11 +147,11 @@ func Figure3() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	stOff, err := core.Count(c, []bool{true}, core.CountOpts{Cycles: 1}) // p=1: chain used
+	stOff, err := core.Count(context.Background(), c, []bool{true}, core.CountOpts{Cycles: 1}) // p=1: chain used
 	if err != nil {
 		return nil, err
 	}
-	stOn, err := core.Count(c, []bool{false}, core.CountOpts{Cycles: 1}) // p=0: chain dead
+	stOn, err := core.Count(context.Background(), c, []bool{false}, core.CountOpts{Cycles: 1}) // p=0: chain dead
 	if err != nil {
 		return nil, err
 	}
@@ -205,7 +206,7 @@ gc_main:
 		if err != nil {
 			return 0, 0, err
 		}
-		c, err := cpu.Build(l)
+		c, err := cpu.Shared(l)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -215,7 +216,7 @@ gc_main:
 		}
 		// Fixed cycle budget: the branchy version's cycle count is itself
 		// secret-dependent, so run both for the worst case.
-		st, err := core.Count(c.Circuit, pub, core.CountOpts{Cycles: 14})
+		st, err := core.Count(context.Background(), c.Circuit, pub, core.CountOpts{Cycles: 14})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -261,7 +262,7 @@ L1:
 	if err != nil {
 		return nil, err
 	}
-	c, err := cpu.Build(l)
+	c, err := cpu.Shared(l)
 	if err != nil {
 		return nil, err
 	}

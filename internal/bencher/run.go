@@ -1,6 +1,7 @@
 package bencher
 
 import (
+	"context"
 	"fmt"
 
 	"arm2gc/internal/circuit"
@@ -53,7 +54,7 @@ func RunOnCPU(w *Workload) (*CPUResult, error) {
 		}
 	}
 
-	c, err := cpu.Build(p.Layout)
+	c, err := cpu.Shared(p.Layout)
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +62,7 @@ func RunOnCPU(w *Workload) (*CPUResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := core.Count(c.Circuit, pub, core.CountOpts{Cycles: cycles, StopOutput: "halted"})
+	st, err := core.Count(context.Background(), c.Circuit, pub, core.CountOpts{Cycles: cycles, StopOutput: "halted"})
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +93,7 @@ func VerifyOnCPU(w *Workload) error {
 	if err != nil {
 		return err
 	}
-	c, err := cpu.Build(p.Layout)
+	c, err := cpu.Shared(p.Layout)
 	if err != nil {
 		return err
 	}
@@ -108,7 +109,7 @@ func VerifyOnCPU(w *Workload) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.RunLocal(c.Circuit, simInputs(pub, ab, bb),
+	res, err := core.RunLocal(context.Background(), c.Circuit, simInputs(pub, ab, bb),
 		core.RunOpts{Cycles: cycles, StopOutput: "halted"})
 	if err != nil {
 		return err

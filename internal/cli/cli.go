@@ -1,0 +1,47 @@
+// Package cli shares flag plumbing between the cmd/ tools: the
+// processor-layout flag set (which must stay identical across tools — a
+// layout mismatch between parties aborts the protocol handshake) and the
+// standard garbled-cost report.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+
+	"arm2gc"
+)
+
+// LayoutFlags registers the five processor-layout flags on the process
+// flag set; call the returned function after flag.Parse to assemble the
+// Layout. imemNote is appended to the -imem-words usage text (the
+// two-party tool documents the both-parties-must-agree rule there).
+func LayoutFlags(imemNote string) func() arm2gc.Layout {
+	imem := flag.Int("imem-words", 64, "instruction memory size (words, power of two)"+imemNote)
+	alice := flag.Int("alice-words", 4, "size of Alice's input region (words)")
+	bob := flag.Int("bob-words", 4, "size of Bob's input region (words)")
+	out := flag.Int("out-words", 4, "size of the output region (words)")
+	scratch := flag.Int("scratch", 64, "scratch+stack region (words)")
+	return func() arm2gc.Layout {
+		return arm2gc.Layout{
+			IMemWords: *imem, AliceWords: *alice, BobWords: *bob,
+			OutWords: *out, ScratchWords: *scratch,
+		}
+	}
+}
+
+// PrintCost prices a program in garbled tables (schedule only, no
+// cryptography) through the shared Engine and prints the standard report.
+func PrintCost(ctx context.Context, prog *arm2gc.Program, maxCycles int) error {
+	sess, err := arm2gc.DefaultEngine.Session(prog, arm2gc.WithMaxCycles(maxCycles))
+	if err != nil {
+		return err
+	}
+	info, err := sess.Count(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d cycles, %d garbled tables (conventional GC: %d)\n",
+		prog.Name, info.Cycles, info.GarbledTables, info.Conventional)
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -102,7 +103,7 @@ func TestCategoryTableExhaustive(t *testing.T) {
 							Bob:    []bool{v2 == 1},
 						}
 						want := sim.Run(c, in, 1)
-						res, err := RunLocal(c, in, RunOpts{Cycles: 1})
+						res, err := RunLocal(context.Background(), c, in, RunOpts{Cycles: 1})
 						if err != nil {
 							t.Fatalf("%s: %v", name, err)
 						}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestSkipGateMatchesSimAndConventional(t *testing.T) {
 		cycles := 1 + rng.Intn(5)
 		want := sim.Run(c, in, cycles)
 		conv := runConventional(t, c, in, cycles)
-		res, err := RunLocal(c, in, RunOpts{Cycles: cycles})
+		res, err := RunLocal(context.Background(), c, in, RunOpts{Cycles: cycles})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -89,7 +90,7 @@ func TestAllPublicIsFree(t *testing.T) {
 	c := b.MustCompile()
 
 	in := sim.Inputs{Public: sim.UnpackUint(uint64(1234)|uint64(777)<<16, 32)}
-	res, err := RunLocal(c, in, RunOpts{Cycles: 1})
+	res, err := RunLocal(context.Background(), c, in, RunOpts{Cycles: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestIllustrativeMux(t *testing.T) {
 			Bob:    sim.UnpackUint(xv, 8),
 			Public: []bool{sel},
 		}
-		res, err := RunLocal(c, in, RunOpts{Cycles: 1})
+		res, err := RunLocal(context.Background(), c, in, RunOpts{Cycles: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func TestTable1Sum32(t *testing.T) {
 	}
 	av, xv := uint64(0xdeadbeef), uint64(0x12345678)
 	in := sim.Inputs{Alice: sim.UnpackUint(av, 32), Bob: sim.UnpackUint(xv, 32)}
-	res, err := RunLocal(c, in, RunOpts{Cycles: 32, RecordEveryCycle: true})
+	res, err := RunLocal(context.Background(), c, in, RunOpts{Cycles: 32, RecordEveryCycle: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,11 +299,11 @@ func TestCountMatchesRunLocal(t *testing.T) {
 			Public: circtest.RandBits(rng, c.PublicBits),
 		}
 		cycles := 1 + rng.Intn(4)
-		res, err := RunLocal(c, in, RunOpts{Cycles: cycles})
+		res, err := RunLocal(context.Background(), c, in, RunOpts{Cycles: cycles})
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := Count(c, in.Public, CountOpts{Cycles: cycles})
+		st, err := Count(context.Background(), c, in.Public, CountOpts{Cycles: cycles})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -323,7 +324,7 @@ func TestHaltWire(t *testing.T) {
 	b.Output("cnt", cnt.Q())
 	c := b.MustCompile()
 
-	res, err := RunLocal(c, sim.Inputs{}, RunOpts{Cycles: 100, StopOutput: "done"})
+	res, err := RunLocal(context.Background(), c, sim.Inputs{}, RunOpts{Cycles: 100, StopOutput: "done"})
 	if err != nil {
 		t.Fatal(err)
 	}

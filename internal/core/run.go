@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,6 +30,10 @@ type RunOpts struct {
 
 	// Rand supplies label randomness; nil means crypto/rand.
 	Rand io.Reader
+
+	// Sink, when set, receives every cycle's scheduling outcome as it is
+	// classified — live progress for long runs.
+	Sink func(cycle int, cs CycleStats)
 }
 
 // RunResult reports a completed run.
@@ -42,8 +47,12 @@ type RunResult struct {
 // RunLocal executes the full two-party SkipGate protocol in process: one
 // shared Scheduler, Alice's Garbler and Bob's Evaluator, with oblivious
 // transfer simulated by direct delivery. It verifies that the table stream
-// is consumed exactly and decodes the outputs.
-func RunLocal(c *circuit.Circuit, in sim.Inputs, opts RunOpts) (*RunResult, error) {
+// is consumed exactly and decodes the outputs. Cancelling ctx aborts the
+// cycle loop with ctx.Err().
+func RunLocal(ctx context.Context, c *circuit.Circuit, in sim.Inputs, opts RunOpts) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Cycles <= 0 {
 		return nil, fmt.Errorf("core: RunOpts.Cycles = %d", opts.Cycles)
 	}
@@ -85,10 +94,16 @@ func RunLocal(c *circuit.Circuit, in sim.Inputs, opts RunOpts) (*RunResult, erro
 		ws[i] = c.ResolveOutput(w)
 	}
 	for cyc := 1; cyc <= opts.Cycles; cyc++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		final := cyc == opts.Cycles
 		cs := s.Classify(final)
 		res.Stats.Total.Add(cs)
 		res.Stats.Cycles++
+		if opts.Sink != nil {
+			opts.Sink(cyc, cs)
+		}
 
 		tables := g.GarbleCycle(nil)
 		rest, err := e.EvalCycle(tables)
@@ -157,13 +172,20 @@ type CountOpts struct {
 	Cycles     int
 	StopOutput string
 	Seed       Seed
+
+	// Sink, when set, receives every cycle's scheduling outcome.
+	Sink func(cycle int, cs CycleStats)
 }
 
 // Count runs only the Scheduler — no cryptography — and returns the gate
 // statistics. This is how the benchmark harness measures garbled non-XOR
 // counts for large circuits and long runs (the counts are exactly those of
 // a full protocol run, since scheduling is independent of label values).
-func Count(c *circuit.Circuit, pub []bool, opts CountOpts) (Stats, error) {
+// Cancelling ctx aborts the cycle loop with ctx.Err().
+func Count(ctx context.Context, c *circuit.Circuit, pub []bool, opts CountOpts) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Cycles <= 0 {
 		return Stats{}, fmt.Errorf("core: CountOpts.Cycles = %d", opts.Cycles)
 	}
@@ -178,9 +200,15 @@ func Count(c *circuit.Circuit, pub []bool, opts CountOpts) (Stats, error) {
 	s := NewScheduler(c, opts.Seed, pub)
 	var st Stats
 	for cyc := 1; cyc <= opts.Cycles; cyc++ {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		cs := s.Classify(cyc == opts.Cycles)
 		st.Total.Add(cs)
 		st.Cycles++
+		if opts.Sink != nil {
+			opts.Sink(cyc, cs)
+		}
 		if stopWire >= 0 {
 			if v, pub := s.WireState(stopWire); pub && v {
 				break

@@ -1,0 +1,65 @@
+package cpu
+
+import (
+	"sync"
+	"testing"
+
+	"arm2gc/internal/isa"
+)
+
+func TestCacheSingleflight(t *testing.T) {
+	l := isa.Layout{IMemWords: 16, AliceWords: 1, BobWords: 1, OutWords: 1, ScratchWords: 4}
+	var c Cache
+	const n = 8
+	cpus := make([]*CPU, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := c.Get(l)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cpus[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if cpus[i] != cpus[0] {
+			t.Fatalf("goroutine %d got a distinct CPU instance", i)
+		}
+	}
+	if got := c.Builds(); got != 1 {
+		t.Fatalf("%d builds for %d concurrent gets, want 1", got, n)
+	}
+
+	// A different layout is a distinct entry.
+	l2 := l
+	l2.ScratchWords = 8
+	m2, err := c.Get(l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 == cpus[0] {
+		t.Fatal("distinct layouts shared a CPU")
+	}
+	if got := c.Builds(); got != 2 {
+		t.Fatalf("builds = %d, want 2", got)
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	var c Cache
+	bad := isa.Layout{IMemWords: 3, AliceWords: 1, BobWords: 1, OutWords: 1, ScratchWords: 4}
+	if _, err := c.Get(bad); err == nil {
+		t.Fatal("non-power-of-two imem accepted")
+	}
+	if _, err := c.Get(bad); err == nil {
+		t.Fatal("cached entry lost the build error")
+	}
+	if got := c.Builds(); got != 1 {
+		t.Fatalf("failed layout rebuilt: %d builds", got)
+	}
+}

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"testing"
 
 	"arm2gc/internal/circuit"
@@ -238,7 +239,7 @@ gc_main:
 		t.Fatal(err)
 	}
 	pub, _ := c.PublicBits(p)
-	st, err := core.Count(c.Circuit, pub, core.CountOpts{Cycles: cycles})
+	st, err := core.Count(context.Background(), c.Circuit, pub, core.CountOpts{Cycles: cycles})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ gc_main:
 	pub, _ := c.PublicBits(p)
 	ab, _ := c.InputBits(circuit.Alice, alice)
 	bb, _ := c.InputBits(circuit.Bob, bob)
-	res, err := core.RunLocal(c.Circuit, sim.Inputs{Public: pub, Alice: ab, Bob: bb},
+	res, err := core.RunLocal(context.Background(), c.Circuit, sim.Inputs{Public: pub, Alice: ab, Bob: bb},
 		core.RunOpts{Cycles: cycles, StopOutput: "halted"})
 	if err != nil {
 		t.Fatal(err)

@@ -1,20 +1,28 @@
 // Package proto runs the ARM2GC protocol between two parties over a byte
 // stream (TCP in the cmd tools, net.Pipe in tests): circuit/parameter
 // agreement, direct transfer of the garbler's input labels, IKNP oblivious
-// transfer for the evaluator's labels, per-cycle garbled-table streaming
-// with SkipGate on both sides, and two-way output decoding.
+// transfer for the evaluator's labels, garbled-table streaming (batched
+// over CycleBatch cycles per frame) with SkipGate on both sides, and
+// two-way output decoding.
 //
 // Both parties independently run the shared SkipGate scheduler from the
 // same public data, so no classification information is ever exchanged —
 // only garbled tables and labels cross the wire, exactly as in the paper.
+//
+// Both entry points take a context.Context: cancellation aborts the run
+// between cycles, and — when the connection supports deadlines (net.Conn,
+// net.Pipe) — unblocks any in-flight frame read or write, so a hung peer
+// cannot wedge the caller.
 package proto
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"arm2gc/internal/circuit"
 	"arm2gc/internal/core"
@@ -44,6 +52,25 @@ type Config struct {
 
 	// Outputs selects who learns the result (default: both).
 	Outputs OutputMode
+
+	// CycleBatch is how many cycles of garbled tables share one msgTables
+	// frame (default 1: a frame per cycle). Batching cuts the frame count
+	// — and, over a real network, the syscall and round-trip overhead —
+	// by the batch factor without changing a single table byte. Both
+	// parties must agree; it is part of the session id.
+	CycleBatch int
+
+	// Sink, when set, receives every cycle's scheduling outcome as it is
+	// classified, on both roles.
+	Sink func(cycle int, cs core.CycleStats)
+}
+
+// batch returns the normalized frame batch size.
+func (c Config) batch() int {
+	if c.CycleBatch < 1 {
+		return 1
+	}
+	return c.CycleBatch
 }
 
 // sessionID digests everything public; a mismatch aborts the handshake.
@@ -56,6 +83,8 @@ func (c Config) sessionID() ([32]byte, error) {
 	h.Write(ch[:])
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(c.Cycles))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(c.batch()))
 	h.Write(buf[:])
 	h.Write([]byte{byte(c.Outputs)})
 	h.Write([]byte(c.StopOutput))
@@ -81,6 +110,14 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
+	}
+	if len(payload) == 0 {
+		// Skip the zero-byte write: readFrame's ReadFull never issues the
+		// matching zero-byte read, and a 0-byte net.Pipe write blocks
+		// until *some* read arrives — a deadlock when the peer's next
+		// operation is itself a write (e.g. an empty final table frame in
+		// garbler-only output mode).
+		return nil
 	}
 	_, err := w.Write(payload)
 	return err
@@ -140,15 +177,72 @@ func unpackLabels(b []byte) []gc.Label {
 	return ls
 }
 
+// deadliner is the subset of net.Conn the context watcher needs; net.Pipe
+// and every real network connection implement it.
+type deadliner interface {
+	SetDeadline(t time.Time) error
+}
+
+// watchContext arms an abort path for blocking conn I/O: when ctx is
+// cancelled, every pending and future read/write on conn fails
+// immediately via an already-expired deadline. The returned stop function
+// releases the watcher.
+func watchContext(ctx context.Context, conn io.ReadWriter) (stop func()) {
+	d, ok := conn.(deadliner)
+	if !ok || ctx.Done() == nil {
+		return func() {}
+	}
+	stopped := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			d.SetDeadline(time.Unix(1, 0))
+		case <-stopped:
+		}
+	}()
+	return func() {
+		close(stopped)
+		<-done
+	}
+}
+
+// abortErr prefers the context's verdict over the I/O error it provoked,
+// so callers see ctx.Err() (wrapped) when a run was cancelled.
+func abortErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("proto: run aborted: %w", cerr)
+	}
+	return err
+}
+
 // Result reports a protocol run.
 type Result struct {
 	Outputs []bool // all output buses flattened (resolved, final cycle)
 	Stats   core.Stats
 	Halted  bool
+
+	// TableFrames is the number of msgTables frames that crossed the
+	// wire; with CycleBatch > 1 it is ~Cycles/CycleBatch.
+	TableFrames int
 }
 
 // RunGarbler plays Alice.
-func RunGarbler(conn io.ReadWriter, cfg Config, aliceInput []bool, rnd io.Reader) (*Result, error) {
+func RunGarbler(ctx context.Context, conn io.ReadWriter, cfg Config, aliceInput []bool, rnd io.Reader) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := watchContext(ctx, conn)
+	defer stop()
+	res, err := runGarbler(ctx, conn, cfg, aliceInput, rnd)
+	return res, abortErr(ctx, err)
+}
+
+func runGarbler(ctx context.Context, conn io.ReadWriter, cfg Config, aliceInput []bool, rnd io.Reader) (*Result, error) {
 	sid, err := cfg.sessionID()
 	if err != nil {
 		return nil, err
@@ -183,23 +277,42 @@ func RunGarbler(conn io.ReadWriter, cfg Config, aliceInput []bool, rnd io.Reader
 
 	res := &Result{}
 	run := newRun(cfg)
+	batch := cfg.batch()
 	var tables []gc.Table
+	var payload []byte
+	inBatch := 0
 	for cyc := 1; cyc <= cfg.Cycles; cyc++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		final := cyc == cfg.Cycles
 		cs := s.Classify(final)
 		res.Stats.Total.Add(cs)
 		res.Stats.Cycles++
+		if cfg.Sink != nil {
+			cfg.Sink(cyc, cs)
+		}
 		tables = g.GarbleCycle(tables[:0])
-		payload := make([]byte, 0, len(tables)*gc.TableBytes)
 		for _, t := range tables {
 			tg, te := t.TG.Bytes(), t.TE.Bytes()
 			payload = append(payload, tg[:]...)
 			payload = append(payload, te[:]...)
 		}
-		if err := writeFrame(conn, msgTables, payload); err != nil {
-			return nil, err
+		inBatch++
+		halted := run.stopped(s)
+		// Flush at the batch boundary — and, regardless of fill, at the
+		// halt or cycle-budget edge, where the evaluator expects the
+		// remainder. Both sides derive identical boundaries from the
+		// shared public schedule.
+		if inBatch == batch || final || halted {
+			if err := writeFrame(conn, msgTables, payload); err != nil {
+				return nil, err
+			}
+			res.TableFrames++
+			payload = payload[:0]
+			inBatch = 0
 		}
-		if run.stopped(s) {
+		if halted {
 			res.Halted = true
 			break
 		}
@@ -245,7 +358,17 @@ func RunGarbler(conn io.ReadWriter, cfg Config, aliceInput []bool, rnd io.Reader
 }
 
 // RunEvaluator plays Bob.
-func RunEvaluator(conn io.ReadWriter, cfg Config, bobInput []bool) (*Result, error) {
+func RunEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput []bool) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := watchContext(ctx, conn)
+	defer stop()
+	res, err := runEvaluator(ctx, conn, cfg, bobInput)
+	return res, abortErr(ctx, err)
+}
+
+func runEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput []bool) (*Result, error) {
 	sid, err := cfg.sessionID()
 	if err != nil {
 		return nil, err
@@ -283,28 +406,50 @@ func RunEvaluator(conn io.ReadWriter, cfg Config, bobInput []bool) (*Result, err
 
 	res := &Result{}
 	run := newRun(cfg)
+	batch := cfg.batch()
+	var pending []gc.Table // tables of the current frame not yet consumed
+	inBatch := 0
 	for cyc := 1; cyc <= cfg.Cycles; cyc++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		final := cyc == cfg.Cycles
 		cs := s.Classify(final)
 		res.Stats.Total.Add(cs)
 		res.Stats.Cycles++
-		payload, err := readFrame(conn, msgTables)
+		if cfg.Sink != nil {
+			cfg.Sink(cyc, cs)
+		}
+		if inBatch == 0 {
+			// Batch start: the garbler sends one frame covering the next
+			// CycleBatch cycles (fewer at the halt/budget edge).
+			payload, err := readFrame(conn, msgTables)
+			if err != nil {
+				return nil, err
+			}
+			res.TableFrames++
+			if len(payload)%gc.TableBytes != 0 {
+				return nil, fmt.Errorf("proto: cycle %d: ragged table frame of %d bytes", cyc, len(payload))
+			}
+			pending = make([]gc.Table, len(payload)/gc.TableBytes)
+			for i := range pending {
+				pending[i].TG = gc.LabelFromBytes(payload[i*gc.TableBytes:])
+				pending[i].TE = gc.LabelFromBytes(payload[i*gc.TableBytes+16:])
+			}
+		}
+		pending, err = e.EvalCycle(pending)
 		if err != nil {
 			return nil, err
 		}
-		tables := make([]gc.Table, len(payload)/gc.TableBytes)
-		for i := range tables {
-			tables[i].TG = gc.LabelFromBytes(payload[i*gc.TableBytes:])
-			tables[i].TE = gc.LabelFromBytes(payload[i*gc.TableBytes+16:])
+		inBatch++
+		halted := run.stopped(s)
+		if inBatch == batch || final || halted {
+			if len(pending) != 0 {
+				return nil, fmt.Errorf("proto: cycle %d: %d unconsumed tables at batch end", cyc, len(pending))
+			}
+			inBatch = 0
 		}
-		rest, err := e.EvalCycle(tables)
-		if err != nil {
-			return nil, err
-		}
-		if len(rest) != 0 {
-			return nil, fmt.Errorf("proto: cycle %d: %d unconsumed tables", cyc, len(rest))
-		}
-		if run.stopped(s) {
+		if halted {
 			res.Halted = true
 			break
 		}

@@ -1,13 +1,17 @@
 package proto
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"net"
 	"testing"
+	"time"
 
 	"arm2gc/internal/build"
 	"arm2gc/internal/circuit"
 	"arm2gc/internal/circuit/circtest"
+	"arm2gc/internal/core"
 	"arm2gc/internal/sim"
 )
 
@@ -23,10 +27,10 @@ func runBoth(t *testing.T, cfg Config, alice, bob []bool) (*Result, *Result) {
 	}
 	ch := make(chan res, 1)
 	go func() {
-		r, err := RunGarbler(ca, cfg, alice, nil)
+		r, err := RunGarbler(context.Background(), ca, cfg, alice, nil)
 		ch <- res{r, err}
 	}()
-	rb, err := RunEvaluator(cb, cfg, bob)
+	rb, err := RunEvaluator(context.Background(), cb, cfg, bob)
 	if err != nil {
 		t.Fatalf("evaluator: %v", err)
 	}
@@ -72,7 +76,9 @@ func TestProtocolRandomCircuits(t *testing.T) {
 			Public: circtest.RandBits(rng, c.PublicBits),
 		}
 		cycles := 1 + rng.Intn(4)
-		cfg := Config{Circuit: c, Public: in.Public, Cycles: cycles}
+		// Exercise the frame batching across trials, including batches
+		// larger than the cycle count.
+		cfg := Config{Circuit: c, Public: in.Public, Cycles: cycles, CycleBatch: 1 + trial%4}
 		ra, rb := runBoth(t, cfg, in.Alice, in.Bob)
 
 		want := sim.Run(c, in, cycles)
@@ -82,6 +88,141 @@ func TestProtocolRandomCircuits(t *testing.T) {
 				t.Fatalf("trial %d output %d: garbler %v evaluator %v sim %v",
 					trial, i, ra.Outputs[i], rb.Outputs[i], want[i])
 			}
+		}
+	}
+}
+
+// multiCycleConfig builds a 16-cycle sequential accumulator circuit for
+// the batching tests: acc' = acc + (a XOR x) each cycle.
+func multiCycleConfig(t *testing.T, batch int) (Config, []bool, []bool) {
+	t.Helper()
+	b := build.New("accum")
+	a := b.Input(circuit.Alice, "a", 16)
+	x := b.Input(circuit.Bob, "x", 16)
+	acc := b.Reg("acc", 16)
+	acc.SetNext(b.Add(acc.Q(), b.XorBus(a, x)))
+	b.Output("acc", acc.Q())
+	c := b.MustCompile()
+	cfg := Config{Circuit: c, Cycles: 16, CycleBatch: batch}
+	return cfg, sim.UnpackUint(0x2f1d, 16), sim.UnpackUint(0x1234, 16)
+}
+
+func TestCycleBatchReducesFrames(t *testing.T) {
+	cfg1, alice, bob := multiCycleConfig(t, 1)
+	r1a, r1b := runBoth(t, cfg1, alice, bob)
+	cfg8, _, _ := multiCycleConfig(t, 8)
+	r8a, r8b := runBoth(t, cfg8, alice, bob)
+
+	// Batching must not change the computation: byte-identical outputs
+	// and identical garbled-table accounting.
+	for i := range r1a.Outputs {
+		if r1a.Outputs[i] != r8a.Outputs[i] || r1b.Outputs[i] != r8b.Outputs[i] {
+			t.Fatalf("output %d differs between batch sizes", i)
+		}
+	}
+	if r1a.Stats != r8a.Stats {
+		t.Fatalf("stats differ: batch1 %+v batch8 %+v", r1a.Stats, r8a.Stats)
+	}
+
+	if r1a.TableFrames != 16 || r1b.TableFrames != 16 {
+		t.Fatalf("unbatched frames = %d/%d, want 16", r1a.TableFrames, r1b.TableFrames)
+	}
+	if r8a.TableFrames != 2 || r8b.TableFrames != 2 {
+		t.Fatalf("batch-8 frames = %d/%d, want 2", r8a.TableFrames, r8b.TableFrames)
+	}
+}
+
+func TestCycleBatchMismatchRejected(t *testing.T) {
+	cfg1, alice, bob := multiCycleConfig(t, 1)
+	cfg8, _, _ := multiCycleConfig(t, 8)
+	ca, cb := net.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunGarbler(context.Background(), ca, cfg8, alice, nil)
+		errc <- err
+	}()
+	if _, err := RunEvaluator(context.Background(), cb, cfg1, bob); err == nil {
+		t.Error("evaluator accepted a mismatched cycle batch")
+	}
+	ca.Close()
+	cb.Close()
+	<-errc
+}
+
+func TestContextCancelUnblocks(t *testing.T) {
+	b := build.New("stall")
+	a := b.Input(circuit.Alice, "a", 8)
+	b.Output("o", a)
+	c := b.MustCompile()
+	cfg := Config{Circuit: c, Cycles: 1}
+
+	// The garbler's peer never shows up: without cancellation it would
+	// block forever in the hello exchange.
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunGarbler(ctx, ca, cfg, nil, nil)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("garbler returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled garbler did not return")
+	}
+
+	// Same for an evaluator waiting on a silent garbler.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		_, err := RunEvaluator(ctx2, cb, cfg, nil)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel2()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("evaluator returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled evaluator did not return")
+	}
+}
+
+func TestStatsSinkStreams(t *testing.T) {
+	cfg, alice, bob := multiCycleConfig(t, 4)
+	var garbCycles, evalCycles []int
+	cfgA, cfgB := cfg, cfg
+	cfgA.Sink = func(cyc int, _ core.CycleStats) { garbCycles = append(garbCycles, cyc) }
+	cfgB.Sink = func(cyc int, _ core.CycleStats) { evalCycles = append(evalCycles, cyc) }
+
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunGarbler(context.Background(), ca, cfgA, alice, nil)
+		done <- err
+	}()
+	if _, err := RunEvaluator(context.Background(), cb, cfgB, bob); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(garbCycles) != 16 || len(evalCycles) != 16 {
+		t.Fatalf("sink saw %d/%d cycles, want 16", len(garbCycles), len(evalCycles))
+	}
+	for i, c := range garbCycles {
+		if c != i+1 {
+			t.Fatalf("garbler sink cycle %d at index %d", c, i)
 		}
 	}
 }
@@ -107,7 +248,7 @@ func TestProtocolOverTCP(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		r, err := RunGarbler(conn, cfg, sim.UnpackUint(100, 16), nil)
+		r, err := RunGarbler(context.Background(), conn, cfg, sim.UnpackUint(100, 16), nil)
 		if err == nil && !r.Outputs[0] {
 			t.Error("garbler: 100 < 200 decoded false")
 		}
@@ -118,7 +259,7 @@ func TestProtocolOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	rb, err := RunEvaluator(conn, cfg, sim.UnpackUint(200, 16))
+	rb, err := RunEvaluator(context.Background(), conn, cfg, sim.UnpackUint(200, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,10 +284,10 @@ func TestSessionMismatch(t *testing.T) {
 	ca, cb := net.Pipe()
 	errc := make(chan error, 1)
 	go func() {
-		_, err := RunGarbler(ca, Config{Circuit: c1, Cycles: 1}, nil, nil)
+		_, err := RunGarbler(context.Background(), ca, Config{Circuit: c1, Cycles: 1}, nil, nil)
 		errc <- err
 	}()
-	if _, err := RunEvaluator(cb, Config{Circuit: c2, Cycles: 1}, nil); err == nil {
+	if _, err := RunEvaluator(context.Background(), cb, Config{Circuit: c2, Cycles: 1}, nil); err == nil {
 		t.Error("evaluator accepted mismatched circuit")
 	}
 	// The garbler may be blocked waiting for an ack that will never come;
@@ -191,10 +332,10 @@ func TestOutputModeMismatchRejected(t *testing.T) {
 	ca, cb := net.Pipe()
 	errc := make(chan error, 1)
 	go func() {
-		_, err := RunGarbler(ca, Config{Circuit: c, Cycles: 1, Outputs: OutputGarblerOnly}, nil, nil)
+		_, err := RunGarbler(context.Background(), ca, Config{Circuit: c, Cycles: 1, Outputs: OutputGarblerOnly}, nil, nil)
 		errc <- err
 	}()
-	_, err := RunEvaluator(cb, Config{Circuit: c, Cycles: 1, Outputs: OutputBoth}, nil)
+	_, err := RunEvaluator(context.Background(), cb, Config{Circuit: c, Cycles: 1, Outputs: OutputBoth}, nil)
 	if err == nil {
 		t.Error("evaluator accepted a mismatched output mode")
 	}
