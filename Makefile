@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke bench-engine cover ci
+.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline cover ci
 
 all: build vet test
 
@@ -27,8 +27,13 @@ fuzz-smoke:
 bench-engine:
 	$(GO) test -run '^$$' -bench BenchmarkEngineSessionReuse -benchtime 50x .
 
+# Pipelined vs serial garbler wall clock over net.Pipe with simulated
+# link latency: the pipelined path overlaps garbling with frame I/O.
+bench-pipeline:
+	$(GO) test -run '^$$' -bench BenchmarkGarblerPipeline -benchtime 5x .
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-ci: build vet race fuzz-smoke bench-engine
+ci: build vet race fuzz-smoke bench-engine bench-pipeline

@@ -23,6 +23,13 @@
 // side calls sess.Garble or sess.Evaluate with its private input on its
 // end of a connection; everything else — oblivious transfer, garbled
 // table streaming, output decoding — is handled internally.
+//
+// For a deployed two-party service, Server and Client layer negotiated
+// sessions on top: a Server registers programs by name over one Engine
+// and garbles for many concurrent evaluator connections, and a Client
+// reuses one connection for many sequential Evaluate calls, each opened
+// by a propose/grant handshake that validates the program and options
+// against the server's registration before any cryptography runs.
 package arm2gc
 
 import (

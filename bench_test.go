@@ -9,7 +9,9 @@ package arm2gc
 
 import (
 	"context"
+	"net"
 	"testing"
+	"time"
 
 	"arm2gc/internal/bencher"
 	"arm2gc/internal/core"
@@ -238,6 +240,82 @@ func BenchmarkEngineSessionReuse(b *testing.B) {
 			b.Fatalf("warm sessions rebuilt the netlist: %d builds", got)
 		}
 	})
+}
+
+// slowConn models a link with per-write transmission time: each Write
+// costs latency wall-clock before the bytes move. Over a raw net.Pipe a
+// write completes the moment the peer reads, so frame I/O is free and
+// serial garbling already overlaps with peer compute; the latency is what
+// a real network adds and what the pipelined garbler hides.
+type slowConn struct {
+	net.Conn
+	latency time.Duration
+}
+
+func (c slowConn) Write(p []byte) (int, error) {
+	time.Sleep(c.latency)
+	return c.Conn.Write(p)
+}
+
+// benchTwoParty runs complete two-party executions of the Hamming
+// workload over net.Pipe with 1ms of garbler-side write latency, the
+// garbler pipelining `pipeline` frames ahead of the writer (0 = the
+// serial path).
+func benchTwoParty(b *testing.B, pipeline int) {
+	w := bencher.HammingWorkload(160)
+	prog, _, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine()
+	opts := []Option{WithMaxCycles(1000), WithCycleBatch(8), WithPipeline(pipeline)}
+	alice := make([]uint32, prog.Layout.AliceWords)
+	bob := make([]uint32, prog.Layout.BobWords)
+	for i := range alice {
+		alice[i] = 0xa5a5a5a5
+	}
+	for i := range bob {
+		bob[i] = uint32(0x5a5a5a5a + i)
+	}
+	if _, err := eng.Session(prog, opts...); err != nil { // pay the netlist build untimed
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs, err := eng.Session(prog, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		es, err := eng.Session(prog, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ca, cb := net.Pipe()
+		done := make(chan error, 1)
+		go func() {
+			_, err := gs.Garble(ctx, slowConn{Conn: ca, latency: time.Millisecond}, alice)
+			done <- err
+		}()
+		if _, err := es.Evaluate(ctx, cb, bob); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		ca.Close()
+		cb.Close()
+	}
+}
+
+// BenchmarkGarblerPipeline compares the serial and pipelined garbler
+// paths end to end (`make bench-pipeline`). Over net.Pipe each write
+// rendezvous with the evaluator's read, so the serial path alternates
+// compute and I/O while the pipelined one overlaps them; the gap between
+// the two sub-benchmarks is the overlap won.
+func BenchmarkGarblerPipeline(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchTwoParty(b, 0) })
+	b.Run("pipeline4", func(b *testing.B) { benchTwoParty(b, 4) })
 }
 
 // BenchmarkPlainSimCPU is the plaintext-simulation floor for the same

@@ -1,0 +1,184 @@
+package arm2gc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"arm2gc/internal/proto"
+)
+
+// RejectedError is what Client.Evaluate returns when the Server declines
+// a proposal (unknown program, an option the registration does not offer,
+// an over-budget cycle count); check for it with errors.As. The
+// connection survives a rejection, so the Client remains usable.
+type RejectedError = proto.Rejected
+
+// Client is the evaluator side of the two-party API as a service client:
+// it holds one connection to a Server and runs any number of sequential
+// sessions over it, negotiating each with a propose/grant handshake. The
+// program is the public input both parties must know, so the Client
+// registers its own copy of every program it evaluates; the negotiation
+// cross-checks the session id, turning any program-binary or layout
+// disagreement into a clear error before the run starts.
+//
+// A Client is safe for concurrent use; sessions serialize on the
+// connection. After a mid-protocol failure the connection state is
+// unknown, so the Client marks itself broken and every later call returns
+// the original error — dial a fresh Client to continue.
+type Client struct {
+	conn io.ReadWriter
+	eng  *Engine
+
+	mu     sync.Mutex
+	progs  map[string]*Program
+	broken error
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientEngine sets the Engine the Client draws machines from
+// (default DefaultEngine). A process playing both roles should pass the
+// Server's Engine so both share one cached netlist per layout.
+func WithClientEngine(eng *Engine) ClientOption {
+	return func(c *Client) {
+		if eng != nil {
+			c.eng = eng
+		}
+	}
+}
+
+// NewClient wraps an established connection to a Server. The Client owns
+// conn: Close closes it when it implements io.Closer.
+func NewClient(conn io.ReadWriter, opts ...ClientOption) *Client {
+	c := &Client{conn: conn, eng: DefaultEngine, progs: make(map[string]*Program)}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Dial connects to a Server over TCP and wraps the connection in a
+// Client. Cancelling ctx aborts the dial.
+func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, opts...), nil
+}
+
+// Register binds the Client's copy of a program to the name it will
+// propose under (empty name means p.Name). The binary must match the
+// Server's registration bit for bit — the negotiated session id catches
+// any divergence.
+func (c *Client) Register(name string, p *Program) error {
+	if p == nil {
+		return fmt.Errorf("arm2gc: Register: nil program")
+	}
+	if name == "" {
+		name = p.Name
+	}
+	if name == "" {
+		return fmt.Errorf("arm2gc: Register: program has no name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.progs[name]; dup {
+		return fmt.Errorf("arm2gc: Register: program %q already registered", name)
+	}
+	c.progs[name] = p
+	return nil
+}
+
+// Evaluate negotiates and runs one session over the Client's connection:
+// it proposes the named program with the explicitly set options
+// (WithOutputMode, WithCycleBatch, WithMaxCycles; unset ones take the
+// Server's registered defaults), verifies the granted session id against
+// its own program copy, and plays the evaluator role contributing the bob
+// input words. It returns the server's rejection as *RejectedError, after
+// which the connection remains usable for further sessions.
+func (c *Client) Evaluate(ctx context.Context, name string, bob []uint32, opts ...Option) (*RunInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return nil, fmt.Errorf("arm2gc: client connection is broken: %w", c.broken)
+	}
+	prog := c.progs[name]
+	if prog == nil {
+		return nil, fmt.Errorf("arm2gc: program %q not registered on this client", name)
+	}
+	cfg, err := newSessionConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	prop := proto.Proposal{Program: name}
+	if cfg.outputsSet {
+		prop.HasOutputs = true
+		prop.Outputs = cfg.outputs
+	}
+	if cfg.cycleBatchSet {
+		prop.CycleBatch = cfg.cycleBatch
+	}
+	if cfg.maxCyclesSet {
+		prop.MaxCycles = cfg.maxCycles
+	}
+	grant, err := proto.Negotiate(ctx, c.conn, prop)
+	if err != nil {
+		var rej *RejectedError
+		if errors.As(err, &rej) {
+			return nil, err // the connection survives a rejection
+		}
+		return nil, c.fail(err)
+	}
+	resolved := append(opts[:len(opts):len(opts)],
+		WithOutputMode(grant.Outputs),
+		WithCycleBatch(grant.CycleBatch),
+		WithMaxCycles(grant.MaxCycles))
+	sess, err := c.eng.Session(prog, resolved...)
+	if err != nil {
+		return nil, c.fail(err) // the server expects a session this side won't run
+	}
+	sid, err := sess.sessionID()
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	if !bytes.Equal(sid[:], grant.SessionID[:]) {
+		return nil, c.fail(fmt.Errorf("arm2gc: session id mismatch for %q: this client's program binary or layout differs from the server's registration", name))
+	}
+	info, err := sess.Evaluate(ctx, c.conn, bob)
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	return info, nil
+}
+
+// fail latches err as the Client's terminal state and closes the
+// connection, so the server's handler — possibly already granted and
+// waiting for a session this side will never run — unblocks instead of
+// pinning a goroutine (and a WithMaxSessions slot) on a dead peer.
+func (c *Client) fail(err error) error {
+	c.broken = err
+	if cl, ok := c.conn.(io.Closer); ok {
+		cl.Close()
+	}
+	return err
+}
+
+// Close closes the underlying connection when it supports closing; the
+// server sees a clean end-of-connection at its next proposal read.
+func (c *Client) Close() error {
+	if cl, ok := c.conn.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 // arm2gc runs a secure two-party computation: one invocation per party,
 // connected over TCP, or both parties in one process with -role local.
 //
+// One-shot, one connection per run (both sides pass identical program and
+// layout flags — the binary is the public input p both parties know):
+//
 //	# terminal 1 (Alice, the garbler):
 //	arm2gc -role garbler -listen :9000 -c prog.c -input 5,7 \
 //	       -alice-words 2 -bob-words 2 -out-words 1
@@ -8,14 +11,26 @@
 //	arm2gc -role evaluator -connect localhost:9000 -c prog.c -input 3,4 \
 //	       -alice-words 2 -bob-words 2 -out-words 1
 //
-// prog.c defines gc_main(const int *a, const int *b, int *c); both sides
-// must pass identical program and layout flags (the binary is the public
-// input p both parties know). Ctrl-C cancels a run cleanly, even while
-// blocked on a hung peer.
+// As a service, with negotiated sessions and connection reuse: the serve
+// role registers the program under a name and garbles for any number of
+// concurrent evaluator connections; the client role dials once and runs
+// -sessions sequential sessions over the one connection:
+//
+//	# terminal 1 (the garbling server):
+//	arm2gc -role serve -listen :9000 -c prog.c -program add -input 5,7 \
+//	       -alice-words 2 -bob-words 2 -out-words 1
+//	# terminal 2 (an evaluator client):
+//	arm2gc -role client -connect localhost:9000 -c prog.c -program add \
+//	       -input 3,4 -sessions 3 -alice-words 2 -bob-words 2 -out-words 1
+//
+// Ctrl-C cancels a run cleanly, even while blocked on a hung peer; for
+// the serve role it is a graceful shutdown (idle connections close,
+// in-flight sessions drain).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -31,17 +46,18 @@ import (
 )
 
 func main() {
-	role := flag.String("role", "local", "garbler | evaluator | local (both in-process)")
-	listen := flag.String("listen", "", "garbler: address to listen on")
-	connect := flag.String("connect", "", "evaluator: garbler address to dial")
+	role := flag.String("role", "local", "garbler | evaluator | serve | client | local (both in-process)")
+	listen := flag.String("listen", "", "garbler/serve: address to listen on")
+	connect := flag.String("connect", "", "evaluator/client: garbler address to dial")
 	cFile := flag.String("c", "", "MiniC source file (gc_main entry)")
 	asmFile := flag.String("asm", "", "assembly source file (gc_main entry)")
 	input := flag.String("input", "", "this party's input words, comma separated")
 	otherInput := flag.String("other-input", "", "local role only: the other party's input")
+	progName := flag.String("program", "", "serve/client: name the program is registered and proposed under (default: the source file name)")
+	sessions := flag.Int("sessions", 1, "client: sequential sessions to run over the one connection")
+	maxSessions := flag.Int("max-sessions", 0, "serve: concurrent-session limit (0 = unlimited)")
 	layout := cli.LayoutFlags("; both parties must pass the same value — it is part of the public layout the session id covers")
-	maxCycles := flag.Int("max-cycles", 1_000_000, "cycle budget")
-	cycleBatch := flag.Int("cycle-batch", 1, "cycles of garbled tables per network frame (both parties must agree)")
-	outputMode := flag.String("output-mode", "both", "who learns the outputs: both | garbler | evaluator (both parties must agree)")
+	sessOpts := cli.SessionFlags()
 	disasm := flag.Bool("S", false, "print the linked program and exit")
 	dumpNetlist := flag.String("dump-netlist", "", "write the processor netlist (text format) to a file and exit")
 	flag.Parse()
@@ -58,41 +74,85 @@ func main() {
 		return
 	}
 
-	mode, err := parseOutputMode(*outputMode)
-	if err != nil {
-		log.Fatal(err)
-	}
 	eng := arm2gc.NewEngine()
 	if *dumpNetlist != "" {
-		m, err := eng.Machine(prog.Layout)
-		if err != nil {
-			log.Fatal(err)
-		}
-		f, err := os.Create(*dumpNetlist)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := m.WriteNetlist(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		st := m.Stats()
-		fmt.Printf("netlist written to %s: %d gates (%d non-XOR), %d flip-flops\n",
-			*dumpNetlist, st.Gates, st.NonXOR, st.DFFs)
+		dump(eng, prog, *dumpNetlist)
 		return
 	}
 
-	sess, err := eng.Session(prog,
-		arm2gc.WithMaxCycles(*maxCycles),
-		arm2gc.WithCycleBatch(*cycleBatch),
-		arm2gc.WithOutputMode(mode))
+	name := *progName
+	if name == "" {
+		name = prog.Name
+	}
+	words := parseWords(*input)
+
+	switch *role {
+	case "serve":
+		if *listen == "" {
+			log.Fatal("-role serve needs -listen")
+		}
+		opts, err := sessOpts.Options(false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := arm2gc.NewServer(eng,
+			arm2gc.WithMaxSessions(*maxSessions),
+			arm2gc.WithServerLog(log.Printf))
+		if err := srv.Register(name, prog, append(opts, arm2gc.WithGarblerInput(words))...); err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("serving program %q on %s", name, ln.Addr())
+		if err := srv.Serve(ctx, ln); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shut down after %d sessions", srv.SessionsServed())
+		return
+
+	case "client":
+		if *connect == "" {
+			log.Fatal("-role client needs -connect")
+		}
+		opts, err := sessOpts.Options(true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl, err := arm2gc.Dial(ctx, *connect, arm2gc.WithClientEngine(eng))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		if err := cl.Register(name, prog); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < *sessions; i++ {
+			info, err := cl.Evaluate(ctx, name, words, opts...)
+			if err != nil {
+				var rej *arm2gc.RejectedError
+				if errors.As(err, &rej) {
+					log.Fatalf("server rejected the session: %s", rej.Reason)
+				}
+				log.Fatal(err)
+			}
+			fmt.Printf("session %d/%d: ", i+1, *sessions)
+			report(info)
+		}
+		return
+	}
+
+	opts, err := sessOpts.Options(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := eng.Session(prog, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	words := parseWords(*input)
 	var info *arm2gc.RunInfo
 	switch *role {
 	case "local":
@@ -130,7 +190,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	report(info)
+}
 
+// report prints a run's outcome in the tool's standard shape.
+func report(info *arm2gc.RunInfo) {
 	if info.Outputs != nil {
 		fmt.Printf("output:")
 		for _, w := range info.Outputs {
@@ -138,13 +202,34 @@ func main() {
 		}
 		fmt.Println()
 	} else {
-		fmt.Printf("output withheld from this party (-output-mode %s)\n", *outputMode)
+		fmt.Println("output withheld from this party (-output-mode)")
 	}
 	fmt.Printf("cycles: %d  garbled tables: %d  (conventional GC: %d)\n",
 		info.Cycles, info.GarbledTables, info.Conventional)
 	if info.TableFrames > 0 {
-		fmt.Printf("table frames: %d (cycle batch %d)\n", info.TableFrames, *cycleBatch)
+		fmt.Printf("table frames: %d\n", info.TableFrames)
 	}
+}
+
+// dump writes the processor netlist and its composition report.
+func dump(eng *arm2gc.Engine, prog *arm2gc.Program, path string) {
+	m, err := eng.Machine(prog.Layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.WriteNetlist(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("netlist written to %s: %d gates (%d non-XOR), %d flip-flops\n",
+		path, st.Gates, st.NonXOR, st.DFFs)
 }
 
 // acceptCtx is Accept with cancellation: Ctrl-C while waiting for the
@@ -164,18 +249,6 @@ func acceptCtx(ctx context.Context, ln net.Listener) (net.Conn, error) {
 		return nil, ctx.Err()
 	}
 	return conn, err
-}
-
-func parseOutputMode(s string) (arm2gc.OutputMode, error) {
-	switch s {
-	case "both":
-		return arm2gc.OutputBoth, nil
-	case "garbler":
-		return arm2gc.OutputGarblerOnly, nil
-	case "evaluator":
-		return arm2gc.OutputEvaluatorOnly, nil
-	}
-	return 0, fmt.Errorf("unknown -output-mode %q (want both, garbler or evaluator)", s)
 }
 
 func load(cFile, asmFile string, l arm2gc.Layout) (*arm2gc.Program, []string) {

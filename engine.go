@@ -80,13 +80,21 @@ type CycleUpdate struct {
 	Stats core.CycleStats
 }
 
-// sessionConfig collects the option-settable knobs of a Session.
+// sessionConfig collects the option-settable knobs of a Session. The
+// *Set flags record which negotiable knobs were set explicitly: a Client
+// proposes only those to a Server and takes the registered defaults for
+// the rest.
 type sessionConfig struct {
-	maxCycles  int
-	outputs    OutputMode
-	cycleBatch int
-	rand       io.Reader
-	sink       StatsSink
+	maxCycles     int
+	maxCyclesSet  bool
+	outputs       OutputMode
+	outputsSet    bool
+	cycleBatch    int
+	cycleBatchSet bool
+	pipeline      int
+	garblerInput  []uint32
+	rand          io.Reader
+	sink          StatsSink
 }
 
 // Option configures a Session (functional options).
@@ -94,21 +102,47 @@ type Option func(*sessionConfig)
 
 // WithMaxCycles sets the cycle budget (default DefaultMaxCycles). Runs
 // stop earlier at the program's halt flag; the budget bounds runaway
-// programs.
-func WithMaxCycles(n int) Option { return func(c *sessionConfig) { c.maxCycles = n } }
+// programs. A Client proposing a budget must stay within the Server
+// registration's budget, or the session is rejected.
+func WithMaxCycles(n int) Option {
+	return func(c *sessionConfig) { c.maxCycles = n; c.maxCyclesSet = true }
+}
 
 // WithOutputMode restricts which party's networked run decodes the
 // outputs (default OutputBoth). Both parties must configure the same
 // mode; it is part of the protocol's session id, so a mismatch aborts the
-// handshake. In-process Run ignores the mode (it plays both parties).
-func WithOutputMode(m OutputMode) Option { return func(c *sessionConfig) { c.outputs = m } }
+// handshake — and a Server rejects a Client proposing a mode other than
+// the registered one (who learns the result is server policy).
+// In-process Run ignores the mode (it plays both parties).
+func WithOutputMode(m OutputMode) Option {
+	return func(c *sessionConfig) { c.outputs = m; c.outputsSet = true }
+}
 
 // WithCycleBatch makes the networked protocol pack n cycles of garbled
 // tables into each table frame (default 1), cutting the frame count — and
 // the per-frame syscall and round-trip overhead — by ~n× without changing
 // any table byte. Both parties must agree on n (it is part of the session
 // id). Larger batches trade streaming latency for throughput.
-func WithCycleBatch(n int) Option { return func(c *sessionConfig) { c.cycleBatch = n } }
+func WithCycleBatch(n int) Option {
+	return func(c *sessionConfig) { c.cycleBatch = n; c.cycleBatchSet = true }
+}
+
+// WithPipeline makes the garbling side run its compute loop in a producer
+// goroutine that garbles up to depth frames ahead of the network writer,
+// overlapping table generation with frame I/O (default 0: serial). The
+// wire stream is byte-identical to the serial path; the knob is local to
+// the garbler — it is not part of the session id and need not match the
+// peer's. The evaluating side ignores it.
+func WithPipeline(depth int) Option { return func(c *sessionConfig) { c.pipeline = depth } }
+
+// WithGarblerInput fixes Alice's input words on a session's garbling
+// side. Server registrations use it to bind the server's private input to
+// a program: Server sessions garble with these words (nil means an
+// all-zero input region). Session.Garble's explicit argument takes
+// precedence when non-nil; evaluating sessions ignore the option.
+func WithGarblerInput(alice []uint32) Option {
+	return func(c *sessionConfig) { c.garblerInput = alice }
+}
 
 // WithRand sets the label-randomness source for the garbling side
 // (default crypto/rand). Only deterministic tests should override it.
@@ -157,6 +191,9 @@ func newSessionConfig(opts []Option) (sessionConfig, error) {
 	}
 	if cfg.cycleBatch < 1 {
 		return cfg, fmt.Errorf("arm2gc: WithCycleBatch(%d): batch must be at least 1", cfg.cycleBatch)
+	}
+	if cfg.pipeline < 0 {
+		return cfg, fmt.Errorf("arm2gc: WithPipeline(%d): depth cannot be negative", cfg.pipeline)
 	}
 	return cfg, nil
 }
@@ -215,6 +252,9 @@ func (s *Session) Count(ctx context.Context) (*RunInfo, error) {
 // in-flight read or write when conn supports deadlines (every net.Conn
 // does) — with an error wrapping ctx.Err().
 func (s *Session) Garble(ctx context.Context, conn io.ReadWriter, alice []uint32) (*RunInfo, error) {
+	if alice == nil {
+		alice = s.cfg.garblerInput
+	}
 	pub, ab, err := s.m.partyBits(s.prog, circuit.Alice, alice)
 	if err != nil {
 		return nil, err
@@ -252,8 +292,20 @@ func (s *Session) protoConfig(pub []bool) proto.Config {
 		StopOutput: "halted",
 		Outputs:    s.cfg.outputs,
 		CycleBatch: s.cfg.cycleBatch,
+		Pipeline:   s.cfg.pipeline,
 		Sink:       s.coreSink(),
 	}
+}
+
+// sessionID is the protocol session digest this session would handshake
+// with; Server and Client exchange it during negotiation to verify full
+// program/layout/option agreement before a run starts.
+func (s *Session) sessionID() ([32]byte, error) {
+	pub, err := s.m.cpu.PublicBits(s.prog)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return s.protoConfig(pub).SessionID()
 }
 
 // Verify cross-checks a garbled run against native execution, returning

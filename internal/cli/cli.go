@@ -30,6 +30,67 @@ func LayoutFlags(imemNote string) func() arm2gc.Layout {
 	}
 }
 
+// SessionOpts is the shared session-option flag set (see SessionFlags).
+type SessionOpts struct {
+	maxCycles  *int
+	cycleBatch *int
+	outputMode *string
+	pipeline   *int
+}
+
+// SessionFlags registers the session-option flags the two-party tools
+// share: -max-cycles, -cycle-batch, -output-mode and -pipeline. Call
+// Options after flag.Parse to assemble the option list.
+func SessionFlags() *SessionOpts {
+	return &SessionOpts{
+		maxCycles:  flag.Int("max-cycles", 1_000_000, "cycle budget"),
+		cycleBatch: flag.Int("cycle-batch", 1, "cycles of garbled tables per network frame (both parties must agree)"),
+		outputMode: flag.String("output-mode", "both", "who learns the outputs: both | garbler | evaluator (both parties must agree)"),
+		pipeline:   flag.Int("pipeline", 0, "garbler-side lookahead: frames garbled ahead of the network writer (0 = serial)"),
+	}
+}
+
+// Options assembles the session options. With onlySet, options whose
+// flags were left at their defaults are omitted — the client role uses
+// this so unset knobs negotiate to the server's registered defaults
+// instead of proposing this binary's flag defaults.
+func (o *SessionOpts) Options(onlySet bool) ([]arm2gc.Option, error) {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	include := func(name string) bool { return !onlySet || set[name] }
+	var opts []arm2gc.Option
+	if include("max-cycles") {
+		opts = append(opts, arm2gc.WithMaxCycles(*o.maxCycles))
+	}
+	if include("cycle-batch") {
+		opts = append(opts, arm2gc.WithCycleBatch(*o.cycleBatch))
+	}
+	if include("output-mode") {
+		mode, err := ParseOutputMode(*o.outputMode)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, arm2gc.WithOutputMode(mode))
+	}
+	if include("pipeline") {
+		opts = append(opts, arm2gc.WithPipeline(*o.pipeline))
+	}
+	return opts, nil
+}
+
+// ParseOutputMode maps the -output-mode flag values onto OutputMode.
+func ParseOutputMode(s string) (arm2gc.OutputMode, error) {
+	switch s {
+	case "both":
+		return arm2gc.OutputBoth, nil
+	case "garbler":
+		return arm2gc.OutputGarblerOnly, nil
+	case "evaluator":
+		return arm2gc.OutputEvaluatorOnly, nil
+	}
+	return 0, fmt.Errorf("unknown -output-mode %q (want both, garbler or evaluator)", s)
+}
+
 // PrintCost prices a program in garbled tables (schedule only, no
 // cryptography) through the shared Engine and prints the standard report.
 func PrintCost(ctx context.Context, prog *arm2gc.Program, maxCycles int) error {

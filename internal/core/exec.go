@@ -19,6 +19,7 @@ type Garbler struct {
 	alice   []gc.Label // X0 per Alice input bit
 	bob     []gc.Label // X0 per Bob input bit
 	dffNext []gc.Label
+	scratch []gc.Table // GarbleCycleAppend's reusable table buffer
 }
 
 // NewGarbler creates Alice's executor over a scheduler, drawing labels
@@ -170,6 +171,20 @@ func (g *Garbler) garbleMux(gate *circuit.Gate, gid uint64) (gc.Label, gc.Table)
 		// out = S ? 0 : A = ¬S ∧ A
 		return gc.GarbleAndInv(g.h, g.R, g.x0[gate.S], g.x0[gate.A], gid, true, false, false)
 	}
+}
+
+// GarbleCycleAppend garbles the current classified cycle like GarbleCycle
+// but serializes the tables straight into dst in wire order (TG then TE
+// per table) — the garble-ahead hook the protocol's frame producer uses
+// to fill payload buffers without an intermediate table slice.
+func (g *Garbler) GarbleCycleAppend(dst []byte) []byte {
+	g.scratch = g.GarbleCycle(g.scratch[:0])
+	for _, t := range g.scratch {
+		tg, te := t.TG.Bytes(), t.TE.Bytes()
+		dst = append(dst, tg[:]...)
+		dst = append(dst, te[:]...)
+	}
+	return dst
 }
 
 // CopyDFFs performs the end-of-cycle flip-flop label copy (call before

@@ -1,0 +1,199 @@
+package proto
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Negotiation message types: the multi-session framing layered above the
+// per-run protocol. A connection carries any number of
+// (propose, grant|reject, run) rounds; the evaluator proposes, the
+// garbling server grants or rejects.
+const (
+	msgPropose byte = 0x10 + iota
+	msgGrant
+	msgReject
+)
+
+// Negotiation bounds; proposals outside them are refused before any
+// session state is touched.
+const (
+	// MaxProgramName bounds a proposed program name, in bytes.
+	MaxProgramName = 1024
+
+	// MaxCycleBatch is the largest cycle batch a client may propose. The
+	// garbler buffers a whole batch of tables before flushing, so the
+	// bound caps how much memory one remote proposal can pin per session
+	// (at 4096 cycles even table-heavy processor layouts stay in the
+	// tens of MB, far under readFrame's 1 GiB frame refusal). Server
+	// registrations are operator-set and not subject to it.
+	MaxCycleBatch = 4096
+)
+
+// Proposal is the evaluator's opening move of a session: a program name
+// the server registered, plus the options it wants. Zero-valued option
+// fields (and HasOutputs == false) mean "use the server's registered
+// default"; the resolved values come back in the Grant.
+type Proposal struct {
+	Program string
+
+	// HasOutputs distinguishes "propose OutputBoth" (true, Outputs = 0)
+	// from "accept the server's registered mode" (false).
+	HasOutputs bool
+	Outputs    OutputMode
+
+	CycleBatch int // 0: the server's registered default
+	MaxCycles  int // 0: the server's registered default
+}
+
+// Grant is the server's acceptance: the fully resolved session options
+// and the session id the server computed from them, which the client
+// cross-checks against its own before running (catching program-binary or
+// layout disagreement with a clear error instead of a mid-handshake
+// abort).
+type Grant struct {
+	Outputs    OutputMode
+	CycleBatch int
+	MaxCycles  int
+	SessionID  [32]byte
+}
+
+// Rejected is the error a proposal comes back with when the server
+// declines it: unknown program, an option the registration does not
+// offer, or an over-budget cycle count.
+type Rejected struct {
+	Program string
+	Reason  string
+}
+
+func (e *Rejected) Error() string {
+	return fmt.Sprintf("proto: proposal %q rejected: %s", e.Program, e.Reason)
+}
+
+// WriteProposal sends a session proposal (client side).
+func WriteProposal(w io.Writer, p Proposal) error {
+	if p.Program == "" {
+		return fmt.Errorf("proto: proposal without a program name")
+	}
+	if len(p.Program) > MaxProgramName {
+		return fmt.Errorf("proto: program name of %d bytes exceeds %d", len(p.Program), MaxProgramName)
+	}
+	if p.CycleBatch < 0 || p.MaxCycles < 0 {
+		return fmt.Errorf("proto: negative option in proposal")
+	}
+	payload := make([]byte, 0, 2+len(p.Program)+2+4+8)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(p.Program)))
+	payload = append(payload, p.Program...)
+	var flags byte
+	if p.HasOutputs {
+		flags |= 1
+	}
+	payload = append(payload, flags, byte(p.Outputs))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(p.CycleBatch))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(p.MaxCycles))
+	return writeFrame(w, msgPropose, payload)
+}
+
+// ReadProposal reads the next session proposal (server side). io.EOF
+// means the client finished with the connection cleanly.
+func ReadProposal(r io.Reader) (Proposal, error) {
+	b, err := readFrame(r, msgPropose)
+	if err != nil {
+		return Proposal{}, err
+	}
+	var p Proposal
+	if len(b) < 2 {
+		return p, fmt.Errorf("proto: short proposal")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if n > MaxProgramName || len(b) < n+2+4+8 {
+		return p, fmt.Errorf("proto: malformed proposal")
+	}
+	p.Program = string(b[:n])
+	b = b[n:]
+	p.HasOutputs = b[0]&1 != 0
+	p.Outputs = OutputMode(b[1])
+	p.CycleBatch = int(binary.LittleEndian.Uint32(b[2:]))
+	p.MaxCycles = int(binary.LittleEndian.Uint64(b[6:]))
+	if p.CycleBatch < 0 || p.MaxCycles < 0 {
+		return p, fmt.Errorf("proto: proposal option overflow")
+	}
+	return p, nil
+}
+
+// WriteGrant accepts a proposal (server side).
+func WriteGrant(w io.Writer, g Grant) error {
+	payload := make([]byte, 0, 1+4+8+32)
+	payload = append(payload, byte(g.Outputs))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(g.CycleBatch))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(g.MaxCycles))
+	payload = append(payload, g.SessionID[:]...)
+	return writeFrame(w, msgGrant, payload)
+}
+
+func parseGrant(b []byte) (Grant, error) {
+	var g Grant
+	if len(b) != 1+4+8+32 {
+		return g, fmt.Errorf("proto: malformed grant of %d bytes", len(b))
+	}
+	g.Outputs = OutputMode(b[0])
+	g.CycleBatch = int(binary.LittleEndian.Uint32(b[1:]))
+	g.MaxCycles = int(binary.LittleEndian.Uint64(b[5:]))
+	copy(g.SessionID[:], b[13:])
+	if g.CycleBatch < 1 || g.MaxCycles < 1 {
+		return g, fmt.Errorf("proto: grant with unresolved options")
+	}
+	return g, nil
+}
+
+// WriteReject declines a proposal with a reason (server side); the
+// connection stays usable for further proposals.
+func WriteReject(w io.Writer, reason string) error {
+	return writeFrame(w, msgReject, []byte(reason))
+}
+
+// Negotiate proposes a session and waits for the server's verdict (client
+// side). A declined proposal returns *Rejected; cancelling ctx unblocks
+// in-flight negotiation I/O as in RunGarbler/RunEvaluator.
+func Negotiate(ctx context.Context, conn io.ReadWriter, p Proposal) (Grant, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := watchContext(ctx, conn)
+	defer stop()
+	g, err := negotiate(conn, p)
+	return g, abortErr(ctx, err)
+}
+
+func negotiate(conn io.ReadWriter, p Proposal) (Grant, error) {
+	if err := WriteProposal(conn, p); err != nil {
+		return Grant{}, err
+	}
+	typ, payload, err := readAnyFrame(conn)
+	if err != nil {
+		return Grant{}, err
+	}
+	switch typ {
+	case msgGrant:
+		return parseGrant(payload)
+	case msgReject:
+		return Grant{}, &Rejected{Program: p.Program, Reason: string(payload)}
+	}
+	return Grant{}, fmt.Errorf("proto: negotiation got message type %d", typ)
+}
+
+// String renders an output mode for negotiation-rejection messages.
+func (m OutputMode) String() string {
+	switch m {
+	case OutputBoth:
+		return "both"
+	case OutputGarblerOnly:
+		return "garbler-only"
+	case OutputEvaluatorOnly:
+		return "evaluator-only"
+	}
+	return fmt.Sprintf("OutputMode(%d)", uint8(m))
+}

@@ -1,0 +1,131 @@
+package proto
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+
+	"arm2gc/internal/build"
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/sim"
+)
+
+func TestProposalRoundTrip(t *testing.T) {
+	cases := []Proposal{
+		{Program: "sum"},
+		{Program: "hamming", HasOutputs: true, Outputs: OutputEvaluatorOnly, CycleBatch: 16, MaxCycles: 12345},
+		{Program: "x", HasOutputs: true, Outputs: OutputBoth},
+	}
+	for _, want := range cases {
+		var buf bytes.Buffer
+		if err := WriteProposal(&buf, want); err != nil {
+			t.Fatalf("write %+v: %v", want, err)
+		}
+		got, err := ReadProposal(&buf)
+		if err != nil {
+			t.Fatalf("read %+v: %v", want, err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+	if err := WriteProposal(&bytes.Buffer{}, Proposal{}); err == nil {
+		t.Error("empty program name accepted")
+	}
+}
+
+func TestGrantRoundTrip(t *testing.T) {
+	want := Grant{Outputs: OutputGarblerOnly, CycleBatch: 8, MaxCycles: 10_000}
+	for i := range want.SessionID {
+		want.SessionID[i] = byte(i * 7)
+	}
+	var buf bytes.Buffer
+	if err := WriteGrant(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readAnyFrame(&buf)
+	if err != nil || typ != msgGrant {
+		t.Fatalf("frame type %d err %v", typ, err)
+	}
+	got, err := parseGrant(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestNegotiateReject(t *testing.T) {
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	go func() {
+		prop, err := ReadProposal(cb)
+		if err != nil || prop.Program != "nope" {
+			t.Errorf("server read %+v, %v", prop, err)
+			return
+		}
+		if err := WriteReject(cb, "unknown program"); err != nil {
+			t.Error(err)
+		}
+	}()
+	_, err := Negotiate(context.Background(), ca, Proposal{Program: "nope"})
+	var rej *Rejected
+	if !errors.As(err, &rej) {
+		t.Fatalf("got %v, want *Rejected", err)
+	}
+	if rej.Program != "nope" || rej.Reason != "unknown program" {
+		t.Errorf("rejection carried %+v", rej)
+	}
+}
+
+func TestNegotiateGrant(t *testing.T) {
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	want := Grant{Outputs: OutputBoth, CycleBatch: 4, MaxCycles: 99}
+	go func() {
+		if _, err := ReadProposal(cb); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := WriteGrant(cb, want); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := Negotiate(context.Background(), ca, Proposal{Program: "sum", CycleBatch: 4, MaxCycles: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("negotiated %+v, want %+v", got, want)
+	}
+}
+
+// TestSessionIDLengthDelimited guards the digest against the
+// concatenation ambiguity the unprefixed encoding had: ("x", public
+// bits packing to 'y') and ("xy", no public bits) fed the hash the same
+// byte stream, so two genuinely different sessions shared an id.
+func TestSessionIDLengthDelimited(t *testing.T) {
+	b := build.New("sid")
+	a := b.Input(circuit.Alice, "a", 4)
+	b.Output("o", a)
+	c := b.MustCompile()
+
+	cfg1 := Config{Circuit: c, Cycles: 1, StopOutput: "x", Public: sim.UnpackUint(uint64('y'), 8)}
+	cfg2 := Config{Circuit: c, Cycles: 1, StopOutput: "xy"}
+	id1, err := cfg1.SessionID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := cfg2.SessionID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("distinct (StopOutput, Public) pairs digest to the same session id")
+	}
+}

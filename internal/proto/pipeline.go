@@ -1,0 +1,123 @@
+package proto
+
+import (
+	"context"
+	"io"
+
+	"arm2gc/internal/core"
+)
+
+// garbleStream drives the garbler's table stream, serially or — when
+// cfg.Pipeline is positive — with a producer goroutine garbling frames
+// ahead of the writer. Both paths share garbleFrames, so the bytes on the
+// wire are identical by construction.
+func garbleStream(ctx context.Context, conn io.ReadWriter, cfg Config, s *core.Scheduler, g *core.Garbler, run *runState, res *Result) error {
+	if cfg.Pipeline > 0 {
+		return garblePipelined(ctx, conn, cfg, s, g, run, res)
+	}
+	return garbleFrames(ctx, cfg, s, g, run, res, func(payload []byte) ([]byte, error) {
+		if err := writeFrame(conn, msgTables, payload); err != nil {
+			return nil, err
+		}
+		res.TableFrames++
+		return payload, nil
+	})
+}
+
+// garbleFrames runs the garbler's cycle loop, appending each cycle's
+// tables to a payload buffer and handing the buffer to emit at every
+// frame boundary: the cycle-batch edge and, regardless of fill, the halt
+// or cycle-budget edge, where the evaluator expects the remainder (both
+// sides derive identical boundaries from the shared public schedule).
+// emit returns the buffer to fill next — the same one in the serial path,
+// a recycled one from the pipeline pool when a producer goroutine runs
+// ahead of the writer.
+func garbleFrames(ctx context.Context, cfg Config, s *core.Scheduler, g *core.Garbler, run *runState, res *Result, emit func(payload []byte) ([]byte, error)) error {
+	batch := cfg.batch()
+	var payload []byte
+	inBatch := 0
+	for cyc := 1; cyc <= cfg.Cycles; cyc++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		final := cyc == cfg.Cycles
+		cs := s.Classify(final)
+		res.Stats.Total.Add(cs)
+		res.Stats.Cycles++
+		if cfg.Sink != nil {
+			cfg.Sink(cyc, cs)
+		}
+		payload = g.GarbleCycleAppend(payload)
+		inBatch++
+		halted := run.stopped(s)
+		if inBatch == batch || final || halted {
+			next, err := emit(payload)
+			if err != nil {
+				return err
+			}
+			payload = next[:0]
+			inBatch = 0
+		}
+		if halted {
+			res.Halted = true
+			break
+		}
+		g.CopyDFFs()
+		s.Commit()
+	}
+	return nil
+}
+
+// garblePipelined overlaps garbling with frame I/O: a producer goroutine
+// garbles up to cfg.Pipeline frames ahead into a bounded queue while this
+// goroutine streams them to conn. Buffers cycle through a pool, so the
+// lookahead is allocation-bounded. The producer owns the scheduler,
+// garbler and res.Stats until it finishes; receiving its result channel
+// establishes the happens-before edge the output-decoding phase needs.
+func garblePipelined(ctx context.Context, conn io.ReadWriter, cfg Config, s *core.Scheduler, g *core.Garbler, run *runState, res *Result) error {
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	frames := make(chan []byte, cfg.Pipeline)
+	pool := make(chan []byte, cfg.Pipeline+1)
+	for i := 0; i < cfg.Pipeline+1; i++ {
+		pool <- nil
+	}
+	prodErr := make(chan error, 1)
+	go func() {
+		err := garbleFrames(pctx, cfg, s, g, run, res, func(payload []byte) ([]byte, error) {
+			select {
+			case frames <- payload:
+			case <-pctx.Done():
+				return nil, pctx.Err()
+			}
+			select {
+			case next := <-pool:
+				return next, nil
+			case <-pctx.Done():
+				return nil, pctx.Err()
+			}
+		})
+		close(frames)
+		prodErr <- err
+	}()
+	var writeErr error
+	for payload := range frames {
+		if writeErr != nil {
+			continue // drain so the cancelled producer can exit
+		}
+		if writeErr = writeFrame(conn, msgTables, payload); writeErr != nil {
+			cancel()
+			continue
+		}
+		res.TableFrames++
+		select {
+		case pool <- payload:
+		default:
+		}
+	}
+	err := <-prodErr
+	if writeErr != nil {
+		return writeErr
+	}
+	return err
+}

@@ -60,9 +60,21 @@ type Config struct {
 	// parties must agree; it is part of the session id.
 	CycleBatch int
 
+	// Pipeline, when positive, makes the garbler run its cycle loop in a
+	// producer goroutine that garbles up to Pipeline frames ahead of the
+	// network writer, overlapping table generation with frame I/O. The
+	// stream is byte-identical to the serial path (Pipeline == 0), and
+	// the knob is garbler-local — it is not part of the session id, so
+	// the two parties need not agree on it. The evaluator ignores it.
+	Pipeline int
+
 	// Sink, when set, receives every cycle's scheduling outcome as it is
 	// classified, on both roles.
 	Sink func(cycle int, cs core.CycleStats)
+
+	// tapTables is a test hook: the evaluator calls it with every raw
+	// msgTables payload it receives, in arrival order.
+	tapTables func(payload []byte)
 }
 
 // batch returns the normalized frame batch size.
@@ -73,8 +85,13 @@ func (c Config) batch() int {
 	return c.CycleBatch
 }
 
-// sessionID digests everything public; a mismatch aborts the handshake.
-func (c Config) sessionID() ([32]byte, error) {
+// SessionID digests everything public both parties must agree on: circuit
+// hash, cycle budget, cycle batch, output mode, halt flag name and the
+// packed public input. A mismatch aborts the handshake; the negotiation
+// layer echoes it in the Grant so a Client can verify program agreement
+// before the run starts. Every variable-length field is length-prefixed,
+// so distinct (StopOutput, Public) pairs can never digest to the same id.
+func (c Config) SessionID() ([32]byte, error) {
 	if c.Circuit == nil || c.Cycles <= 0 {
 		return [32]byte{}, fmt.Errorf("proto: incomplete config")
 	}
@@ -82,14 +99,17 @@ func (c Config) sessionID() ([32]byte, error) {
 	ch := c.Circuit.Hash()
 	h.Write(ch[:])
 	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(c.Cycles))
-	h.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(c.batch()))
-	h.Write(buf[:])
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	putU64(uint64(c.Cycles))
+	putU64(uint64(c.batch()))
 	h.Write([]byte{byte(c.Outputs)})
+	putU64(uint64(len(c.StopOutput)))
 	h.Write([]byte(c.StopOutput))
-	packed := packBits(c.Public)
-	h.Write(packed)
+	putU64(uint64(len(c.Public)))
+	h.Write(packBits(c.Public))
 	var out [32]byte
 	h.Sum(out[:0])
 	return out, nil
@@ -124,22 +144,32 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 }
 
 func readFrame(r io.Reader, wantType byte) ([]byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	typ, b, err := readAnyFrame(r)
+	if err != nil {
 		return nil, err
 	}
-	if hdr[0] != wantType {
-		return nil, fmt.Errorf("proto: got message type %d, want %d", hdr[0], wantType)
+	if typ != wantType {
+		return nil, fmt.Errorf("proto: got message type %d, want %d", typ, wantType)
+	}
+	return b, nil
+}
+
+// readAnyFrame reads the next frame whatever its type; the negotiation
+// layer uses it where either a grant or a rejection may arrive.
+func readAnyFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
 	if n > 1<<30 {
-		return nil, fmt.Errorf("proto: frame of %d bytes refused", n)
+		return 0, nil, fmt.Errorf("proto: frame of %d bytes refused", n)
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(r, b); err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	return b, nil
+	return hdr[0], b, nil
 }
 
 func packBits(bits []bool) []byte {
@@ -243,7 +273,7 @@ func RunGarbler(ctx context.Context, conn io.ReadWriter, cfg Config, aliceInput 
 }
 
 func runGarbler(ctx context.Context, conn io.ReadWriter, cfg Config, aliceInput []bool, rnd io.Reader) (*Result, error) {
-	sid, err := cfg.sessionID()
+	sid, err := cfg.SessionID()
 	if err != nil {
 		return nil, err
 	}
@@ -277,47 +307,8 @@ func runGarbler(ctx context.Context, conn io.ReadWriter, cfg Config, aliceInput 
 
 	res := &Result{}
 	run := newRun(cfg)
-	batch := cfg.batch()
-	var tables []gc.Table
-	var payload []byte
-	inBatch := 0
-	for cyc := 1; cyc <= cfg.Cycles; cyc++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		final := cyc == cfg.Cycles
-		cs := s.Classify(final)
-		res.Stats.Total.Add(cs)
-		res.Stats.Cycles++
-		if cfg.Sink != nil {
-			cfg.Sink(cyc, cs)
-		}
-		tables = g.GarbleCycle(tables[:0])
-		for _, t := range tables {
-			tg, te := t.TG.Bytes(), t.TE.Bytes()
-			payload = append(payload, tg[:]...)
-			payload = append(payload, te[:]...)
-		}
-		inBatch++
-		halted := run.stopped(s)
-		// Flush at the batch boundary — and, regardless of fill, at the
-		// halt or cycle-budget edge, where the evaluator expects the
-		// remainder. Both sides derive identical boundaries from the
-		// shared public schedule.
-		if inBatch == batch || final || halted {
-			if err := writeFrame(conn, msgTables, payload); err != nil {
-				return nil, err
-			}
-			res.TableFrames++
-			payload = payload[:0]
-			inBatch = 0
-		}
-		if halted {
-			res.Halted = true
-			break
-		}
-		g.CopyDFFs()
-		s.Commit()
+	if err := garbleStream(ctx, conn, cfg, s, g, run, res); err != nil {
+		return nil, err
 	}
 
 	switch cfg.Outputs {
@@ -369,7 +360,7 @@ func RunEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput 
 }
 
 func runEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput []bool) (*Result, error) {
-	sid, err := cfg.sessionID()
+	sid, err := cfg.SessionID()
 	if err != nil {
 		return nil, err
 	}
@@ -426,6 +417,9 @@ func runEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput 
 			payload, err := readFrame(conn, msgTables)
 			if err != nil {
 				return nil, err
+			}
+			if cfg.tapTables != nil {
+				cfg.tapTables(payload)
 			}
 			res.TableFrames++
 			if len(payload)%gc.TableBytes != 0 {

@@ -1,0 +1,350 @@
+package arm2gc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arm2gc/internal/proto"
+)
+
+// DefaultDrainTimeout is how long a shutting-down Server waits for
+// in-flight sessions to finish before cancelling them (see
+// WithDrainTimeout).
+const DefaultDrainTimeout = 10 * time.Second
+
+// Server is the garbler side of the two-party API as a network service:
+// it wraps one Engine, registers programs by name, and serves any number
+// of concurrent evaluator connections, each carrying any number of
+// sequential negotiated sessions. All sessions for one Layout share the
+// Engine's single cached netlist, so a Server's steady state performs no
+// synthesis at all.
+//
+// A connection runs a propose/grant handshake per session: the Client
+// proposes a program name and options, the Server validates them against
+// the registration (unknown programs, non-registered output modes and
+// over-budget cycle counts are rejected without dropping the connection)
+// and then plays the garbler role of the ordinary wire protocol. A
+// mid-protocol failure closes only that connection; the Server and its
+// other connections keep running.
+type Server struct {
+	eng     *Engine
+	drain   time.Duration
+	timeout time.Duration
+	sem     chan struct{}
+	logf    func(format string, args ...any)
+
+	mu       sync.Mutex
+	regs     map[string]*registration
+	idle     map[net.Conn]struct{}
+	stopping bool
+
+	sessions atomic.Int64
+}
+
+// registration is one registered program plus the session defaults the
+// server resolves client proposals against.
+type registration struct {
+	prog     *Program
+	defaults []Option
+	cfg      sessionConfig
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxSessions caps how many sessions may garble concurrently
+// (default: unlimited). Further proposals block — holding their grant —
+// until a slot frees, so clients queue instead of failing.
+func WithMaxSessions(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		} else {
+			s.sem = nil
+		}
+	}
+}
+
+// WithSessionTimeout bounds the wall-clock of each granted session
+// (default: unbounded). A client that negotiates a session and then
+// stalls would otherwise pin its handler goroutine — and a
+// WithMaxSessions slot — until shutdown; with a timeout the session
+// aborts, the connection closes, and the slot frees.
+func WithSessionTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.timeout = d }
+}
+
+// WithDrainTimeout sets how long Serve waits, after its context is
+// cancelled, for in-flight sessions to finish before cancelling them
+// (default DefaultDrainTimeout; 0 cancels them immediately). Idle
+// connections are closed as soon as shutdown starts regardless.
+func WithDrainTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.drain = d }
+}
+
+// WithServerLog routes the Server's per-connection error reporting
+// (default: discarded) — e.g. WithServerLog(log.Printf).
+func WithServerLog(logf func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// NewServer creates a Server over an Engine (nil means DefaultEngine).
+func NewServer(eng *Engine, opts ...ServerOption) *Server {
+	if eng == nil {
+		eng = DefaultEngine
+	}
+	s := &Server{
+		eng:   eng,
+		drain: DefaultDrainTimeout,
+		logf:  func(string, ...any) {},
+		regs:  make(map[string]*registration),
+		idle:  make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Register makes a program proposable under name (empty name means
+// p.Name). The defaults fix the server-side session configuration —
+// including the server's private input via WithGarblerInput — and bound
+// what clients may propose: the output mode is pinned, WithMaxCycles is
+// the budget ceiling, and the cycle batch is the default for clients that
+// do not choose their own. Register validates the options, synthesizes
+// the layout's netlist into the Engine cache immediately (so the first
+// client does not pay it), and fails on duplicate names.
+func (s *Server) Register(name string, p *Program, defaults ...Option) error {
+	if p == nil {
+		return fmt.Errorf("arm2gc: Register: nil program")
+	}
+	if name == "" {
+		name = p.Name
+	}
+	if name == "" {
+		return fmt.Errorf("arm2gc: Register: program has no name")
+	}
+	if len(name) > proto.MaxProgramName {
+		return fmt.Errorf("arm2gc: Register: name of %d bytes exceeds %d", len(name), proto.MaxProgramName)
+	}
+	cfg, err := newSessionConfig(defaults)
+	if err != nil {
+		return err
+	}
+	if _, err := s.eng.Session(p, defaults...); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.regs[name]; dup {
+		return fmt.Errorf("arm2gc: Register: program %q already registered", name)
+	}
+	s.regs[name] = &registration{prog: p, defaults: defaults, cfg: cfg}
+	return nil
+}
+
+// SessionsServed reports how many sessions completed successfully — an
+// observable for connection-reuse and load tests.
+func (s *Server) SessionsServed() int64 { return s.sessions.Load() }
+
+// Serve accepts evaluator connections on ln until ctx is cancelled,
+// running each connection's sessions on its own goroutine. Shutdown is
+// graceful: the listener and all idle connections close immediately,
+// in-flight sessions get the drain timeout to finish, and Serve returns
+// only when every connection handler has. It returns nil on a
+// context-driven shutdown and the accept error otherwise. A Server is
+// single-use: once Serve has shut down, create a new Server to serve
+// again.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sessCtx, cancelSessions := context.WithCancel(context.Background())
+	defer cancelSessions()
+	handlersDone := make(chan struct{})
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-handlersDone:
+			return
+		case <-ctx.Done():
+		}
+		ln.Close()
+		s.closeIdle()
+		if s.drain > 0 {
+			t := time.NewTimer(s.drain)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-handlersDone:
+			}
+		}
+		cancelSessions()
+	}()
+
+	var wg sync.WaitGroup
+	var acceptErr error
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() == nil {
+				acceptErr = err
+			}
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handle(sessCtx, conn)
+		}()
+	}
+	wg.Wait()
+	close(handlersDone)
+	<-watcherDone
+	return acceptErr
+}
+
+// rejection is a proposal verdict that keeps the connection alive.
+type rejection struct{ reason string }
+
+func (r *rejection) Error() string { return "proposal rejected: " + r.reason }
+
+// handle runs one connection's propose/grant/garble loop.
+func (s *Server) handle(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	for {
+		if !s.markIdle(conn) {
+			return // shutting down
+		}
+		prop, err := proto.ReadProposal(conn)
+		s.unmarkIdle(conn)
+		if err != nil {
+			return // clean EOF, shutdown close, or a broken peer — this conn only
+		}
+		err = s.serveOne(ctx, conn, prop)
+		var rej *rejection
+		if errors.As(err, &rej) {
+			if proto.WriteReject(conn, rej.reason) != nil {
+				return
+			}
+			continue // a rejected proposal does not cost the connection
+		}
+		if err != nil {
+			s.logf("arm2gc: session %q from %v: %v", prop.Program, conn.RemoteAddr(), err)
+			return // mid-protocol failure: the stream position is unknown
+		}
+	}
+}
+
+// serveOne negotiates and garbles a single session.
+func (s *Server) serveOne(ctx context.Context, conn net.Conn, prop proto.Proposal) error {
+	s.mu.Lock()
+	reg := s.regs[prop.Program]
+	s.mu.Unlock()
+	if reg == nil {
+		return &rejection{fmt.Sprintf("unknown program %q", prop.Program)}
+	}
+	opts, grant, err := reg.resolve(prop)
+	if err != nil {
+		return err
+	}
+	sess, err := s.eng.Session(reg.prog, opts...)
+	if err != nil {
+		return err
+	}
+	if grant.SessionID, err = sess.sessionID(); err != nil {
+		return err
+	}
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if err := proto.WriteGrant(conn, grant); err != nil {
+		return err
+	}
+	runCtx := ctx
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	if _, err := sess.Garble(runCtx, conn, nil); err != nil {
+		return err
+	}
+	s.sessions.Add(1)
+	return nil
+}
+
+// resolve checks a proposal against the registration and produces the
+// resolved option set and grant. The output mode is pinned to the
+// registered one, the cycle budget is capped by the registered one, and
+// the cycle batch is the client's choice within protocol bounds.
+func (r *registration) resolve(prop proto.Proposal) ([]Option, proto.Grant, error) {
+	grant := proto.Grant{
+		Outputs:    r.cfg.outputs,
+		CycleBatch: r.cfg.cycleBatch,
+		MaxCycles:  r.cfg.maxCycles,
+	}
+	if prop.HasOutputs && prop.Outputs != r.cfg.outputs {
+		return nil, grant, &rejection{fmt.Sprintf(
+			"output mode %v not offered (registered mode %v)", prop.Outputs, r.cfg.outputs)}
+	}
+	if prop.CycleBatch != 0 {
+		if prop.CycleBatch < 1 || prop.CycleBatch > proto.MaxCycleBatch {
+			return nil, grant, &rejection{fmt.Sprintf("cycle batch %d out of range", prop.CycleBatch)}
+		}
+		grant.CycleBatch = prop.CycleBatch
+	}
+	if prop.MaxCycles != 0 {
+		if prop.MaxCycles > r.cfg.maxCycles {
+			return nil, grant, &rejection{fmt.Sprintf(
+				"cycle budget %d exceeds the registered limit %d", prop.MaxCycles, r.cfg.maxCycles)}
+		}
+		grant.MaxCycles = prop.MaxCycles
+	}
+	opts := append(r.defaults[:len(r.defaults):len(r.defaults)],
+		WithOutputMode(grant.Outputs),
+		WithCycleBatch(grant.CycleBatch),
+		WithMaxCycles(grant.MaxCycles))
+	return opts, grant, nil
+}
+
+// markIdle records that conn is waiting for a proposal, the state in
+// which shutdown may close it immediately; it reports false once shutdown
+// has started.
+func (s *Server) markIdle(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return false
+	}
+	s.idle[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) unmarkIdle(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.idle, conn)
+}
+
+// closeIdle starts shutdown: no connection may go idle again, and every
+// connection currently between sessions is closed.
+func (s *Server) closeIdle() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopping = true
+	for conn := range s.idle {
+		conn.Close()
+	}
+}
