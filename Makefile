@@ -1,7 +1,15 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline cover ci
+# The benchmark set `make bench-json` tracks: the warm-session cache path,
+# the pipelined garbler, the parallel cycle engine and the serial per-cycle
+# primitives it is gated against.
+BENCH_SET ?= BenchmarkEngineSessionReuse|BenchmarkGarblerPipeline|BenchmarkParallelCycle|BenchmarkSchedulerCycle|BenchmarkGarbledProcessorCycle
+BENCHTIME ?= 50x
+BENCH_THRESHOLD ?= 1.25
+BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
+
+.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline bench-json bench-baseline bench-compare cover ci
 
 all: build vet test
 
@@ -32,8 +40,24 @@ bench-engine:
 bench-pipeline:
 	$(GO) test -run '^$$' -bench BenchmarkGarblerPipeline -benchtime 5x .
 
+# Machine-readable benchmark report at the repo root (BENCH_<date>.json):
+# ns/op, allocs and the engine's own counters for the core benchmark set.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/bench-json -out $(BENCH_FILE)
+
+# Regenerate the committed regression baseline (run on the machine class
+# that gates, i.e. the CI runner, and commit the result).
+bench-baseline:
+	$(MAKE) bench-json BENCH_FILE=BENCH_baseline.json
+
+# Gate the current tree against the committed baseline. ns/op is compared
+# only on matching hardware; allocs/op and tables/cycle always.
+bench-compare: bench-json
+	$(GO) run ./cmd/bench-json -compare BENCH_baseline.json,$(BENCH_FILE) -threshold $(BENCH_THRESHOLD)
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-ci: build vet race fuzz-smoke bench-engine bench-pipeline
+ci: build vet race fuzz-smoke bench-engine bench-pipeline bench-compare

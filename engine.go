@@ -92,6 +92,8 @@ type sessionConfig struct {
 	cycleBatch    int
 	cycleBatchSet bool
 	pipeline      int
+	workers       int
+	workersSet    bool
 	garblerInput  []uint32
 	rand          io.Reader
 	sink          StatsSink
@@ -134,6 +136,20 @@ func WithCycleBatch(n int) Option {
 // the garbler — it is not part of the session id and need not match the
 // peer's. The evaluating side ignores it.
 func WithPipeline(depth int) Option { return func(c *sessionConfig) { c.pipeline = depth } }
+
+// WithWorkers spreads each cycle's SkipGate classification and label work
+// across n goroutines (default 1: serial). The schedule, the statistics
+// and every byte of the garbled stream are identical for any worker
+// count — parallelism only changes who computes each gate — so the knob
+// need not match the peer's and is not part of the session id. It
+// composes with WithPipeline: workers parallelize the compute inside a
+// cycle, the pipeline overlaps whole frames with network I/O. A Client
+// proposing a worker count is capped by the Server registration's own
+// count (server compute is operator policy); n is clamped to the
+// protocol's MaxWorkers bound.
+func WithWorkers(n int) Option {
+	return func(c *sessionConfig) { c.workers = n; c.workersSet = true }
+}
 
 // WithGarblerInput fixes Alice's input words on a session's garbling
 // side. Server registrations use it to bind the server's private input to
@@ -182,7 +198,7 @@ func (e *Engine) Session(p *Program, opts ...Option) (*Session, error) {
 // place session defaults live (Engine.Session and the deprecated Machine
 // shims both go through it).
 func newSessionConfig(opts []Option) (sessionConfig, error) {
-	cfg := sessionConfig{maxCycles: DefaultMaxCycles, cycleBatch: 1}
+	cfg := sessionConfig{maxCycles: DefaultMaxCycles, cycleBatch: 1, workers: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -194,6 +210,9 @@ func newSessionConfig(opts []Option) (sessionConfig, error) {
 	}
 	if cfg.pipeline < 0 {
 		return cfg, fmt.Errorf("arm2gc: WithPipeline(%d): depth cannot be negative", cfg.pipeline)
+	}
+	if cfg.workers < 1 || cfg.workers > proto.MaxWorkers {
+		return cfg, fmt.Errorf("arm2gc: WithWorkers(%d): worker count must be in [1, %d]", cfg.workers, proto.MaxWorkers)
 	}
 	return cfg, nil
 }
@@ -223,7 +242,8 @@ func (s *Session) Run(ctx context.Context, alice, bob []uint32) (*RunInfo, error
 		return nil, err
 	}
 	res, err := core.RunLocal(ctx, s.m.cpu.Circuit, sim.Inputs{Public: pub, Alice: ab, Bob: bb},
-		core.RunOpts{Cycles: s.cfg.maxCycles, StopOutput: "halted", Rand: s.cfg.rand, Sink: s.coreSink()})
+		core.RunOpts{Cycles: s.cfg.maxCycles, StopOutput: "halted", Rand: s.cfg.rand, Sink: s.coreSink(),
+			Workers: s.cfg.workers})
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +259,8 @@ func (s *Session) Count(ctx context.Context) (*RunInfo, error) {
 		return nil, err
 	}
 	st, err := core.Count(ctx, s.m.cpu.Circuit, pub,
-		core.CountOpts{Cycles: s.cfg.maxCycles, StopOutput: "halted", Sink: s.coreSink()})
+		core.CountOpts{Cycles: s.cfg.maxCycles, StopOutput: "halted", Sink: s.coreSink(),
+			Workers: s.cfg.workers})
 	if err != nil {
 		return nil, err
 	}
@@ -293,6 +314,7 @@ func (s *Session) protoConfig(pub []bool) proto.Config {
 		Outputs:    s.cfg.outputs,
 		CycleBatch: s.cfg.cycleBatch,
 		Pipeline:   s.cfg.pipeline,
+		Workers:    s.cfg.workers,
 		Sink:       s.coreSink(),
 	}
 }

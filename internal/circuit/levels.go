@@ -1,0 +1,100 @@
+package circuit
+
+// LevelPartition is a topological level decomposition of a circuit's gates:
+// level 0 holds every gate whose inputs are all ports, flip-flop outputs or
+// constants; level l+1 holds the gates whose deepest gate-driven input sits
+// on level l. Gates within one level never consume each other's outputs, so
+// any per-cycle pass that reads input wires and writes only its own gate's
+// slots (the SkipGate classifier, the garbler's label pass, the evaluator)
+// may process a whole level concurrently, provided levels are separated by
+// a barrier.
+//
+// The partition is a pure function of the frozen netlist; it is computed at
+// most once per Circuit (see Circuit.Levels) and shared by every scheduler
+// over that circuit — per-machine caching falls out of the cpu package
+// caching the Circuit itself.
+type LevelPartition struct {
+	// Order lists every gate index exactly once, sorted by (level, index).
+	// Within a level indices are ascending, so Order is itself a valid
+	// topological order and a serial walk of it visits gates in a
+	// deterministic schedule-equivalent order.
+	Order []int32
+
+	// LevelOff has one entry per level plus a terminator:
+	// Order[LevelOff[l]:LevelOff[l+1]] are the gates of level l.
+	LevelOff []int32
+
+	// Depth is the number of levels (len(LevelOff)-1).
+	Depth int
+}
+
+// Width returns the number of gates on level l.
+func (p *LevelPartition) Width(l int) int {
+	return int(p.LevelOff[l+1] - p.LevelOff[l])
+}
+
+// Level returns the gate indices of level l (ascending).
+func (p *LevelPartition) Level(l int) []int32 {
+	return p.Order[p.LevelOff[l]:p.LevelOff[l+1]]
+}
+
+// computeLevels builds the partition in two counting passes plus a bucket
+// scatter — O(gates) time, no per-level allocations.
+func computeLevels(c *Circuit) *LevelPartition {
+	n := len(c.Gates)
+	lvl := make([]int32, n)
+	depth := int32(0)
+	up := func(w Wire, m int32) int32 {
+		if gi := c.WireGate(w); gi >= 0 && lvl[gi] > m {
+			return lvl[gi]
+		}
+		return m
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		m := int32(-1)
+		m = up(g.A, m)
+		if !g.Op.IsUnary() {
+			m = up(g.B, m)
+		}
+		if g.Op == MUX {
+			m = up(g.S, m)
+		}
+		lvl[i] = m + 1
+		if lvl[i] >= depth {
+			depth = lvl[i] + 1
+		}
+	}
+
+	p := &LevelPartition{
+		Order:    make([]int32, n),
+		LevelOff: make([]int32, depth+1),
+		Depth:    int(depth),
+	}
+	for _, l := range lvl {
+		p.LevelOff[l+1]++
+	}
+	for l := 0; l < int(depth); l++ {
+		p.LevelOff[l+1] += p.LevelOff[l]
+	}
+	next := make([]int32, depth)
+	copy(next, p.LevelOff[:depth])
+	// Ascending gate index within each level falls out of the ascending
+	// scatter over stable bucket cursors.
+	for i := range c.Gates {
+		l := lvl[i]
+		p.Order[next[l]] = int32(i)
+		next[l]++
+	}
+	return p
+}
+
+// Levels returns the circuit's topological level partition, computing it on
+// first use and caching it on the circuit (circuits are immutable after
+// Compile, so the partition is too). Safe for concurrent use; all callers —
+// every scheduler the machine cache hands the circuit to — share one
+// partition per circuit.
+func (c *Circuit) Levels() *LevelPartition {
+	c.levelsOnce.Do(func() { c.levels = computeLevels(c) })
+	return c.levels
+}

@@ -1,0 +1,84 @@
+package circuit_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/circuit/circtest"
+)
+
+// gateLevelOf returns the level a gate landed on, by scanning LevelOff.
+func gateLevelOf(p *circuit.LevelPartition, pos int) int {
+	for l := 0; l < p.Depth; l++ {
+		if int32(pos) >= p.LevelOff[l] && int32(pos) < p.LevelOff[l+1] {
+			return l
+		}
+	}
+	return -1
+}
+
+// TestLevelPartitionProperties checks, over random circuits, the three
+// properties the parallel engine relies on: the partition is a permutation
+// of all gates; every gate's gate-driven inputs sit on strictly earlier
+// levels; and Order within a level is ascending (so a serial walk of Order
+// is a deterministic topological order).
+func TestLevelPartitionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		c, _, _ := circtest.Random(rng, 50+rng.Intn(400), rng.Intn(20))
+		p := c.Levels()
+
+		if len(p.Order) != len(c.Gates) {
+			t.Fatalf("trial %d: Order has %d entries, want %d", trial, len(p.Order), len(c.Gates))
+		}
+		if p.Depth != len(p.LevelOff)-1 {
+			t.Fatalf("trial %d: Depth %d, LevelOff %d", trial, p.Depth, len(p.LevelOff))
+		}
+		seen := make([]bool, len(c.Gates))
+		lvlOf := make([]int, len(c.Gates))
+		for pos, gi := range p.Order {
+			if seen[gi] {
+				t.Fatalf("trial %d: gate %d appears twice", trial, gi)
+			}
+			seen[gi] = true
+			lvlOf[gi] = gateLevelOf(p, pos)
+		}
+		checkDep := func(gi int, w circuit.Wire) {
+			if src := c.WireGate(w); src >= 0 && lvlOf[src] >= lvlOf[gi] {
+				t.Fatalf("trial %d: gate %d (level %d) consumes gate %d (level %d)",
+					trial, gi, lvlOf[gi], src, lvlOf[src])
+			}
+		}
+		for gi := range c.Gates {
+			g := &c.Gates[gi]
+			checkDep(gi, g.A)
+			if !g.Op.IsUnary() {
+				checkDep(gi, g.B)
+			}
+			if g.Op == circuit.MUX {
+				checkDep(gi, g.S)
+			}
+		}
+		for l := 0; l < p.Depth; l++ {
+			lv := p.Level(l)
+			if len(lv) == 0 {
+				t.Fatalf("trial %d: empty level %d", trial, l)
+			}
+			for k := 1; k < len(lv); k++ {
+				if lv[k] <= lv[k-1] {
+					t.Fatalf("trial %d: level %d not ascending at %d", trial, l, k)
+				}
+			}
+		}
+	}
+}
+
+// TestLevelsCached pins that repeated Levels calls share one partition.
+func TestLevelsCached(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c, _, _ := circtest.Random(rng, 100, 5)
+	if p1, p2 := c.Levels(), c.Levels(); p1 != p2 {
+		t.Fatal("Levels() computed two distinct partitions for one circuit")
+	}
+}

@@ -36,17 +36,19 @@ type SessionOpts struct {
 	cycleBatch *int
 	outputMode *string
 	pipeline   *int
+	workers    *int
 }
 
 // SessionFlags registers the session-option flags the two-party tools
-// share: -max-cycles, -cycle-batch, -output-mode and -pipeline. Call
-// Options after flag.Parse to assemble the option list.
+// share: -max-cycles, -cycle-batch, -output-mode, -pipeline and -workers.
+// Call Options after flag.Parse to assemble the option list.
 func SessionFlags() *SessionOpts {
 	return &SessionOpts{
 		maxCycles:  flag.Int("max-cycles", 1_000_000, "cycle budget"),
 		cycleBatch: flag.Int("cycle-batch", 1, "cycles of garbled tables per network frame (both parties must agree)"),
 		outputMode: flag.String("output-mode", "both", "who learns the outputs: both | garbler | evaluator (both parties must agree)"),
 		pipeline:   flag.Int("pipeline", 0, "garbler-side lookahead: frames garbled ahead of the network writer (0 = serial)"),
+		workers:    flag.Int("workers", 1, "per-cycle classify/garble worker goroutines (1 = serial; a client proposal is capped by the server's registered count)"),
 	}
 }
 
@@ -74,6 +76,9 @@ func (o *SessionOpts) Options(onlySet bool) ([]arm2gc.Option, error) {
 	}
 	if include("pipeline") {
 		opts = append(opts, arm2gc.WithPipeline(*o.pipeline))
+	}
+	if include("workers") {
+		opts = append(opts, arm2gc.WithWorkers(*o.workers))
 	}
 	return opts, nil
 }

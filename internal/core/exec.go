@@ -19,6 +19,7 @@ type Garbler struct {
 	alice   []gc.Label // X0 per Alice input bit
 	bob     []gc.Label // X0 per Bob input bit
 	dffNext []gc.Label
+	tables  []gc.Table // per-cycle slot buffer (scheduler table layout)
 	scratch []gc.Table // GarbleCycleAppend's reusable table buffer
 }
 
@@ -99,11 +100,32 @@ func (g *Garbler) BobPairs() [][2]gc.Label {
 // GarbleCycle performs Alice's side of the current classified cycle
 // (between Scheduler.Classify and Scheduler.Commit): it computes false
 // labels for every live secret wire and appends one table per surviving
-// category-iv non-XOR gate to dst, in topological order.
+// category-iv non-XOR gate to dst, in topological order. With scheduler
+// workers > 1 the label walk runs level-parallel; every table is written
+// into the slot the scheduler assigned it, so the appended sequence — and
+// therefore the wire bytes — is identical for any worker count.
 func (g *Garbler) GarbleCycle(dst []gc.Table) []gc.Table {
 	s := g.S
 	c := s.C
 	base := uint64(s.cycle-1) * uint64(len(c.Gates))
+	if s.workers > 1 {
+		if cap(g.tables) < s.numTables {
+			g.tables = make([]gc.Table, s.numTables)
+		}
+		tabs := g.tables[:s.numTables]
+		s.forkWorkers(func(id int) {
+			s.walkLevels(id, func(gates []int32) {
+				for _, gi := range gates {
+					g.garbleGate(int(gi), base, tabs)
+				}
+			})
+		})
+		return append(dst, tabs...)
+	}
+	// Serial fast path: one inline walk in gate order, appending tables as
+	// they are produced — the emission order the parallel path's slots
+	// reproduce (the byte-identical tests in core, cpu and proto pin the
+	// two paths against each other).
 	for i := range c.Gates {
 		if s.fan[i] <= 0 {
 			continue
@@ -146,6 +168,54 @@ func (g *Garbler) GarbleCycle(dst []gc.Table) []gc.Table {
 		}
 	}
 	return dst
+}
+
+// garbleGate does Alice's label work for one gate: false label for the
+// output wire, plus the garbled table in its scheduler-assigned slot for
+// surviving category-iv gates. It reads only input-wire labels (earlier
+// levels) and writes only gate-owned slots, so a topological level can
+// garble concurrently.
+func (g *Garbler) garbleGate(i int, base uint64, tabs []gc.Table) {
+	s := g.S
+	if s.fan[i] <= 0 {
+		return
+	}
+	gate := &s.C.Gates[i]
+	out := int(s.C.GateBase) + i
+	switch s.act[i] {
+	case actPub:
+		// no label
+	case actCopyA:
+		g.x0[out] = g.x0[gate.A]
+	case actCopyAInv:
+		g.x0[out] = g.x0[gate.A].Xor(g.R)
+	case actCopyB:
+		g.x0[out] = g.x0[gate.B]
+	case actCopyBInv:
+		g.x0[out] = g.x0[gate.B].Xor(g.R)
+	case actCopyS:
+		g.x0[out] = g.x0[gate.S]
+	case actCopySInv:
+		g.x0[out] = g.x0[gate.S].Xor(g.R)
+	case actXor:
+		g.x0[out] = g.x0[gate.A].Xor(g.x0[gate.B])
+		if gate.Op == circuit.XNOR {
+			g.x0[out] = g.x0[out].Xor(g.R)
+		}
+	case actMuxXor:
+		g.x0[out] = g.x0[gate.S].Xor(g.x0[gate.A])
+	case actGarble:
+		gid := base + uint64(i)
+		var c0 gc.Label
+		var t gc.Table
+		if gate.Op == circuit.MUX {
+			c0, t = g.garbleMux(gate, gid)
+		} else {
+			c0, t = gc.GarbleGate(g.h, g.R, gate.Op, g.x0[gate.A], g.x0[gate.B], gid)
+		}
+		g.x0[out] = c0
+		tabs[s.slot[i]] = t
+	}
 }
 
 // garbleMux garbles a category-iv MUX. With both data inputs secret it is
@@ -245,11 +315,29 @@ func (e *Evaluator) SetInputs(aliceActive, bobChosen []gc.Label) error {
 }
 
 // EvalCycle performs Bob's side of the current classified cycle, consuming
-// tables from ts in order; it returns the unconsumed remainder.
+// tables from ts in order; it returns the unconsumed remainder. With
+// scheduler workers > 1 the walk runs level-parallel, each gate reading
+// its table from the slot the shared schedule assigned it — the same
+// positions the serial walk consumes one by one.
 func (e *Evaluator) EvalCycle(ts []gc.Table) ([]gc.Table, error) {
 	s := e.S
 	c := s.C
 	base := uint64(s.cycle-1) * uint64(len(c.Gates))
+	if s.workers > 1 {
+		if len(ts) < s.numTables {
+			return nil, fmt.Errorf("core: table stream exhausted: cycle %d needs %d tables, have %d", s.cycle, s.numTables, len(ts))
+		}
+		cur := ts[:s.numTables]
+		s.forkWorkers(func(id int) {
+			s.walkLevels(id, func(gates []int32) {
+				for _, gi := range gates {
+					e.evalGate(int(gi), base, cur)
+				}
+			})
+		})
+		return ts[s.numTables:], nil
+	}
+	// Serial fast path, mirroring Garbler.GarbleCycle's inline walk.
 	for i := range c.Gates {
 		if s.fan[i] <= 0 {
 			continue
@@ -283,6 +371,38 @@ func (e *Evaluator) EvalCycle(ts []gc.Table) ([]gc.Table, error) {
 		}
 	}
 	return ts, nil
+}
+
+// evalGate mirrors Garbler.garbleGate with active labels.
+func (e *Evaluator) evalGate(i int, base uint64, tabs []gc.Table) {
+	s := e.S
+	if s.fan[i] <= 0 {
+		return
+	}
+	gate := &s.C.Gates[i]
+	out := int(s.C.GateBase) + i
+	switch s.act[i] {
+	case actPub:
+		// no label
+	case actCopyA, actCopyAInv:
+		e.x[out] = e.x[gate.A]
+	case actCopyB, actCopyBInv:
+		e.x[out] = e.x[gate.B]
+	case actCopyS, actCopySInv:
+		e.x[out] = e.x[gate.S]
+	case actXor:
+		e.x[out] = e.x[gate.A].Xor(e.x[gate.B])
+	case actMuxXor:
+		e.x[out] = e.x[gate.S].Xor(e.x[gate.A])
+	case actGarble:
+		gid := base + uint64(i)
+		t := tabs[s.slot[i]]
+		if gate.Op == circuit.MUX {
+			e.x[out] = e.evalMux(gate, t, gid)
+		} else {
+			e.x[out] = gc.EvalGate(e.h, gate.Op, e.x[gate.A], e.x[gate.B], t, gid)
+		}
+	}
 }
 
 // evalMux mirrors Garbler.garbleMux: the shape is derived from the shared

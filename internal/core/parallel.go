@@ -1,0 +1,158 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"arm2gc/internal/circuit"
+)
+
+// MaxWorkers bounds a scheduler's worker count; values above it are
+// clamped. It exists so a negotiated remote proposal cannot ask a server
+// to spawn an absurd number of goroutines per cycle.
+const MaxWorkers = 256
+
+// wideLevelMin is the level width (in gates) above which a level is worth
+// splitting across workers. Narrower levels cost less than a barrier
+// crossing, so consecutive narrow levels are merged into one serial
+// segment executed by worker 0 while the others wait at the segment
+// barrier — the per-cycle synchronization count is the number of segments,
+// not the circuit depth.
+const wideLevelMin = 64
+
+// minParChunk is the smallest per-worker slice of a wide level. Chunks are
+// contiguous gate ranges, so adjacent workers share at most one cache line
+// of the byte-indexed per-gate arrays per boundary.
+const minParChunk = 64
+
+// segment is one barrier-separated step of a level walk: either a single
+// wide level split across the workers, or a run of consecutive narrow
+// levels walked serially (in (level, index) order, itself topological).
+type segment struct {
+	lo, hi   int32 // range into LevelPartition.Order
+	parallel bool
+}
+
+// planSegments folds a level partition into the segment plan.
+func planSegments(p *circuit.LevelPartition) []segment {
+	var segs []segment
+	serialLo := int32(-1)
+	flush := func(hi int32) {
+		if serialLo >= 0 && hi > serialLo {
+			segs = append(segs, segment{lo: serialLo, hi: hi})
+		}
+		serialLo = -1
+	}
+	for l := 0; l < p.Depth; l++ {
+		lo, hi := p.LevelOff[l], p.LevelOff[l+1]
+		if hi-lo >= wideLevelMin {
+			flush(lo)
+			segs = append(segs, segment{lo: lo, hi: hi, parallel: true})
+			continue
+		}
+		if serialLo < 0 {
+			serialLo = lo
+		}
+	}
+	if p.Depth > 0 {
+		flush(p.LevelOff[p.Depth])
+	}
+	return segs
+}
+
+// spinBarrier is a reusable generation-counting barrier for n participants.
+// Waiters spin briefly and then yield, so it stays correct (if slower) when
+// GOMAXPROCS is smaller than the worker count. The atomic read-modify-write
+// chain on arr plus the release/acquire pair on gen give every participant
+// a happens-before edge over every other participant's pre-barrier writes —
+// the property the level walk's cross-level reads rely on, and what keeps
+// the race detector satisfied without any lock in the per-level hot path.
+type spinBarrier struct {
+	n   int32
+	arr atomic.Int32
+	gen atomic.Uint32
+}
+
+func (b *spinBarrier) wait() {
+	g := b.gen.Load()
+	if b.arr.Add(1) == b.n {
+		b.arr.Store(0) // reset before release: next crossing starts clean
+		b.gen.Add(1)
+		return
+	}
+	for i := 0; b.gen.Load() == g; i++ {
+		if i > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// forkWorkers runs body(id) on s.workers goroutines (the caller is worker
+// 0) and returns once all have finished, with the workers' writes visible
+// to the caller. body must end at a point where every worker agrees the
+// pass is over; the trailing barrier here is that final rendezvous.
+//
+// Workers are spawned per pass rather than parked in a persistent pool: a
+// goroutine spawn is well under a microsecond against per-cycle passes of
+// hundreds, and it keeps the Scheduler free of a Close/lifecycle
+// obligation. Likewise, idle workers spin (with Gosched) through serial
+// segments instead of parking. If profiles on very wide machines ever
+// show this overhead, a persistent pool parked on a condition variable is
+// the next step (see ROADMAP).
+func (s *Scheduler) forkWorkers(body func(id int)) {
+	for id := 1; id < s.workers; id++ {
+		go func(id int) {
+			body(id)
+			s.bar.wait()
+		}(id)
+	}
+	body(0)
+	s.bar.wait()
+}
+
+// walkLevels executes fn over the circuit in level order as worker id of
+// the current pass: parallel segments are split into contiguous chunks
+// across the workers, serial segments run whole on worker 0, and a barrier
+// separates segments so fn's reads of earlier levels' outputs are ordered
+// after their writes. fn must write only per-gate slots of the gates it is
+// handed.
+func (s *Scheduler) walkLevels(id int, fn func(gates []int32)) {
+	order := s.levels.Order
+	nw := int32(s.workers)
+	for _, seg := range s.segs {
+		if seg.parallel {
+			n := seg.hi - seg.lo
+			per := (n + nw - 1) / nw
+			if per < minParChunk {
+				per = minParChunk
+			}
+			lo := seg.lo + int32(id)*per
+			if lo < seg.hi {
+				hi := lo + per
+				if hi > seg.hi {
+					hi = seg.hi
+				}
+				fn(order[lo:hi])
+			}
+		} else if id == 0 {
+			fn(order[seg.lo:seg.hi])
+		}
+		s.bar.wait()
+	}
+}
+
+// chunkRange splits the gate index space into s.workers contiguous chunks
+// for the order-independent accounting pass; chunk id covers [lo, hi).
+func (s *Scheduler) chunkRange(id int) (lo, hi int) {
+	n := len(s.C.Gates)
+	per := (n + s.workers - 1) / s.workers
+	lo = id * per
+	hi = lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

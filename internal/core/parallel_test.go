@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/circuit/circtest"
+	"arm2gc/internal/sim"
+)
+
+// garbleRun captures everything observable about a garbler-side run: the
+// per-cycle serialized table bytes and the per-cycle statistics.
+type garbleRun struct {
+	frames [][]byte
+	stats  []CycleStats
+}
+
+// garbleCycles runs scheduler+garbler for `cycles` cycles at the given
+// worker count with deterministic label randomness, recording the exact
+// bytes GarbleCycleAppend would put on the wire each cycle.
+func garbleCycles(t *testing.T, c *circuit.Circuit, pub []bool, cycles, workers int, rndSeed int64) garbleRun {
+	t.Helper()
+	s := NewScheduler(c, Seed{1, 2, 3}, pub)
+	s.SetWorkers(workers)
+	g := NewGarbler(s, rand.New(rand.NewSource(rndSeed)))
+	var run garbleRun
+	for cyc := 1; cyc <= cycles; cyc++ {
+		cs := s.Classify(cyc == cycles)
+		run.stats = append(run.stats, cs)
+		run.frames = append(run.frames, g.GarbleCycleAppend(nil))
+		if cs.Garbled != s.NumTables() {
+			t.Fatalf("workers %d, cycle %d: stats say %d garbled, layout says %d",
+				workers, cyc, cs.Garbled, s.NumTables())
+		}
+		g.CopyDFFs()
+		s.Commit()
+	}
+	return run
+}
+
+// TestParallelGarbleByteIdentical is the tentpole's correctness anchor:
+// for every worker count, the garbler must emit exactly the bytes the
+// serial engine emits, cycle for cycle, and classify with exactly the
+// same statistics — on random netlists exercising the whole operator set.
+func TestParallelGarbleByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		c, aBits, bBits := circtest.Random(rng, 100+rng.Intn(900), 5+rng.Intn(30))
+		_ = aBits
+		_ = bBits
+		pub := circtest.RandBits(rng, c.PublicBits)
+		const cycles = 6
+		serial := garbleCycles(t, c, pub, cycles, 1, 1234)
+		for _, workers := range []int{2, 3, 8} {
+			par := garbleCycles(t, c, pub, cycles, workers, 1234)
+			for cyc := range serial.frames {
+				if !bytes.Equal(serial.frames[cyc], par.frames[cyc]) {
+					t.Fatalf("trial %d, workers %d: cycle %d table bytes differ (serial %d bytes, parallel %d)",
+						trial, workers, cyc+1, len(serial.frames[cyc]), len(par.frames[cyc]))
+				}
+				if serial.stats[cyc] != par.stats[cyc] {
+					t.Fatalf("trial %d, workers %d: cycle %d stats differ: serial %+v parallel %+v",
+						trial, workers, cyc+1, serial.stats[cyc], par.stats[cyc])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRunLocalMatchesSerial runs the full two-party protocol in
+// process at several worker counts and demands identical outputs, halt
+// behavior and statistics.
+func TestParallelRunLocalMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ctx := context.Background()
+	for trial := 0; trial < 8; trial++ {
+		c, aBits, bBits := circtest.Random(rng, 80+rng.Intn(600), 3+rng.Intn(20))
+		in := sim.Inputs{
+			Public: circtest.RandBits(rng, c.PublicBits),
+			Alice:  circtest.RandBits(rng, aBits),
+			Bob:    circtest.RandBits(rng, bBits),
+		}
+		opts := RunOpts{Cycles: 5, RecordEveryCycle: true, Rand: rand.New(rand.NewSource(77))}
+		want, err := RunLocal(ctx, c, in, opts)
+		if err != nil {
+			t.Fatalf("trial %d serial: %v", trial, err)
+		}
+		for _, workers := range []int{2, 8} {
+			opts.Workers = workers
+			opts.Rand = rand.New(rand.NewSource(77))
+			got, err := RunLocal(ctx, c, in, opts)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			if got.Stats != want.Stats {
+				t.Fatalf("trial %d workers %d: stats %+v, serial %+v", trial, workers, got.Stats, want.Stats)
+			}
+			for cyc := range want.PerCycle {
+				for i := range want.PerCycle[cyc] {
+					if got.PerCycle[cyc][i] != want.PerCycle[cyc][i] {
+						t.Fatalf("trial %d workers %d: cycle %d output %d differs", trial, workers, cyc, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCountMatchesSerial covers the schedule-only path (Count) —
+// classification statistics must merge deterministically at any width.
+func TestParallelCountMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ctx := context.Background()
+	for trial := 0; trial < 10; trial++ {
+		c, _, _ := circtest.Random(rng, 60+rng.Intn(500), rng.Intn(25))
+		pub := circtest.RandBits(rng, c.PublicBits)
+		want, err := Count(ctx, c, pub, CountOpts{Cycles: 7})
+		if err != nil {
+			t.Fatalf("trial %d serial: %v", trial, err)
+		}
+		for _, workers := range []int{2, 5, 8} {
+			got, err := Count(ctx, c, pub, CountOpts{Cycles: 7, Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d workers %d: stats %+v, serial %+v", trial, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestSetWorkersClamps pins the bounds: non-positive and absurd values
+// degrade to sane worker counts instead of failing.
+func TestSetWorkersClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, _, _ := circtest.Random(rng, 50, 3)
+	s := NewScheduler(c, Seed{}, nil)
+	for in, want := range map[int]int{-3: 1, 0: 1, 1: 1, 4: 4, MaxWorkers + 100: MaxWorkers} {
+		s.SetWorkers(in)
+		if got := s.Workers(); got != want {
+			t.Errorf("SetWorkers(%d): workers = %d, want %d", in, got, want)
+		}
+	}
+}

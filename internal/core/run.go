@@ -34,6 +34,11 @@ type RunOpts struct {
 	// Sink, when set, receives every cycle's scheduling outcome as it is
 	// classified — live progress for long runs.
 	Sink func(cycle int, cs CycleStats)
+
+	// Workers is the per-cycle worker count for the classify/garble/eval
+	// passes (see Scheduler.SetWorkers); <= 1 means serial. Results and
+	// statistics are identical for every value.
+	Workers int
 }
 
 // RunResult reports a completed run.
@@ -61,6 +66,7 @@ func RunLocal(ctx context.Context, c *circuit.Circuit, in sim.Inputs, opts RunOp
 		rnd = gc.CryptoRand
 	}
 	s := NewScheduler(c, opts.Seed, in.Public)
+	s.SetWorkers(opts.Workers)
 	g := NewGarbler(s, rnd)
 	e := NewEvaluator(s)
 
@@ -175,6 +181,9 @@ type CountOpts struct {
 
 	// Sink, when set, receives every cycle's scheduling outcome.
 	Sink func(cycle int, cs CycleStats)
+
+	// Workers parallelizes the classification pass as in RunOpts.Workers.
+	Workers int
 }
 
 // Count runs only the Scheduler — no cryptography — and returns the gate
@@ -198,6 +207,7 @@ func Count(ctx context.Context, c *circuit.Circuit, pub []bool, opts CountOpts) 
 		stopWire = c.ResolveOutput(stop.Wires[0])
 	}
 	s := NewScheduler(c, opts.Seed, pub)
+	s.SetWorkers(opts.Workers)
 	var st Stats
 	for cyc := 1; cyc <= opts.Cycles; cyc++ {
 		if err := ctx.Err(); err != nil {

@@ -62,6 +62,19 @@ type Stats struct {
 // the public input p and the session seed, it computes — identically on
 // both sides — the per-cycle fate of every gate: public value, label copy,
 // free XOR, garbled, or skipped.
+//
+// Classify runs in three phases. Phase A decides every gate's action from
+// its input wire states and its own static fanout, recording the label
+// releases the decision implies instead of applying them; phase B applies
+// all recorded releases (Algorithm 6's recursive reductions) in one sweep;
+// phase C derives the cycle statistics and the garbled-table slot of every
+// surviving gate from the settled fanouts. The split is behavior-identical
+// to the classic single walk — a gate's decision can never observe a
+// reduction, because reductions only cascade backwards from consumers that
+// are classified later — and it is what makes the pass parallelizable:
+// phase A is data-parallel over topological levels (SetWorkers), phase B is
+// one cheap serial sweep, and phase C is data-parallel over gate-index
+// chunks whose partial stats merge in deterministic chunk order.
 type Scheduler struct {
 	C *circuit.Circuit
 
@@ -76,6 +89,34 @@ type Scheduler struct {
 	fanNormal, fanFinal []int32
 	dffNextSt           []uint8
 	dffNextFP           []FP
+
+	// Deferred label releases recorded by phase A, one append-only list
+	// per worker (a decision releases at most three wires). The lists are
+	// replayed by applyReleases; replay order does not matter — the
+	// settled fanouts are order-independent — so per-worker lists are
+	// both race-free and deterministic.
+	rel [][]circuit.Wire
+
+	// Per-cycle garbled-table layout from phase C: slot[i] is the table
+	// index of surviving category-iv gate i (ascending in gate index, the
+	// serial emission order), numTables the cycle's total. The executors
+	// use them to write/read tables at their final positions from any
+	// worker, keeping the stream byte-identical to the serial one.
+	slot      []int32
+	numTables int
+
+	// Worker machinery (SetWorkers). gens holds one fingerprint generator
+	// per worker — same AES key, separate scratch — so phase A stays
+	// allocation-free and race-free; chunkStats/chunkSurv collect phase C
+	// partials merged in chunk order.
+	workers    int
+	levels     *circuit.LevelPartition
+	segs       []segment
+	bar        spinBarrier
+	gens       []*fpGen
+	chunkStats []CycleStats
+	chunkSurv  [][]int32
+	allGates   []int32 // identity order, the serial walk of classifyChunk
 
 	pub   []bool
 	cycle int // 1-based during a cycle; 0 before Start
@@ -94,9 +135,20 @@ func NewScheduler(c *circuit.Circuit, seed Seed, pub []bool) *Scheduler {
 		fanFinal:  c.Fanout(false),
 		dffNextSt: make([]uint8, len(c.DFFs)),
 		dffNextFP: make([]FP, len(c.DFFs)),
+		rel:       make([][]circuit.Wire, 1),
+		slot:      make([]int32, len(c.Gates)),
+		allGates:  make([]int32, len(c.Gates)),
 		pub:       pub,
 	}
+	for i := range s.allGates {
+		s.allGates[i] = int32(i)
+	}
 	s.deltaF = s.gen.delta()
+	s.workers = 1
+	s.bar.n = 1
+	s.gens = []*fpGen{s.gen}
+	s.chunkStats = make([]CycleStats, 1)
+	s.chunkSurv = make([][]int32, 1)
 
 	s.st[circuit.Const0] = stPub0
 	s.st[circuit.Const1] = stPub1
@@ -124,6 +176,43 @@ func NewScheduler(c *circuit.Circuit, seed Seed, pub []bool) *Scheduler {
 	return s
 }
 
+// SetWorkers sets how many goroutines the per-cycle passes (Classify and
+// the executors' label walks) may use; n < 1 and n == 1 both mean serial,
+// and n is clamped to MaxWorkers. The schedule, statistics and garbled
+// byte stream are identical for every worker count — parallelism only
+// changes who computes each gate. Call it before the first Classify; the
+// level partition comes from the circuit's shared cache, so repeated
+// sessions over one machine pay nothing here.
+func (s *Scheduler) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxWorkers {
+		n = MaxWorkers
+	}
+	s.workers = n
+	s.bar.n = int32(n)
+	if n > 1 && s.levels == nil {
+		s.levels = s.C.Levels()
+		s.segs = planSegments(s.levels)
+	}
+	for len(s.gens) < n {
+		s.gens = append(s.gens, s.gen.fork())
+	}
+	for len(s.rel) < n {
+		s.rel = append(s.rel, nil)
+	}
+	for len(s.chunkSurv) < n {
+		s.chunkSurv = append(s.chunkSurv, nil)
+	}
+	if len(s.chunkStats) < n {
+		s.chunkStats = make([]CycleStats, n)
+	}
+}
+
+// Workers reports the configured worker count.
+func (s *Scheduler) Workers() int { return s.workers }
+
 func (s *Scheduler) initWire(w circuit.Wire, owner circuit.Owner, idx int) {
 	if owner == circuit.Public {
 		if idx < len(s.pub) && s.pub[idx] {
@@ -141,11 +230,15 @@ func (s *Scheduler) initWire(w circuit.Wire, owner circuit.Owner, idx int) {
 // before the first Classify).
 func (s *Scheduler) Cycle() int { return s.cycle }
 
+// NumTables returns the number of garbled tables the current classified
+// cycle puts on the wire (valid after Classify).
+func (s *Scheduler) NumTables() int { return s.numTables }
+
 // Classify runs the SkipGate decision pass for the next cycle: the paper's
 // Phase 1 and Phase 2 classification plus all recursive label_fanout
-// reductions, in one topological walk. final marks the last cycle of the
-// run, in which flip-flop next-state values are not label consumers.
-// Call Commit after the executors have processed the cycle.
+// reductions. final marks the last cycle of the run, in which flip-flop
+// next-state values are not label consumers. Call Commit after the
+// executors have processed the cycle.
 func (s *Scheduler) Classify(final bool) CycleStats {
 	s.cycle++
 	src := s.fanNormal
@@ -154,11 +247,62 @@ func (s *Scheduler) Classify(final bool) CycleStats {
 	}
 	copy(s.fan, src)
 
-	c := s.C
-	gates := c.Gates
-	for i := range gates {
-		g := &gates[i]
-		out := int(c.GateBase) + i
+	if s.workers > 1 {
+		s.forkWorkers(func(id int) {
+			cx := classCtx{gen: s.gens[id], rel: s.rel[id][:0]}
+			s.walkLevels(id, func(chunk []int32) {
+				s.classifyChunk(chunk, &cx)
+			})
+			s.rel[id] = cx.rel
+			s.bar.wait() // publish the release lists
+			// Phase B: the recorded releases interact through shared
+			// fanout counters, so one worker applies them all; the
+			// barrier publishes the settled counters to everyone.
+			if id == 0 {
+				s.applyReleases()
+			}
+			s.bar.wait()
+			s.accountChunk(id, src)
+		})
+	} else {
+		cx := classCtx{gen: s.gens[0], rel: s.rel[0][:0]}
+		s.classifyChunk(s.allGates, &cx)
+		s.rel[0] = cx.rel
+		s.applyReleases()
+		s.accountChunk(0, src)
+	}
+	return s.mergeAccounts()
+}
+
+// classCtx is one worker's classification context: its fingerprint
+// generator and its deferred-release list.
+type classCtx struct {
+	gen *fpGen
+	rel []circuit.Wire
+}
+
+// release records that the current decision frees one reference to the
+// label on w; applyReleases replays it after classification.
+func (cx *classCtx) release(w circuit.Wire) { cx.rel = append(cx.rel, w) }
+
+// classifyChunk decides the action of every gate in idx for the current
+// cycle — the one copy of the SkipGate decision logic, driven serially
+// over the identity order or in parallel over level chunks. Each decision
+// reads only the states of the gate's input wires (earlier levels) and
+// the gate's own static fanout, and writes only that gate's slots — act
+// and the output wire state/fingerprint — plus the calling worker's
+// private release list, which is what lets one topological level classify
+// in parallel. Releases recorded here are applied by applyReleases after
+// the whole circuit is decided; deferral is invisible to the decisions
+// because a reduction can only be triggered by consumers classified after
+// its target.
+func (s *Scheduler) classifyChunk(idx []int32, cx *classCtx) {
+	gates := s.C.Gates
+	gateBase := int(s.C.GateBase)
+	for _, gi := range idx {
+		i := int(gi)
+		g := &gates[gi]
+		out := gateBase + i
 		sa := s.st[g.A]
 
 		if g.Op.IsUnary() {
@@ -172,12 +316,12 @@ func (s *Scheduler) Classify(final bool) CycleStats {
 			} else {
 				s.setCopy(i, out, actCopyA, g.A)
 			}
-			s.deadCheckUnary(i, g.A)
+			s.deadCheckUnary(cx, i, g.A)
 			continue
 		}
 
 		if g.Op == circuit.MUX {
-			s.classifyMux(i, out, g)
+			s.classifyMux(i, out, g, cx)
 			continue
 		}
 
@@ -190,28 +334,27 @@ func (s *Scheduler) Classify(final bool) CycleStats {
 		case sa != stSecret || sb != stSecret:
 			// Category ii: one public input.
 			var p bool
-			var secretW, otherW circuit.Wire
+			var secretW circuit.Wire
 			var copyAct, copyInvAct uint8
 			if sa != stSecret {
 				p = sa == stPub1
-				secretW, otherW = g.B, g.A
+				secretW = g.B
 				copyAct, copyInvAct = actCopyB, actCopyBInv
 			} else {
 				p = sb == stPub1
-				secretW, otherW = g.A, g.B
+				secretW = g.A
 				copyAct, copyInvAct = actCopyA, actCopyAInv
 			}
-			_ = otherW
 			switch g.Op {
 			case circuit.AND:
 				if p {
 					s.setCopy(i, out, copyAct, secretW)
 				} else {
-					s.setPubRelease(i, out, false, secretW)
+					s.setPubRelease(cx, i, out, false, secretW)
 				}
 			case circuit.OR:
 				if p {
-					s.setPubRelease(i, out, true, secretW)
+					s.setPubRelease(cx, i, out, true, secretW)
 				} else {
 					s.setCopy(i, out, copyAct, secretW)
 				}
@@ -219,11 +362,11 @@ func (s *Scheduler) Classify(final bool) CycleStats {
 				if p {
 					s.setCopy(i, out, copyInvAct, secretW)
 				} else {
-					s.setPubRelease(i, out, true, secretW)
+					s.setPubRelease(cx, i, out, true, secretW)
 				}
 			case circuit.NOR:
 				if p {
-					s.setPubRelease(i, out, false, secretW)
+					s.setPubRelease(cx, i, out, false, secretW)
 				} else {
 					s.setCopy(i, out, copyInvAct, secretW)
 				}
@@ -243,7 +386,7 @@ func (s *Scheduler) Classify(final bool) CycleStats {
 				panic(fmt.Sprintf("core: op %v", g.Op))
 			}
 			if s.act[i] != actPub {
-				s.deadCheckUnary(i, secretW)
+				s.deadCheckUnary(cx, i, secretW)
 			}
 
 		default:
@@ -255,16 +398,16 @@ func (s *Scheduler) Classify(final bool) CycleStats {
 				switch g.Op {
 				case circuit.AND, circuit.OR:
 					s.setCopy(i, out, actCopyA, g.A)
-					s.reduce(g.B)
-					s.deadCheckUnary(i, g.A)
+					cx.release(g.B)
+					s.deadCheckUnary(cx, i, g.A)
 				case circuit.NAND, circuit.NOR:
 					s.setCopy(i, out, actCopyAInv, g.A)
-					s.reduce(g.B)
-					s.deadCheckUnary(i, g.A)
+					cx.release(g.B)
+					s.deadCheckUnary(cx, i, g.A)
 				case circuit.XOR:
-					s.setPubRelease2(i, out, false, g.A, g.B)
+					s.setPubRelease2(cx, i, out, false, g.A, g.B)
 				case circuit.XNOR:
-					s.setPubRelease2(i, out, true, g.A, g.B)
+					s.setPubRelease2(cx, i, out, true, g.A, g.B)
 				}
 			case fpa.Xor(fpb) == s.deltaF:
 				// Category iii, inverted labels.
@@ -275,7 +418,7 @@ func (s *Scheduler) Classify(final bool) CycleStats {
 				case circuit.OR, circuit.NAND, circuit.XOR:
 					v = true
 				}
-				s.setPubRelease2(i, out, v, g.A, g.B)
+				s.setPubRelease2(cx, i, out, v, g.A, g.B)
 			default:
 				// Category iv: unrelated secrets.
 				s.st[out] = stSecret
@@ -288,21 +431,44 @@ func (s *Scheduler) Classify(final bool) CycleStats {
 					s.fp[out] = fpa.Xor(fpb).Xor(s.deltaF)
 				default:
 					s.act[i] = actGarble
-					s.fp[out] = s.gen.fresh(s.cycle, i)
+					s.fp[out] = cx.gen.fresh(s.cycle, i)
 				}
 				if s.fan[i] == 0 {
 					// No consumer can ever need this label this cycle:
 					// release the inputs it would have consumed.
-					s.reduce(g.A)
-					s.reduce(g.B)
+					cx.release(g.A)
+					cx.release(g.B)
 				}
 			}
 		}
 	}
+}
 
-	// Per-cycle accounting (after all reductions have settled).
+// applyReleases is phase B: it replays every release recorded during
+// classification through the recursive reduction. The settled fanouts are
+// independent of replay order — each recorded release decrements exactly
+// one reference, and a cascade fires exactly once, on whichever decrement
+// zeroes its gate — so this sweep leaves fan identical to the classic
+// interleaved walk for any worker count.
+func (s *Scheduler) applyReleases() {
+	for _, list := range s.rel[:s.workers] {
+		for _, w := range list {
+			s.reduce(w)
+		}
+	}
+}
+
+// accountChunk is phase C for one contiguous gate-index chunk: partial
+// cycle statistics plus — when running parallel, where the executors need
+// the table layout — the chunk's surviving category-iv gates in ascending
+// order. Chunks are merged in index order by mergeAccounts, so the totals
+// and the table layout are identical for every worker count.
+func (s *Scheduler) accountChunk(w int, src []int32) {
+	lo, hi := s.chunkRange(w)
+	recordSurv := s.workers > 1
+	surv := s.chunkSurv[w][:0]
 	var cs CycleStats
-	for i := range gates {
+	for i := lo; i < hi; i++ {
 		switch s.act[i] {
 		case actPub:
 			cs.PublicGates++
@@ -313,11 +479,17 @@ func (s *Scheduler) Classify(final bool) CycleStats {
 				cs.DeadSkipped++
 			}
 		case actGarble:
-			if s.fan[i] > 0 {
+			switch {
+			case s.fan[i] > 0:
 				cs.Garbled++
-			} else if s.fanWasPositive(src, i) {
+				if recordSurv {
+					surv = append(surv, int32(i))
+				}
+			case src[i] > 0:
+				// Garbled then filtered (the paper counts these as
+				// removed tables), not statically dead this cycle.
 				cs.Filtered++
-			} else {
+			default:
 				cs.DeadSkipped++
 			}
 		default:
@@ -328,19 +500,33 @@ func (s *Scheduler) Classify(final bool) CycleStats {
 			}
 		}
 	}
-	return cs
+	s.chunkSurv[w] = surv
+	s.chunkStats[w] = cs
 }
 
-// fanWasPositive distinguishes "garbled then filtered" (the paper counts
-// these as removed tables) from "statically dead this cycle".
-func (s *Scheduler) fanWasPositive(src []int32, i int) bool { return src[i] > 0 }
+// mergeAccounts folds the phase C partials in chunk order: deterministic
+// totals, and (parallel runs) slot numbers that reproduce the serial
+// emission order — ascending gate index over all surviving gates.
+func (s *Scheduler) mergeAccounts() CycleStats {
+	var cs CycleStats
+	base := int32(0)
+	for w := 0; w < s.workers; w++ {
+		cs.Add(s.chunkStats[w])
+		for k, gi := range s.chunkSurv[w] {
+			s.slot[gi] = base + int32(k)
+		}
+		base += int32(len(s.chunkSurv[w]))
+	}
+	s.numTables = cs.Garbled
+	return cs
+}
 
 // classifyMux applies the SkipGate categories to the atomic multiplexer
 // out = S ? B : A. A public select makes the MUX a wire to the selected
 // input and releases the unselected cone — the paper's illustrative
 // example and the reason register-file and memory accesses at public
 // addresses are free.
-func (s *Scheduler) classifyMux(i, out int, g *circuit.Gate) {
+func (s *Scheduler) classifyMux(i, out int, g *circuit.Gate, cx *classCtx) {
 	ss, sa, sb := s.st[g.S], s.st[g.A], s.st[g.B]
 
 	if ss != stSecret {
@@ -353,7 +539,7 @@ func (s *Scheduler) classifyMux(i, out int, g *circuit.Gate) {
 		}
 		if srcSt != stSecret {
 			if otherSt == stSecret {
-				s.setPubRelease(i, out, srcSt == stPub1, other)
+				s.setPubRelease(cx, i, out, srcSt == stPub1, other)
 			} else {
 				s.setPub(i, out, srcSt == stPub1)
 			}
@@ -361,9 +547,9 @@ func (s *Scheduler) classifyMux(i, out int, g *circuit.Gate) {
 		}
 		s.setCopy(i, out, act, src)
 		if otherSt == stSecret {
-			s.reduce(other)
+			cx.release(other)
 		}
-		s.deadCheckUnary(i, src)
+		s.deadCheckUnary(cx, i, src)
 		return
 	}
 
@@ -373,13 +559,13 @@ func (s *Scheduler) classifyMux(i, out int, g *circuit.Gate) {
 		va, vb := sa == stPub1, sb == stPub1
 		switch {
 		case va == vb:
-			s.setPubRelease(i, out, va, g.S)
+			s.setPubRelease(cx, i, out, va, g.S)
 		case vb: // out = S ? 1 : 0 = S
 			s.setCopy(i, out, actCopyS, g.S)
-			s.deadCheckUnary(i, g.S)
+			s.deadCheckUnary(cx, i, g.S)
 		default: // out = S ? 0 : 1 = ¬S
 			s.setCopy(i, out, actCopySInv, g.S)
-			s.deadCheckUnary(i, g.S)
+			s.deadCheckUnary(cx, i, g.S)
 		}
 
 	case sa == stSecret && sb == stSecret:
@@ -388,52 +574,52 @@ func (s *Scheduler) classifyMux(i, out int, g *circuit.Gate) {
 		case fpa == fpb:
 			// Equal data inputs: wire to A, release S and B.
 			s.setCopy(i, out, actCopyA, g.A)
-			s.reduce(g.S)
-			s.reduce(g.B)
-			s.deadCheckUnary(i, g.A)
+			cx.release(g.S)
+			cx.release(g.B)
+			s.deadCheckUnary(cx, i, g.A)
 		case fpa.Xor(fpb) == s.deltaF:
 			// B = ¬A, so out = S ⊕ A: free. The select-XOR may itself be
 			// degenerate if S and A carry related labels.
 			fpx := s.fp[g.S].Xor(fpa)
 			switch fpx {
 			case (FP{}):
-				s.setPubRelease3(i, out, false, g.S, g.A, g.B)
+				s.setPubRelease3(cx, i, out, false, g.S, g.A, g.B)
 			case s.deltaF:
-				s.setPubRelease3(i, out, true, g.S, g.A, g.B)
+				s.setPubRelease3(cx, i, out, true, g.S, g.A, g.B)
 			default:
 				s.act[i] = actMuxXor
 				s.st[out] = stSecret
 				s.fp[out] = fpx
-				s.reduce(g.B)
+				cx.release(g.B)
 				if s.fan[i] == 0 {
-					s.reduce(g.S)
-					s.reduce(g.A)
+					cx.release(g.S)
+					cx.release(g.A)
 				}
 			}
 		default:
-			s.setMuxGarble(i, out, g)
+			s.setMuxGarble(i, out, g, cx)
 		}
 
 	default:
 		// Select secret, exactly one data input public: a genuine 2-secret
 		// function (AND/OR shape); garbled atomically with one table.
-		s.setMuxGarble(i, out, g)
+		s.setMuxGarble(i, out, g, cx)
 	}
 }
 
 // setMuxGarble marks a MUX as garbled (category iv) and, when it has no
 // consumers this cycle, releases everything it would have consumed.
-func (s *Scheduler) setMuxGarble(i, out int, g *circuit.Gate) {
+func (s *Scheduler) setMuxGarble(i, out int, g *circuit.Gate, cx *classCtx) {
 	s.act[i] = actGarble
 	s.st[out] = stSecret
-	s.fp[out] = s.gen.fresh(s.cycle, i)
+	s.fp[out] = cx.gen.fresh(s.cycle, i)
 	if s.fan[i] == 0 {
-		s.reduce(g.S)
+		cx.release(g.S)
 		if s.st[g.A] == stSecret {
-			s.reduce(g.A)
+			cx.release(g.A)
 		}
 		if s.st[g.B] == stSecret {
-			s.reduce(g.B)
+			cx.release(g.B)
 		}
 	}
 }
@@ -465,25 +651,24 @@ func (s *Scheduler) setPub(i, out int, v bool) {
 
 // setPubRelease marks the output public and releases one secret input
 // reference (whose label the gate will not consume).
-func (s *Scheduler) setPubRelease(i, out int, v bool, release circuit.Wire) {
+func (s *Scheduler) setPubRelease(cx *classCtx, i, out int, v bool, rel circuit.Wire) {
 	s.setPub(i, out, v)
-	s.reduce(release)
+	cx.release(rel)
 }
 
-// setPubRelease2 releases two references (avoiding a variadic allocation
-// in the per-gate hot path).
-func (s *Scheduler) setPubRelease2(i, out int, v bool, r1, r2 circuit.Wire) {
+// setPubRelease2 releases two references.
+func (s *Scheduler) setPubRelease2(cx *classCtx, i, out int, v bool, r1, r2 circuit.Wire) {
 	s.setPub(i, out, v)
-	s.reduce(r1)
-	s.reduce(r2)
+	cx.release(r1)
+	cx.release(r2)
 }
 
 // setPubRelease3 releases three references (MUX cases).
-func (s *Scheduler) setPubRelease3(i, out int, v bool, r1, r2, r3 circuit.Wire) {
+func (s *Scheduler) setPubRelease3(cx *classCtx, i, out int, v bool, r1, r2, r3 circuit.Wire) {
 	s.setPub(i, out, v)
-	s.reduce(r1)
-	s.reduce(r2)
-	s.reduce(r3)
+	cx.release(r1)
+	cx.release(r2)
+	cx.release(r3)
 }
 
 func (s *Scheduler) setCopy(i, out int, act uint8, src circuit.Wire) {
@@ -498,15 +683,16 @@ func (s *Scheduler) setCopy(i, out int, act uint8, src circuit.Wire) {
 
 // deadCheckUnary releases the single consumed input of a copy-action gate
 // that has no consumers itself this cycle.
-func (s *Scheduler) deadCheckUnary(i int, consumed circuit.Wire) {
+func (s *Scheduler) deadCheckUnary(cx *classCtx, i int, consumed circuit.Wire) {
 	if s.fan[i] == 0 {
-		s.reduce(consumed)
+		cx.release(consumed)
 	}
 }
 
 // reduce is the paper's recursive_reduction (Algorithm 6): decrement the
 // label_fanout of the gate producing w; when it reaches zero the gate's
 // label is never needed, so recursively release the inputs it consumed.
+// Only applyReleases calls it, after every gate's action is decided.
 func (s *Scheduler) reduce(w circuit.Wire) {
 	for {
 		gi := s.C.WireGate(w)

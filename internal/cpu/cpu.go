@@ -302,6 +302,10 @@ func Build(l isa.Layout) (*CPU, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Pre-warm the topological level partition so every cached machine
+	// carries it: parallel sessions (WithWorkers) then find it for free
+	// instead of each first scheduler paying the O(gates) computation.
+	c.Levels()
 	return &CPU{Circuit: c, Layout: l}, nil
 }
 

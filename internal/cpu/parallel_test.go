@@ -1,0 +1,83 @@
+package cpu
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"arm2gc/internal/core"
+	"arm2gc/internal/isa"
+	"arm2gc/internal/sim"
+)
+
+// TestParallelRandomLayouts is the fuzz-style layout sweep for the
+// parallel engine: random processor geometries (and random instruction
+// images, which push the decoder through garbage encodings) must
+// classify to identical statistics and garble to identical bytes at
+// every worker count. Each geometry has its own level structure — narrow
+// layouts exercise the serial-segment path, the wider ones the split
+// levels — so this is where the segment planner earns its keep.
+func TestParallelRandomLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	imems := []int{16, 32, 64}
+	for trial := 0; trial < 4; trial++ {
+		l := isa.Layout{
+			IMemWords:    imems[rng.Intn(len(imems))],
+			AliceWords:   1 + rng.Intn(4),
+			BobWords:     1 + rng.Intn(4),
+			OutWords:     1 + rng.Intn(3),
+			ScratchWords: 4 + rng.Intn(12),
+		}
+		c, err := Build(l)
+		if err != nil {
+			t.Fatalf("trial %d: layout %+v: %v", trial, l, err)
+		}
+		words := make([]uint32, l.IMemWords)
+		for i := range words {
+			words[i] = rng.Uint32()
+		}
+		pub := sim.UnpackWords(words)
+
+		const cycles = 4
+		want, err := core.Count(context.Background(), c.Circuit, pub, core.CountOpts{Cycles: cycles})
+		if err != nil {
+			t.Fatalf("trial %d serial count: %v", trial, err)
+		}
+		for _, workers := range []int{3, 8} {
+			got, err := core.Count(context.Background(), c.Circuit, pub,
+				core.CountOpts{Cycles: cycles, Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d layout %+v workers %d: stats %+v, serial %+v", trial, l, workers, got, want)
+			}
+		}
+
+		serial := garbleFrames(t, c, pub, cycles, 1)
+		par := garbleFrames(t, c, pub, cycles, 8)
+		for cyc := range serial {
+			if !bytes.Equal(serial[cyc], par[cyc]) {
+				t.Fatalf("trial %d layout %+v: cycle %d garbled bytes differ", trial, l, cyc+1)
+			}
+		}
+	}
+}
+
+// garbleFrames garbles `cycles` cycles of the processor with fixed label
+// randomness and returns each cycle's serialized tables.
+func garbleFrames(t *testing.T, c *CPU, pub []bool, cycles, workers int) [][]byte {
+	t.Helper()
+	s := core.NewScheduler(c.Circuit, core.Seed{9}, pub)
+	s.SetWorkers(workers)
+	g := core.NewGarbler(s, rand.New(rand.NewSource(4)))
+	var frames [][]byte
+	for cyc := 1; cyc <= cycles; cyc++ {
+		s.Classify(cyc == cycles)
+		frames = append(frames, g.GarbleCycleAppend(nil))
+		g.CopyDFFs()
+		s.Commit()
+	}
+	return frames
+}

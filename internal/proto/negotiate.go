@@ -30,6 +30,12 @@ const (
 	// tens of MB, far under readFrame's 1 GiB frame refusal). Server
 	// registrations are operator-set and not subject to it.
 	MaxCycleBatch = 4096
+
+	// MaxWorkers is the largest per-cycle worker count a client may
+	// propose; it mirrors core.MaxWorkers so a remote proposal can never
+	// ask a server to spawn an unbounded goroutine fleet. The server
+	// additionally caps proposals at its registration's own worker count.
+	MaxWorkers = 256
 )
 
 // Proposal is the evaluator's opening move of a session: a program name
@@ -46,6 +52,7 @@ type Proposal struct {
 
 	CycleBatch int // 0: the server's registered default
 	MaxCycles  int // 0: the server's registered default
+	Workers    int // 0: the server's registered default
 }
 
 // Grant is the server's acceptance: the fully resolved session options
@@ -57,6 +64,7 @@ type Grant struct {
 	Outputs    OutputMode
 	CycleBatch int
 	MaxCycles  int
+	Workers    int
 	SessionID  [32]byte
 }
 
@@ -80,10 +88,10 @@ func WriteProposal(w io.Writer, p Proposal) error {
 	if len(p.Program) > MaxProgramName {
 		return fmt.Errorf("proto: program name of %d bytes exceeds %d", len(p.Program), MaxProgramName)
 	}
-	if p.CycleBatch < 0 || p.MaxCycles < 0 {
+	if p.CycleBatch < 0 || p.MaxCycles < 0 || p.Workers < 0 {
 		return fmt.Errorf("proto: negative option in proposal")
 	}
-	payload := make([]byte, 0, 2+len(p.Program)+2+4+8)
+	payload := make([]byte, 0, 2+len(p.Program)+2+4+8+4)
 	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(p.Program)))
 	payload = append(payload, p.Program...)
 	var flags byte
@@ -93,6 +101,7 @@ func WriteProposal(w io.Writer, p Proposal) error {
 	payload = append(payload, flags, byte(p.Outputs))
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(p.CycleBatch))
 	payload = binary.LittleEndian.AppendUint64(payload, uint64(p.MaxCycles))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(p.Workers))
 	return writeFrame(w, msgPropose, payload)
 }
 
@@ -109,7 +118,7 @@ func ReadProposal(r io.Reader) (Proposal, error) {
 	}
 	n := int(binary.LittleEndian.Uint16(b))
 	b = b[2:]
-	if n > MaxProgramName || len(b) < n+2+4+8 {
+	if n > MaxProgramName || len(b) < n+2+4+8+4 {
 		return p, fmt.Errorf("proto: malformed proposal")
 	}
 	p.Program = string(b[:n])
@@ -118,7 +127,8 @@ func ReadProposal(r io.Reader) (Proposal, error) {
 	p.Outputs = OutputMode(b[1])
 	p.CycleBatch = int(binary.LittleEndian.Uint32(b[2:]))
 	p.MaxCycles = int(binary.LittleEndian.Uint64(b[6:]))
-	if p.CycleBatch < 0 || p.MaxCycles < 0 {
+	p.Workers = int(binary.LittleEndian.Uint32(b[14:]))
+	if p.CycleBatch < 0 || p.MaxCycles < 0 || p.Workers < 0 {
 		return p, fmt.Errorf("proto: proposal option overflow")
 	}
 	return p, nil
@@ -126,24 +136,26 @@ func ReadProposal(r io.Reader) (Proposal, error) {
 
 // WriteGrant accepts a proposal (server side).
 func WriteGrant(w io.Writer, g Grant) error {
-	payload := make([]byte, 0, 1+4+8+32)
+	payload := make([]byte, 0, 1+4+8+4+32)
 	payload = append(payload, byte(g.Outputs))
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(g.CycleBatch))
 	payload = binary.LittleEndian.AppendUint64(payload, uint64(g.MaxCycles))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(g.Workers))
 	payload = append(payload, g.SessionID[:]...)
 	return writeFrame(w, msgGrant, payload)
 }
 
 func parseGrant(b []byte) (Grant, error) {
 	var g Grant
-	if len(b) != 1+4+8+32 {
+	if len(b) != 1+4+8+4+32 {
 		return g, fmt.Errorf("proto: malformed grant of %d bytes", len(b))
 	}
 	g.Outputs = OutputMode(b[0])
 	g.CycleBatch = int(binary.LittleEndian.Uint32(b[1:]))
 	g.MaxCycles = int(binary.LittleEndian.Uint64(b[5:]))
-	copy(g.SessionID[:], b[13:])
-	if g.CycleBatch < 1 || g.MaxCycles < 1 {
+	g.Workers = int(binary.LittleEndian.Uint32(b[13:]))
+	copy(g.SessionID[:], b[17:])
+	if g.CycleBatch < 1 || g.MaxCycles < 1 || g.Workers < 1 {
 		return g, fmt.Errorf("proto: grant with unresolved options")
 	}
 	return g, nil

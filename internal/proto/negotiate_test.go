@@ -17,6 +17,7 @@ func TestProposalRoundTrip(t *testing.T) {
 		{Program: "sum"},
 		{Program: "hamming", HasOutputs: true, Outputs: OutputEvaluatorOnly, CycleBatch: 16, MaxCycles: 12345},
 		{Program: "x", HasOutputs: true, Outputs: OutputBoth},
+		{Program: "par", CycleBatch: 2, MaxCycles: 64, Workers: 8},
 	}
 	for _, want := range cases {
 		var buf bytes.Buffer
@@ -37,7 +38,7 @@ func TestProposalRoundTrip(t *testing.T) {
 }
 
 func TestGrantRoundTrip(t *testing.T) {
-	want := Grant{Outputs: OutputGarblerOnly, CycleBatch: 8, MaxCycles: 10_000}
+	want := Grant{Outputs: OutputGarblerOnly, CycleBatch: 8, MaxCycles: 10_000, Workers: 4}
 	for i := range want.SessionID {
 		want.SessionID[i] = byte(i * 7)
 	}
@@ -55,6 +56,20 @@ func TestGrantRoundTrip(t *testing.T) {
 	}
 	if got != want {
 		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+
+	// A grant is only valid fully resolved: every negotiable knob >= 1.
+	unresolved := want
+	unresolved.Workers = 0
+	var buf2 bytes.Buffer
+	if err := WriteGrant(&buf2, unresolved); err != nil {
+		t.Fatal(err)
+	}
+	if _, payload, err = readAnyFrame(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseGrant(payload); err == nil {
+		t.Error("grant with unresolved worker count accepted")
 	}
 }
 
@@ -86,7 +101,7 @@ func TestNegotiateGrant(t *testing.T) {
 	ca, cb := net.Pipe()
 	defer ca.Close()
 	defer cb.Close()
-	want := Grant{Outputs: OutputBoth, CycleBatch: 4, MaxCycles: 99}
+	want := Grant{Outputs: OutputBoth, CycleBatch: 4, MaxCycles: 99, Workers: 2}
 	go func() {
 		if _, err := ReadProposal(cb); err != nil {
 			t.Error(err)
@@ -96,7 +111,7 @@ func TestNegotiateGrant(t *testing.T) {
 			t.Error(err)
 		}
 	}()
-	got, err := Negotiate(context.Background(), ca, Proposal{Program: "sum", CycleBatch: 4, MaxCycles: 99})
+	got, err := Negotiate(context.Background(), ca, Proposal{Program: "sum", CycleBatch: 4, MaxCycles: 99, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

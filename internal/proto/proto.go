@@ -68,6 +68,15 @@ type Config struct {
 	// the two parties need not agree on it. The evaluator ignores it.
 	Pipeline int
 
+	// Workers, when > 1, spreads each cycle's SkipGate classification and
+	// label work across that many goroutines (core.Scheduler.SetWorkers).
+	// The schedule and every wire byte are identical for any value, so —
+	// like Pipeline — it is not part of the session id; each side applies
+	// its own count. The negotiation layer still carries it (Proposal/
+	// Grant) so a client can ask a server for parallel garbling within
+	// the server's registered ceiling.
+	Workers int
+
 	// Sink, when set, receives every cycle's scheduling outcome as it is
 	// classified, on both roles.
 	Sink func(cycle int, cs core.CycleStats)
@@ -297,6 +306,7 @@ func runGarbler(ctx context.Context, conn io.ReadWriter, cfg Config, aliceInput 
 	}
 
 	s := core.NewScheduler(cfg.Circuit, seed, cfg.Public)
+	s.SetWorkers(cfg.Workers)
 	g := core.NewGarbler(s, rnd)
 	if err := writeFrame(conn, msgAliceLabels, packLabels(g.AliceActiveLabels(aliceInput))); err != nil {
 		return nil, err
@@ -378,6 +388,7 @@ func runEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput 
 	}
 
 	s := core.NewScheduler(cfg.Circuit, seed, cfg.Public)
+	s.SetWorkers(cfg.Workers)
 	e := core.NewEvaluator(s)
 	aliceBytes, err := readFrame(conn, msgAliceLabels)
 	if err != nil {

@@ -1,0 +1,106 @@
+package proto
+
+import (
+	"bytes"
+	"context"
+	mrand "math/rand"
+	"net"
+	"testing"
+)
+
+// runBothAsym is runBothTap with per-side configs, for worker counts that
+// deliberately differ between garbler and evaluator.
+func runBothAsym(t *testing.T, cfgG, cfgE Config, alice, bob []bool, seed int64) (*Result, *Result, [][]byte) {
+	t.Helper()
+	var frames [][]byte
+	cfgE.tapTables = func(p []byte) { frames = append(frames, append([]byte(nil), p...)) }
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	type res struct {
+		r   *Result
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		r, err := RunGarbler(context.Background(), ca, cfgG, alice, mrand.New(mrand.NewSource(seed)))
+		ch <- res{r, err}
+	}()
+	rb, err := RunEvaluator(context.Background(), cb, cfgE, bob)
+	if err != nil {
+		t.Fatalf("evaluator: %v", err)
+	}
+	ra := <-ch
+	if ra.err != nil {
+		t.Fatalf("garbler: %v", ra.err)
+	}
+	return ra.r, rb, frames
+}
+
+// TestParallelGarblerByteIdentical pins the WithWorkers wire contract:
+// a garbler running its per-cycle passes on 8 workers must put exactly
+// the same table bytes in exactly the same frames as the serial one, and
+// the two sides need not agree on a worker count at all — here the
+// evaluator runs serial against a parallel garbler, and then parallel
+// against a parallel garbler, always from the same label randomness.
+func TestParallelGarblerByteIdentical(t *testing.T) {
+	for _, batch := range []int{1, 4} {
+		cfg, alice, bob := multiCycleConfig(t, batch)
+		_, _, serialFrames := runBothTap(t, cfg, alice, bob, 11)
+		if len(serialFrames) == 0 {
+			t.Fatalf("batch %d: no table frames recorded", batch)
+		}
+
+		for _, workers := range []struct {
+			name            string
+			garbler, evaler int
+		}{
+			{"garbler-parallel", 8, 1},
+			{"both-parallel", 8, 8},
+			{"evaluator-parallel", 1, 8},
+		} {
+			par := cfg
+			par.Workers = workers.garbler
+			parE := cfg
+			parE.Workers = workers.evaler
+			ra, rb, frames := runBothAsym(t, par, parE, alice, bob, 11)
+			if len(frames) != len(serialFrames) {
+				t.Fatalf("batch %d %s: %d frames, serial %d", batch, workers.name, len(frames), len(serialFrames))
+			}
+			for i := range serialFrames {
+				if !bytes.Equal(serialFrames[i], frames[i]) {
+					t.Fatalf("batch %d %s: frame %d differs from the serial stream", batch, workers.name, i)
+				}
+			}
+			for i := range ra.Outputs {
+				if ra.Outputs[i] != rb.Outputs[i] {
+					t.Fatalf("batch %d %s: output %d disagrees between parties", batch, workers.name, i)
+				}
+			}
+			if ra.Stats != rb.Stats {
+				t.Fatalf("batch %d %s: stats disagree: garbler %+v evaluator %+v", batch, workers.name, ra.Stats, rb.Stats)
+			}
+		}
+	}
+}
+
+// TestWorkersComposeWithPipeline runs the parallel garbler underneath the
+// pipelined frame producer: compute parallelism inside a cycle feeding
+// the frame pipeline must still produce the serial byte stream.
+func TestWorkersComposeWithPipeline(t *testing.T) {
+	cfg, alice, bob := multiCycleConfig(t, 4)
+	_, _, serialFrames := runBothTap(t, cfg, alice, bob, 3)
+
+	both := cfg
+	both.Workers = 8
+	both.Pipeline = 3
+	_, _, frames := runBothTap(t, both, alice, bob, 3)
+	if len(frames) != len(serialFrames) {
+		t.Fatalf("pipelined-parallel sent %d frames, serial %d", len(frames), len(serialFrames))
+	}
+	for i := range serialFrames {
+		if !bytes.Equal(serialFrames[i], frames[i]) {
+			t.Fatalf("frame %d differs between serial and pipelined-parallel garbling", i)
+		}
+	}
+}

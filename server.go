@@ -287,13 +287,15 @@ func (s *Server) serveOne(ctx context.Context, conn net.Conn, prop proto.Proposa
 
 // resolve checks a proposal against the registration and produces the
 // resolved option set and grant. The output mode is pinned to the
-// registered one, the cycle budget is capped by the registered one, and
-// the cycle batch is the client's choice within protocol bounds.
+// registered one, the cycle budget and worker count are capped by the
+// registered ones (server CPU is operator policy), and the cycle batch is
+// the client's choice within protocol bounds.
 func (r *registration) resolve(prop proto.Proposal) ([]Option, proto.Grant, error) {
 	grant := proto.Grant{
 		Outputs:    r.cfg.outputs,
 		CycleBatch: r.cfg.cycleBatch,
 		MaxCycles:  r.cfg.maxCycles,
+		Workers:    r.cfg.workers,
 	}
 	if prop.HasOutputs && prop.Outputs != r.cfg.outputs {
 		return nil, grant, &rejection{fmt.Sprintf(
@@ -312,10 +314,21 @@ func (r *registration) resolve(prop proto.Proposal) ([]Option, proto.Grant, erro
 		}
 		grant.MaxCycles = prop.MaxCycles
 	}
+	if prop.Workers != 0 {
+		if prop.Workers > proto.MaxWorkers {
+			return nil, grant, &rejection{fmt.Sprintf("worker count %d out of range", prop.Workers)}
+		}
+		if prop.Workers > r.cfg.workers {
+			return nil, grant, &rejection{fmt.Sprintf(
+				"worker count %d exceeds the registered limit %d", prop.Workers, r.cfg.workers)}
+		}
+		grant.Workers = prop.Workers
+	}
 	opts := append(r.defaults[:len(r.defaults):len(r.defaults)],
 		WithOutputMode(grant.Outputs),
 		WithCycleBatch(grant.CycleBatch),
-		WithMaxCycles(grant.MaxCycles))
+		WithMaxCycles(grant.MaxCycles),
+		WithWorkers(grant.Workers))
 	return opts, grant, nil
 }
 

@@ -1,0 +1,176 @@
+package arm2gc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+)
+
+// TestWorkersCycleStatsExact guards the parallel CycleStats merge: per
+// cycle and in total, an 8-worker run of a real program on the golden
+// test-suite layout must produce exactly the statistics of the serial
+// run, and the schedule-only Count must agree with the full crypto Run at
+// every worker count (the counts are the paper's cost metric, so "almost
+// equal" is a correctness bug, not noise).
+func TestWorkersCycleStatsExact(t *testing.T) {
+	prog, _, err := CompileC("add", addSrc, testLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	collect := func(workers int) ([]CycleUpdate, *RunInfo) {
+		var ups []CycleUpdate
+		sess, err := eng.Session(prog, WithMaxCycles(10_000), WithWorkers(workers),
+			WithStatsSink(func(u CycleUpdate) { ups = append(ups, u) }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := sess.Run(context.Background(), []uint32{40}, []uint32{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ups, info
+	}
+
+	serialUps, serialInfo := collect(1)
+	if serialInfo.Outputs[0] != 42 {
+		t.Fatalf("serial outputs = %v", serialInfo.Outputs)
+	}
+	for _, workers := range []int{2, 8} {
+		parUps, parInfo := collect(workers)
+		if len(parUps) != len(serialUps) {
+			t.Fatalf("workers %d: %d cycle updates, serial %d", workers, len(parUps), len(serialUps))
+		}
+		for i := range serialUps {
+			if parUps[i] != serialUps[i] {
+				t.Fatalf("workers %d: cycle %d stats %+v, serial %+v",
+					workers, serialUps[i].Cycle, parUps[i].Stats, serialUps[i].Stats)
+			}
+		}
+		if parInfo.GarbledTables != serialInfo.GarbledTables || parInfo.Cycles != serialInfo.Cycles {
+			t.Fatalf("workers %d: %d tables/%d cycles, serial %d/%d",
+				workers, parInfo.GarbledTables, parInfo.Cycles, serialInfo.GarbledTables, serialInfo.Cycles)
+		}
+		if parInfo.Outputs[0] != 42 || parInfo.Outputs[1] != 40 {
+			t.Fatalf("workers %d: outputs = %v, want [42 40]", workers, parInfo.Outputs)
+		}
+
+		sess, err := eng.Session(prog, WithMaxCycles(10_000), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, err := sess.Count(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count.GarbledTables != serialInfo.GarbledTables {
+			t.Fatalf("workers %d: Count says %d tables, serial Run %d",
+				workers, count.GarbledTables, serialInfo.GarbledTables)
+		}
+	}
+}
+
+// TestWorkersTwoParty runs a full networked session with both parties
+// parallel and cross-checks the outputs against the serial session.
+func TestWorkersTwoParty(t *testing.T) {
+	prog, _, err := CompileC("add", addSrc, testLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	run := func(workers int) (*RunInfo, *RunInfo) {
+		gs, err := eng.Session(prog, WithMaxCycles(10_000), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := eng.Session(prog, WithMaxCycles(10_000), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ca, cb := net.Pipe()
+		defer ca.Close()
+		defer cb.Close()
+		type r struct {
+			info *RunInfo
+			err  error
+		}
+		ch := make(chan r, 1)
+		go func() {
+			info, err := gs.Garble(context.Background(), ca, []uint32{1000})
+			ch <- r{info, err}
+		}()
+		bobInfo, err := es.Evaluate(context.Background(), cb, []uint32{23})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar := <-ch
+		if ar.err != nil {
+			t.Fatal(ar.err)
+		}
+		return ar.info, bobInfo
+	}
+	sa, sb := run(1)
+	pa, pb := run(8)
+	for i := range sa.Outputs {
+		if pa.Outputs[i] != sa.Outputs[i] || pb.Outputs[i] != sb.Outputs[i] {
+			t.Fatalf("output %d differs between serial and 8-worker sessions", i)
+		}
+	}
+	if pa.GarbledTables != sa.GarbledTables {
+		t.Fatalf("8-worker session garbled %d tables, serial %d", pa.GarbledTables, sa.GarbledTables)
+	}
+}
+
+// TestWorkersNegotiation pins the server policy: a client may propose a
+// worker count up to the registration's own, and anything above it is
+// rejected without dropping the connection.
+func TestWorkersNegotiation(t *testing.T) {
+	prog, _, err := CompileC("add", addSrc, testLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	srv := NewServer(eng)
+	if err := srv.Register("add", prog, WithMaxCycles(10_000), WithWorkers(4)); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+
+	cli, err := Dial(context.Background(), ln.Addr().String(), WithClientEngine(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Register("add", prog); err != nil {
+		t.Fatal(err)
+	}
+
+	// Over the registered ceiling: rejected, connection survives.
+	_, err = cli.Evaluate(context.Background(), "add", []uint32{2}, WithWorkers(8))
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("over-limit workers: got %v, want rejection", err)
+	}
+
+	// Within the ceiling: granted and the session runs.
+	info, err := cli.Evaluate(context.Background(), "add", []uint32{2}, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Outputs[0] != 2 {
+		t.Fatalf("outputs = %v", info.Outputs)
+	}
+}
