@@ -9,7 +9,7 @@ BENCHTIME ?= 50x
 BENCH_THRESHOLD ?= 1.25
 BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline bench-json bench-baseline bench-compare cover ci
+.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline bench-json bench-baseline bench-compare cover ci dev-certs serve-tls test-hardening
 
 all: build vet test
 
@@ -55,6 +55,31 @@ bench-baseline:
 # only on matching hardware; allocs/op and tables/cycle always.
 bench-compare: bench-json
 	$(GO) run ./cmd/bench-json -compare BENCH_baseline.json,$(BENCH_FILE) -threshold $(BENCH_THRESHOLD)
+
+# Throwaway development TLS material (CA + server/client leaves, valid
+# 24h, loopback only) under ./dev-certs — never commit it; .gitignore'd.
+dev-certs:
+	$(GO) run ./cmd/dev-certs -dir dev-certs
+
+# Serve the example two-program registry over TLS with fresh dev certs
+# and a Prometheus endpoint on :9090. Pair with e.g.:
+#   go run ./cmd/arm2gc -role client -connect localhost:9000 \
+#     -program addmax -c examples/registry/addmax.c -input 42 \
+#     -alice-words 1 -bob-words 1 -out-words 2 -scratch 16 \
+#     -auth-token demo-token -tls-ca dev-certs/ca.pem
+serve-tls: dev-certs
+	$(GO) run ./cmd/arm2gc -role serve -listen :9000 \
+		-registry examples/registry/registry.json \
+		-tls-cert dev-certs/server.pem -tls-key dev-certs/server-key.pem \
+		-metrics :9090
+
+# The service-hardening test set: TLS/mTLS round trips, authorization,
+# registry manifests, metrics exactness, shutdown hygiene and client
+# cancellation — shuffled and under the race detector, as in CI.
+test-hardening:
+	$(GO) test -race -shuffle=on -count=1 \
+		-run 'TestServer|TestClient|TestProposal|TestNegotiate|TestLoadRegistry|TestCompare' \
+		. ./internal/proto ./internal/cli ./cmd/bench-json
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

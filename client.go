@@ -3,6 +3,7 @@ package arm2gc
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
@@ -14,8 +15,9 @@ import (
 
 // RejectedError is what Client.Evaluate returns when the Server declines
 // a proposal (unknown program, an option the registration does not offer,
-// an over-budget cycle count); check for it with errors.As. The
-// connection survives a rejection, so the Client remains usable.
+// an over-budget cycle count, or an authorization failure); check for it
+// with errors.As. The connection survives a rejection, so the Client
+// remains usable.
 type RejectedError = proto.Rejected
 
 // Client is the evaluator side of the two-party API as a service client:
@@ -27,12 +29,23 @@ type RejectedError = proto.Rejected
 // disagreement into a clear error before the run starts.
 //
 // A Client is safe for concurrent use; sessions serialize on the
-// connection. After a mid-protocol failure the connection state is
-// unknown, so the Client marks itself broken and every later call returns
-// the original error — dial a fresh Client to continue.
+// connection, and a waiter's context is honored while it queues — a
+// cancelled Evaluate never blocks behind another session. After a
+// mid-protocol failure the connection state is unknown, so the Client
+// marks itself broken and every later call returns the original error —
+// dial a fresh Client to continue.
 type Client struct {
 	conn io.ReadWriter
 	eng  *Engine
+
+	// tlsCfg is consumed by Dial before the connection exists; see
+	// WithDialTLS.
+	tlsCfg *tls.Config
+
+	// sem serializes sessions on the connection. A channel rather than a
+	// mutex so a queued Evaluate can abandon the wait when its context
+	// ends (the mutex guards only the fast-changing fields below).
+	sem chan struct{}
 
 	mu     sync.Mutex
 	progs  map[string]*Program
@@ -53,28 +66,67 @@ func WithClientEngine(eng *Engine) ClientOption {
 	}
 }
 
+// WithDialTLS makes Dial wrap the TCP connection in TLS with cfg before
+// any protocol byte flows (default: plaintext). A nil ServerName is
+// filled in from the dialed address, so a config as small as
+// &tls.Config{RootCAs: pool} works; add a Certificates entry for mutual
+// TLS. The option only affects Dial — NewClient wraps whatever
+// connection it is handed.
+func WithDialTLS(cfg *tls.Config) ClientOption {
+	return func(c *Client) { c.tlsCfg = cfg }
+}
+
 // NewClient wraps an established connection to a Server. The Client owns
 // conn: Close closes it when it implements io.Closer.
 func NewClient(conn io.ReadWriter, opts ...ClientOption) *Client {
-	c := &Client{conn: conn, eng: DefaultEngine, progs: make(map[string]*Program)}
+	c := &Client{conn: conn, eng: DefaultEngine, progs: make(map[string]*Program),
+		sem: make(chan struct{}, 1)}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
 }
 
-// Dial connects to a Server over TCP and wraps the connection in a
-// Client. Cancelling ctx aborts the dial.
+// Dial connects to a Server over TCP — TLS when WithDialTLS is given —
+// and wraps the connection in a Client. Cancelling ctx aborts the dial
+// and the TLS handshake.
 func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	c := NewClient(nil, opts...)
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn, opts...), nil
+	if c.tlsCfg != nil {
+		cfg := c.tlsCfg.Clone()
+		if cfg.ServerName == "" && !cfg.InsecureSkipVerify {
+			host, _, err := net.SplitHostPort(addr)
+			if err != nil {
+				host = addr
+			}
+			cfg.ServerName = host
+		}
+		tconn := tls.Client(conn, cfg)
+		if err := tconn.HandshakeContext(ctx); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("arm2gc: TLS handshake with %s: %w", addr, err)
+		}
+		conn = tconn
+	}
+	c.conn = conn
+	return c, nil
+}
+
+// DialTLS is Dial with an explicit TLS config — shorthand for
+// WithDialTLS. A nil cfg is an error, not a silent plaintext fallback.
+func DialTLS(ctx context.Context, addr string, cfg *tls.Config, opts ...ClientOption) (*Client, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("arm2gc: DialTLS: nil TLS config")
+	}
+	return Dial(ctx, addr, append(opts[:len(opts):len(opts)], WithDialTLS(cfg))...)
 }
 
 // Register binds the Client's copy of a program to the name it will
@@ -100,20 +152,43 @@ func (c *Client) Register(name string, p *Program) error {
 	return nil
 }
 
+// acquire takes the connection for one session, honoring ctx while
+// queued behind another session.
+func (c *Client) acquire(ctx context.Context) error {
+	select {
+	case c.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Client) release() { <-c.sem }
+
 // Evaluate negotiates and runs one session over the Client's connection:
 // it proposes the named program with the explicitly set options
-// (WithOutputMode, WithCycleBatch, WithMaxCycles, WithWorkers; unset ones
-// take the Server's registered defaults), verifies the granted session id against
-// its own program copy, and plays the evaluator role contributing the bob
-// input words. It returns the server's rejection as *RejectedError, after
-// which the connection remains usable for further sessions.
+// (WithOutputMode, WithCycleBatch, WithMaxCycles, WithWorkers, plus any
+// WithAuthToken bearer token; unset ones take the Server's registered
+// defaults), verifies the granted session id against its own program
+// copy, and plays the evaluator role contributing the bob input words. It
+// returns the server's rejection as *RejectedError, after which the
+// connection remains usable for further sessions. Cancelling ctx aborts
+// the call at any point — queued behind another session, mid-handshake,
+// or mid-run.
 func (c *Client) Evaluate(ctx context.Context, name string, bob []uint32, opts ...Option) (*RunInfo, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.broken != nil {
-		return nil, fmt.Errorf("arm2gc: client connection is broken: %w", c.broken)
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	prog := c.progs[name]
+	if err := c.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer c.release()
+	c.mu.Lock()
+	broken, prog := c.broken, c.progs[name]
+	c.mu.Unlock()
+	if broken != nil {
+		return nil, fmt.Errorf("arm2gc: client connection is broken: %w", broken)
+	}
 	if prog == nil {
 		return nil, fmt.Errorf("arm2gc: program %q not registered on this client", name)
 	}
@@ -121,7 +196,7 @@ func (c *Client) Evaluate(ctx context.Context, name string, bob []uint32, opts .
 	if err != nil {
 		return nil, err
 	}
-	prop := proto.Proposal{Program: name}
+	prop := proto.Proposal{Program: name, Auth: cfg.authToken}
 	if cfg.outputsSet {
 		prop.HasOutputs = true
 		prop.Outputs = cfg.outputs
@@ -177,7 +252,9 @@ func (c *Client) Evaluate(ctx context.Context, name string, bob []uint32, opts .
 // waiting for a session this side will never run — unblocks instead of
 // pinning a goroutine (and a WithMaxSessions slot) on a dead peer.
 func (c *Client) fail(err error) error {
+	c.mu.Lock()
 	c.broken = err
+	c.mu.Unlock()
 	if cl, ok := c.conn.(io.Closer); ok {
 		cl.Close()
 	}

@@ -23,6 +23,13 @@
 //	arm2gc -role client -connect localhost:9000 -c prog.c -program add \
 //	       -input 3,4 -sessions 3 -alice-words 2 -bob-words 2 -out-words 1
 //
+// The serve role hardens for deployment: -registry hosts a whole program
+// catalog from a JSON manifest, -tls-cert/-tls-key (plus -tls-ca for
+// mutual TLS) encrypt the wire, -auth-token demands a bearer token, and
+// -metrics exposes a Prometheus endpoint. The client side mirrors them
+// with -tls/-tls-ca/-tls-cert/-tls-key and -auth-token. See `make
+// serve-tls` for a working TLS + registry invocation with dev certs.
+//
 // Ctrl-C cancels a run cleanly, even while blocked on a hung peer; for
 // the serve role it is a graceful shutdown (idle connections close,
 // in-flight sessions drain).
@@ -35,6 +42,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -56,8 +64,12 @@ func main() {
 	progName := flag.String("program", "", "serve/client: name the program is registered and proposed under (default: the source file name)")
 	sessions := flag.Int("sessions", 1, "client: sequential sessions to run over the one connection")
 	maxSessions := flag.Int("max-sessions", 0, "serve: concurrent-session limit (0 = unlimited)")
+	registry := flag.String("registry", "", "serve: JSON program-registry manifest — host every listed program from one Engine (see internal/cli.RegistryManifest)")
+	metricsAddr := flag.String("metrics", "", "serve: HTTP address exposing the Prometheus /metrics endpoint (e.g. :9090)")
+	authToken := flag.String("auth-token", "", "serve: bearer token clients must present for the -c/-asm program; client: token sent with each proposal")
 	layout := cli.LayoutFlags("; both parties must pass the same value — it is part of the public layout the session id covers")
 	sessOpts := cli.SessionFlags()
+	tlsOpts := cli.TLSFlags()
 	disasm := flag.Bool("S", false, "print the linked program and exit")
 	dumpNetlist := flag.String("dump-netlist", "", "write the processor netlist (text format) to a file and exit")
 	flag.Parse()
@@ -65,23 +77,35 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	prog, warnings := load(*cFile, *asmFile, layout())
-	for _, w := range warnings {
-		log.Printf("compiler warning: %s", w)
+	eng := arm2gc.NewEngine()
+
+	// A registry-driven server needs no -c/-asm program of its own; every
+	// other mode does.
+	var prog *arm2gc.Program
+	if *role != "serve" || *registry == "" || *cFile != "" || *asmFile != "" {
+		var warnings []string
+		prog, warnings = load(*cFile, *asmFile, layout())
+		for _, w := range warnings {
+			log.Printf("compiler warning: %s", w)
+		}
 	}
 	if *disasm {
+		if prog == nil {
+			log.Fatal("-S needs -c or -asm")
+		}
 		fmt.Print(arm2gc.Disassemble(prog))
 		return
 	}
-
-	eng := arm2gc.NewEngine()
 	if *dumpNetlist != "" {
+		if prog == nil {
+			log.Fatal("-dump-netlist needs -c or -asm")
+		}
 		dump(eng, prog, *dumpNetlist)
 		return
 	}
 
 	name := *progName
-	if name == "" {
+	if name == "" && prog != nil {
 		name = prog.Name
 	}
 	words := parseWords(*input)
@@ -91,26 +115,65 @@ func main() {
 		if *listen == "" {
 			log.Fatal("-role serve needs -listen")
 		}
-		opts, err := sessOpts.Options(false)
+		tlsCfg, err := tlsOpts.ServerConfig()
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv := arm2gc.NewServer(eng,
+		srvOpts := []arm2gc.ServerOption{
 			arm2gc.WithMaxSessions(*maxSessions),
-			arm2gc.WithServerLog(log.Printf))
-		if err := srv.Register(name, prog, append(opts, arm2gc.WithGarblerInput(words))...); err != nil {
-			log.Fatal(err)
+			arm2gc.WithServerLog(log.Printf),
+		}
+		if tlsCfg != nil {
+			srvOpts = append(srvOpts, arm2gc.WithTLSConfig(tlsCfg))
+		}
+		srv := arm2gc.NewServer(eng, srvOpts...)
+		if prog != nil {
+			opts, err := sessOpts.Options(false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts = append(opts, arm2gc.WithGarblerInput(words))
+			if *authToken != "" {
+				opts = append(opts, arm2gc.WithAuthToken(*authToken))
+			}
+			if err := srv.Register(name, prog, opts...); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("registered program %q", name)
+		}
+		if *registry != "" {
+			entries, err := cli.LoadRegistry(*registry, layout())
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, e := range entries {
+				for _, w := range e.Warnings {
+					log.Printf("compiler warning (%s): %s", e.Name, w)
+				}
+				if err := srv.Register(e.Name, e.Program, e.Options...); err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("registered program %q from %s", e.Name, *registry)
+			}
 		}
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer ln.Close()
-		log.Printf("serving program %q on %s", name, ln.Addr())
+		stopMetrics := serveMetrics(ctx, srv, *metricsAddr)
+		mode := "plaintext"
+		if tlsCfg != nil {
+			mode = "TLS"
+		}
+		log.Printf("serving on %s (%s)", ln.Addr(), mode)
 		if err := srv.Serve(ctx, ln); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("shut down after %d sessions", srv.SessionsServed())
+		stopMetrics()
+		m := srv.Metrics()
+		log.Printf("shut down: %d sessions served, %d rejected, %d failed (%d B in, %d B out)",
+			m.SessionsServed, m.SessionsRejected, m.SessionsFailed, m.BytesRead, m.BytesWritten)
 		return
 
 	case "client":
@@ -121,7 +184,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cl, err := arm2gc.Dial(ctx, *connect, arm2gc.WithClientEngine(eng))
+		if *authToken != "" {
+			opts = append(opts, arm2gc.WithAuthToken(*authToken))
+		}
+		tlsCfg, err := tlsOpts.ClientConfig()
+		if err != nil {
+			log.Fatal(err)
+		}
+		clOpts := []arm2gc.ClientOption{arm2gc.WithClientEngine(eng)}
+		if tlsCfg != nil {
+			clOpts = append(clOpts, arm2gc.WithDialTLS(tlsCfg))
+		}
+		cl, err := arm2gc.Dial(ctx, *connect, clOpts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -191,6 +265,30 @@ func main() {
 		log.Fatal(err)
 	}
 	report(info)
+}
+
+// serveMetrics exposes srv's Prometheus endpoint on addr ("" disables);
+// the returned function waits for the HTTP server to stop.
+func serveMetrics(ctx context.Context, srv *arm2gc.Server, addr string) (stop func()) {
+	if addr == "" {
+		return func() {}
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", srv.MetricsHandler())
+	hs := &http.Server{Addr: addr, Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("metrics endpoint: %v", err)
+		}
+	}()
+	go func() {
+		<-ctx.Done()
+		hs.Close()
+	}()
+	log.Printf("metrics on http://%s/metrics", addr)
+	return func() { <-done }
 }
 
 // report prints a run's outcome in the tool's standard shape.

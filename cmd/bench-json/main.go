@@ -56,6 +56,14 @@ func (r *Report) fingerprint() string {
 	return fmt.Sprintf("%s/%s/%s/p%d", r.GOOS, r.GOARCH, r.CPU, r.GOMAXPROCS)
 }
 
+// hasFingerprint reports whether the hardware fields are populated.
+// Hand-edited or legacy baselines may lack them; such a report must never
+// be treated as "same hardware" (two blank fingerprints compare equal),
+// or wall-clock metrics would be gated across unknown machines.
+func (r *Report) hasFingerprint() bool {
+	return r.GOOS != "" && r.GOARCH != "" && r.CPU != "" && r.GOMAXPROCS > 0
+}
+
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
 
 // machineIndependent lists the metrics that stay comparable across hosts.
@@ -131,10 +139,21 @@ func load(path string) (*Report, error) {
 }
 
 // compare reports regressions of cur against base; returns the number of
-// metrics that regressed past threshold.
+// metrics that regressed past threshold. It degrades gracefully on
+// imperfect baselines: a report without a hardware fingerprint is never
+// treated as same-hardware, and a metric present on only one side is
+// skipped with a warning instead of silently ignored (current-side gap)
+// or silently passed (baseline-side gap).
 func compare(base, cur *Report, threshold float64) int {
 	sameHW := base.fingerprint() == cur.fingerprint()
-	if !sameHW {
+	switch {
+	case !base.hasFingerprint() || !cur.hasFingerprint():
+		// Two blank fingerprints compare equal; that must not gate
+		// wall-clock numbers across machines nobody identified.
+		sameHW = false
+		fmt.Printf("warning: hardware fingerprint missing (baseline %q, current %q); gating only machine-independent metrics\n",
+			base.fingerprint(), cur.fingerprint())
+	case !sameHW:
 		fmt.Printf("note: hardware differs (baseline %s, current %s); gating only machine-independent metrics\n",
 			base.fingerprint(), cur.fingerprint())
 	}
@@ -142,18 +161,27 @@ func compare(base, cur *Report, threshold float64) int {
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
 	}
-	curBy := map[string]bool{}
+	curBy := map[string]Benchmark{}
 	for _, b := range cur.Benchmarks {
-		curBy[b.Name] = true
+		curBy[b.Name] = b
 	}
 	regressions := 0
 	// A baseline entry with no current counterpart is itself a gate
 	// failure: deleting or renaming a regressed benchmark must not read
-	// as "no regressions".
+	// as "no regressions". A baseline metric missing from the current
+	// entry only warns — metric sets legitimately evolve — but never
+	// silently: the operator sees what stopped being gated.
 	for _, b := range base.Benchmarks {
-		if !curBy[b.Name] {
+		cb, ok := curBy[b.Name]
+		if !ok {
 			fmt.Printf("FAIL: %s present in the baseline but missing from the current report\n", b.Name)
 			regressions++
+			continue
+		}
+		for metric := range b.Metrics {
+			if _, ok := cb.Metrics[metric]; !ok {
+				fmt.Printf("warning: %s %s present in the baseline but not the current report; skipping\n", b.Name, metric)
+			}
 		}
 	}
 	for _, b := range cur.Benchmarks {
@@ -165,6 +193,7 @@ func compare(base, cur *Report, threshold float64) int {
 		for metric, v := range b.Metrics {
 			old, ok := bb.Metrics[metric]
 			if !ok {
+				fmt.Printf("warning: %s %s has no baseline value; skipping\n", b.Name, metric)
 				continue
 			}
 			if !sameHW && !machineIndependent(metric) {

@@ -82,3 +82,104 @@ func TestCompareGatesRegressions(t *testing.T) {
 		t.Fatalf("missing benchmark produced %d findings, want 1", n)
 	}
 }
+
+// TestCompareDegradesGracefully covers the imperfect-baseline cases:
+// reports without a hardware fingerprint, metrics present on only one
+// side, and nil metric maps must neither panic nor misjudge.
+func TestCompareDegradesGracefully(t *testing.T) {
+	stripFP := func(r *Report) *Report {
+		r.GOOS, r.GOARCH, r.CPU, r.GOMAXPROCS = "", "", "", 0
+		return r
+	}
+	cases := []struct {
+		name    string
+		base    func() *Report
+		cur     func() *Report
+		wantReg int
+	}{
+		{
+			// Two blank fingerprints compare equal as strings; ns/op must
+			// still not be gated — the machines are unknown.
+			name: "both fingerprints missing, wall-clock regression ignored",
+			base: func() *Report { return stripFP(parseSample(t, sample)) },
+			cur: func() *Report {
+				r := stripFP(parseSample(t, sample))
+				r.Benchmarks[0].Metrics["ns/op"] *= 100
+				return r
+			},
+			wantReg: 0,
+		},
+		{
+			name: "baseline fingerprint missing, machine-independent still gated",
+			base: func() *Report { return stripFP(parseSample(t, sample)) },
+			cur: func() *Report {
+				r := parseSample(t, sample)
+				r.Benchmarks[0].Metrics["allocs/op"] = 50
+				return r
+			},
+			wantReg: 1,
+		},
+		{
+			name: "metric only in baseline is skipped, not misjudged",
+			base: func() *Report {
+				r := parseSample(t, sample)
+				r.Benchmarks[0].Metrics["tables/cycle"] = 5
+				return r
+			},
+			cur:     func() *Report { return parseSample(t, sample) },
+			wantReg: 0,
+		},
+		{
+			name: "metric only in current is skipped",
+			base: func() *Report { return parseSample(t, sample) },
+			cur: func() *Report {
+				r := parseSample(t, sample)
+				r.Benchmarks[0].Metrics["bytes/cycle"] = 1e9
+				return r
+			},
+			wantReg: 0,
+		},
+		{
+			name: "nil metrics map in baseline",
+			base: func() *Report {
+				r := parseSample(t, sample)
+				r.Benchmarks[0].Metrics = nil
+				return r
+			},
+			cur:     func() *Report { return parseSample(t, sample) },
+			wantReg: 0,
+		},
+		{
+			name: "nil metrics map in current",
+			base: func() *Report { return parseSample(t, sample) },
+			cur: func() *Report {
+				r := parseSample(t, sample)
+				r.Benchmarks[0].Metrics = nil
+				return r
+			},
+			wantReg: 0,
+		},
+		{
+			name: "real regression still caught alongside one-sided metrics",
+			base: func() *Report {
+				r := parseSample(t, sample)
+				r.Benchmarks[0].Metrics["baseline-only"] = 1
+				return r
+			},
+			cur: func() *Report {
+				r := parseSample(t, sample)
+				r.Benchmarks[0].Metrics["allocs/op"] = 50
+				r.Benchmarks[0].Metrics["current-only"] = 1
+				return r
+			},
+			wantReg: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if n := compare(tc.base(), tc.cur(), 1.25); n != tc.wantReg {
+				t.Fatalf("compare reported %d regressions, want %d", n, tc.wantReg)
+			}
+		})
+	}
+}

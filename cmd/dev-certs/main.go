@@ -1,0 +1,28 @@
+// Command dev-certs mints a throwaway TLS certificate set for local
+// development: a self-signed CA plus server and client leaves (valid 24h,
+// loopback + localhost only), written as PEM under -dir. It backs
+// `make serve-tls`; nothing it produces is suitable for production.
+//
+//	dev-certs -dir dev-certs
+//	arm2gc -role serve  -listen :9000 -tls-cert dev-certs/server.pem \
+//	       -tls-key dev-certs/server-key.pem -tls-ca dev-certs/ca.pem ...
+//	arm2gc -role client -connect localhost:9000 -tls-ca dev-certs/ca.pem \
+//	       -tls-cert dev-certs/client.pem -tls-key dev-certs/client-key.pem ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"arm2gc/internal/devcert"
+)
+
+func main() {
+	dir := flag.String("dir", "dev-certs", "directory to write the PEM set into")
+	flag.Parse()
+	if err := devcert.WriteFiles(*dir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote ca.pem, server.pem/server-key.pem, client.pem/client-key.pem to %s (valid 24h, dev only)\n", *dir)
+}

@@ -97,6 +97,8 @@ type sessionConfig struct {
 	garblerInput  []uint32
 	rand          io.Reader
 	sink          StatsSink
+	authToken     string
+	authorize     func(Peer, string) error
 }
 
 // Option configures a Session (functional options).
@@ -158,6 +160,29 @@ func WithWorkers(n int) Option {
 // precedence when non-nil; evaluating sessions ignore the option.
 func WithGarblerInput(alice []uint32) Option {
 	return func(c *sessionConfig) { c.garblerInput = alice }
+}
+
+// WithAuthToken sets a bearer token on a session. It is symmetric: in a
+// Server registration's defaults it is the token clients must present to
+// propose that program; on a Client's Evaluate it is the token carried in
+// the proposal's Auth field. The token never enters the session id or any
+// cryptographic material — it is pure admission policy — and on a
+// plaintext connection it crosses the wire in the clear, so pair it with
+// TLS (WithTLSConfig / WithDialTLS) outside of tests.
+func WithAuthToken(token string) Option {
+	return func(c *sessionConfig) { c.authToken = token }
+}
+
+// WithAuthorize sets a per-program admission callback on a Server
+// registration: during negotiation fn is called with the proposing peer
+// (its address, bearer token if any, and TLS state including verified
+// client certificates under mutual TLS) and the proposed program name.
+// A non-nil error rejects the proposal — before any cryptography runs and
+// without dropping the connection; the error text is sent to the client
+// as the rejection reason. It composes with WithAuthToken: the token
+// check runs first. Evaluating sessions ignore the option.
+func WithAuthorize(fn func(peer Peer, program string) error) Option {
+	return func(c *sessionConfig) { c.authorize = fn }
 }
 
 // WithRand sets the label-randomness source for the garbling side

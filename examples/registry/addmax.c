@@ -1,0 +1,6 @@
+/* addmax: the running two-output demo — sum and max of one word from
+ * each party. Alice's word comes from the registry's garbler_input. */
+void gc_main(const int *a, const int *b, int *c) {
+	c[0] = a[0] + b[0];
+	c[1] = a[0] > b[0] ? a[0] : b[0];
+}

@@ -1,0 +1,5 @@
+/* xorshare: XOR of the two private words — a one-output second program
+ * so the registry demonstrates multi-program hosting. */
+void gc_main(const int *a, const int *b, int *c) {
+	c[0] = a[0] ^ b[0];
+}

@@ -6,8 +6,11 @@ package cli
 
 import (
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"flag"
 	"fmt"
+	"os"
 
 	"arm2gc"
 )
@@ -81,6 +84,110 @@ func (o *SessionOpts) Options(onlySet bool) ([]arm2gc.Option, error) {
 		opts = append(opts, arm2gc.WithWorkers(*o.workers))
 	}
 	return opts, nil
+}
+
+// TLSOpts is the shared TLS flag set (see TLSFlags).
+type TLSOpts struct {
+	enable     *bool
+	cert       *string
+	key        *string
+	ca         *string
+	serverName *string
+	insecure   *bool
+}
+
+// TLSFlags registers the TLS flags the two-party tools share: -tls,
+// -tls-cert, -tls-key, -tls-ca, -tls-server-name and -tls-insecure. The
+// serving side enables TLS by passing -tls-cert/-tls-key (with -tls-ca
+// switching on mutual TLS); the dialing side enables it with -tls (or
+// implicitly by any other TLS flag) and trusts -tls-ca when given,
+// the system roots otherwise.
+func TLSFlags() *TLSOpts {
+	return &TLSOpts{
+		enable:     flag.Bool("tls", false, "client: dial with TLS (implied by the other -tls-* flags)"),
+		cert:       flag.String("tls-cert", "", "PEM certificate: the server's identity, or the client's under mutual TLS"),
+		key:        flag.String("tls-key", "", "PEM private key for -tls-cert"),
+		ca:         flag.String("tls-ca", "", "PEM CA bundle: server: require+verify client certs (mutual TLS); client: trust this CA instead of the system roots"),
+		serverName: flag.String("tls-server-name", "", "client: expected server certificate name (default: the dialed host)"),
+		insecure:   flag.Bool("tls-insecure", false, "client: skip server certificate verification (dev only)"),
+	}
+}
+
+// caPool loads the -tls-ca bundle.
+func (o *TLSOpts) caPool() (*x509.CertPool, error) {
+	pem, err := os.ReadFile(*o.ca)
+	if err != nil {
+		return nil, err
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("no certificates found in %s", *o.ca)
+	}
+	return pool, nil
+}
+
+// ServerConfig assembles the serving TLS config, nil when the TLS flags
+// are unset (plaintext). -tls-cert/-tls-key are both required to enable;
+// -tls-ca additionally demands and verifies client certificates. Any
+// other TLS flag without the cert pair is an error, never a silent
+// plaintext server.
+func (o *TLSOpts) ServerConfig() (*tls.Config, error) {
+	if *o.cert == "" && *o.key == "" {
+		if *o.enable || *o.ca != "" || *o.insecure || *o.serverName != "" {
+			return nil, fmt.Errorf("server TLS needs -tls-cert and -tls-key; the other -tls flags alone do not enable it")
+		}
+		return nil, nil
+	}
+	if *o.cert == "" || *o.key == "" {
+		return nil, fmt.Errorf("-tls-cert and -tls-key must be passed together")
+	}
+	cert, err := tls.LoadX509KeyPair(*o.cert, *o.key)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
+	if *o.ca != "" {
+		pool, err := o.caPool()
+		if err != nil {
+			return nil, err
+		}
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+		cfg.ClientCAs = pool
+	}
+	return cfg, nil
+}
+
+// ClientConfig assembles the dialing TLS config, nil when no TLS flag was
+// touched (plaintext). -tls-cert/-tls-key add a client certificate for
+// mutual TLS.
+func (o *TLSOpts) ClientConfig() (*tls.Config, error) {
+	if !*o.enable && *o.cert == "" && *o.key == "" && *o.ca == "" &&
+		*o.serverName == "" && !*o.insecure {
+		return nil, nil
+	}
+	cfg := &tls.Config{
+		ServerName:         *o.serverName,
+		InsecureSkipVerify: *o.insecure,
+		MinVersion:         tls.VersionTLS12,
+	}
+	if *o.ca != "" {
+		pool, err := o.caPool()
+		if err != nil {
+			return nil, err
+		}
+		cfg.RootCAs = pool
+	}
+	if *o.cert != "" || *o.key != "" {
+		if *o.cert == "" || *o.key == "" {
+			return nil, fmt.Errorf("-tls-cert and -tls-key must be passed together")
+		}
+		cert, err := tls.LoadX509KeyPair(*o.cert, *o.key)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	return cfg, nil
 }
 
 // ParseOutputMode maps the -output-mode flag values onto OutputMode.

@@ -1,0 +1,89 @@
+package cli
+
+import (
+	"crypto/tls"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arm2gc/internal/devcert"
+)
+
+func tlsOpts(enable bool, cert, key, ca, serverName string, insecure bool) *TLSOpts {
+	return &TLSOpts{enable: &enable, cert: &cert, key: &key, ca: &ca,
+		serverName: &serverName, insecure: &insecure}
+}
+
+func TestTLSOptsConfigs(t *testing.T) {
+	dir := t.TempDir()
+	if err := devcert.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	caPem := filepath.Join(dir, "ca.pem")
+	cert := filepath.Join(dir, "server.pem")
+	key := filepath.Join(dir, "server-key.pem")
+
+	t.Run("no flags means plaintext", func(t *testing.T) {
+		o := tlsOpts(false, "", "", "", "", false)
+		if cfg, err := o.ServerConfig(); cfg != nil || err != nil {
+			t.Fatalf("ServerConfig = %v, %v; want nil, nil", cfg, err)
+		}
+		if cfg, err := o.ClientConfig(); cfg != nil || err != nil {
+			t.Fatalf("ClientConfig = %v, %v; want nil, nil", cfg, err)
+		}
+	})
+	t.Run("-tls alone must not produce a plaintext server", func(t *testing.T) {
+		o := tlsOpts(true, "", "", "", "", false)
+		if _, err := o.ServerConfig(); err == nil || !strings.Contains(err.Error(), "-tls-cert") {
+			t.Fatalf("ServerConfig = %v, want an error naming -tls-cert", err)
+		}
+		cfg, err := o.ClientConfig()
+		if err != nil || cfg == nil {
+			t.Fatalf("ClientConfig = %v, %v; want a config (system roots)", cfg, err)
+		}
+	})
+	t.Run("-tls-ca alone on a server errors", func(t *testing.T) {
+		o := tlsOpts(false, "", "", caPem, "", false)
+		if _, err := o.ServerConfig(); err == nil {
+			t.Fatal("ServerConfig accepted -tls-ca without a cert pair")
+		}
+	})
+	t.Run("cert without key errors both ways", func(t *testing.T) {
+		o := tlsOpts(false, cert, "", "", "", false)
+		if _, err := o.ServerConfig(); err == nil {
+			t.Fatal("ServerConfig accepted -tls-cert without -tls-key")
+		}
+		if _, err := o.ClientConfig(); err == nil {
+			t.Fatal("ClientConfig accepted -tls-cert without -tls-key")
+		}
+	})
+	t.Run("cert pair serves TLS, plus ca means mutual", func(t *testing.T) {
+		o := tlsOpts(false, cert, key, "", "", false)
+		cfg, err := o.ServerConfig()
+		if err != nil || cfg == nil || len(cfg.Certificates) != 1 {
+			t.Fatalf("ServerConfig = %+v, %v", cfg, err)
+		}
+		if cfg.ClientAuth != tls.NoClientCert {
+			t.Fatalf("ClientAuth = %v without -tls-ca", cfg.ClientAuth)
+		}
+		o = tlsOpts(false, cert, key, caPem, "", false)
+		cfg, err = o.ServerConfig()
+		if err != nil || cfg.ClientAuth != tls.RequireAndVerifyClientCert || cfg.ClientCAs == nil {
+			t.Fatalf("mutual ServerConfig = %+v, %v", cfg, err)
+		}
+	})
+	t.Run("client trusts the ca and carries its cert pair", func(t *testing.T) {
+		o := tlsOpts(false, filepath.Join(dir, "client.pem"), filepath.Join(dir, "client-key.pem"), caPem, "srv.example", false)
+		cfg, err := o.ClientConfig()
+		if err != nil || cfg == nil || cfg.RootCAs == nil || len(cfg.Certificates) != 1 ||
+			cfg.ServerName != "srv.example" {
+			t.Fatalf("ClientConfig = %+v, %v", cfg, err)
+		}
+	})
+	t.Run("bad ca bundle errors", func(t *testing.T) {
+		o := tlsOpts(false, cert, key, filepath.Join(dir, "server-key.pem"), "", false)
+		if _, err := o.ServerConfig(); err == nil {
+			t.Fatal("ServerConfig accepted a CA bundle with no certificates")
+		}
+	})
+}

@@ -1,0 +1,205 @@
+// Package devcert mints throwaway X.509 material for development and
+// tests: a self-signed CA plus server/client leaves chained to it. The
+// keys are fresh ECDSA P-256 per call and never leave the process unless
+// the caller writes them out — nothing here is suitable for production
+// identity, which is exactly the point: `make serve-tls` and the TLS
+// tests need certificates that work today and bind to nothing.
+package devcert
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// CA is a throwaway certificate authority that can issue leaves.
+type CA struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+	// DER is the CA certificate in DER form, PEM-encodable via CertPEM.
+	DER []byte
+}
+
+// Leaf is an issued certificate with its key, ready for tls.Config use.
+type Leaf struct {
+	DER []byte
+	Key *ecdsa.PrivateKey
+}
+
+// NewCA mints a self-signed CA valid for 24 hours.
+func NewCA(name string) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name, Organization: []string{"arm2gc-dev"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{Cert: cert, Key: key, DER: der}, nil
+}
+
+// Issue mints a leaf for cn, valid for the loopback addresses plus any
+// extra DNS names — enough for local two-party runs and tests.
+func (ca *CA) Issue(cn string, serial int64, dnsNames ...string) (*Leaf, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(serial),
+		Subject:      pkix.Name{CommonName: cn, Organization: []string{"arm2gc-dev"}},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+		DNSNames:     append([]string{"localhost"}, dnsNames...),
+		IPAddresses:  []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.Cert, &key.PublicKey, ca.Key)
+	if err != nil {
+		return nil, err
+	}
+	return &Leaf{DER: der, Key: key}, nil
+}
+
+// Certificate assembles the leaf and its issuing CA into the
+// tls.Certificate shape tls.Config wants.
+func (l *Leaf) Certificate(ca *CA) tls.Certificate {
+	parsed, _ := x509.ParseCertificate(l.DER)
+	return tls.Certificate{
+		Certificate: [][]byte{l.DER, ca.DER},
+		PrivateKey:  l.Key,
+		Leaf:        parsed,
+	}
+}
+
+// Pool returns a cert pool trusting only this CA.
+func (ca *CA) Pool() *x509.CertPool {
+	pool := x509.NewCertPool()
+	pool.AddCert(ca.Cert)
+	return pool
+}
+
+// CertPEM renders a DER certificate as PEM.
+func CertPEM(der []byte) []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+}
+
+// KeyPEM renders an ECDSA key as PKCS#8 PEM.
+func KeyPEM(key *ecdsa.PrivateKey) ([]byte, error) {
+	der, err := x509.MarshalPKCS8PrivateKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "PRIVATE KEY", Bytes: der}), nil
+}
+
+// WriteFiles mints a CA plus a server and a client leaf and writes the
+// whole set under dir as PEM files (ca.pem, server.pem, server-key.pem,
+// client.pem, client-key.pem) — the layout `make serve-tls` and the CLI
+// TLS flags consume. Key files are written 0600.
+func WriteFiles(dir string) error {
+	ca, err := NewCA("arm2gc dev CA")
+	if err != nil {
+		return err
+	}
+	server, err := ca.Issue("arm2gc-dev-server", 2)
+	if err != nil {
+		return err
+	}
+	client, err := ca.Issue("arm2gc-dev-client", 3)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := []struct {
+		name string
+		data []byte
+		mode os.FileMode
+	}{
+		{"ca.pem", CertPEM(ca.DER), 0o644},
+		{"server.pem", CertPEM(server.DER), 0o644},
+		{"client.pem", CertPEM(client.DER), 0o644},
+	}
+	for _, leaf := range []struct {
+		name string
+		key  *ecdsa.PrivateKey
+	}{{"server-key.pem", server.Key}, {"client-key.pem", client.Key}} {
+		p, err := KeyPEM(leaf.key)
+		if err != nil {
+			return err
+		}
+		files = append(files, struct {
+			name string
+			data []byte
+			mode os.FileMode
+		}{leaf.name, p, 0o600})
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, f.mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServerConfig assembles a ready-to-serve TLS config from a freshly
+// minted CA: server cert chained to it, and — when mutual is set —
+// client-certificate verification against the same CA.
+func ServerConfig(ca *CA, mutual bool) (*tls.Config, error) {
+	leaf, err := ca.Issue("server", 2)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{leaf.Certificate(ca)},
+		MinVersion:   tls.VersionTLS13,
+	}
+	if mutual {
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+		cfg.ClientCAs = ca.Pool()
+	}
+	return cfg, nil
+}
+
+// ClientConfig assembles the matching dialing config; cn != "" adds a
+// client certificate under that common name for mutual TLS.
+func ClientConfig(ca *CA, cn string) (*tls.Config, error) {
+	cfg := &tls.Config{
+		RootCAs:    ca.Pool(),
+		MinVersion: tls.VersionTLS13,
+	}
+	if cn != "" {
+		leaf, err := ca.Issue(cn, 4)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Certificates = []tls.Certificate{leaf.Certificate(ca)}
+	}
+	return cfg, nil
+}

@@ -17,11 +17,26 @@ const (
 	msgReject
 )
 
+// Proposal flag bits. The flags byte doubles as the proposal's version
+// vector: every optional field is announced by its own bit, a reader
+// skips trailing payload it has no bit for, and a bit it does not know
+// turns into *VersionError — a parseable verdict the server can turn
+// into a rejection instead of a dead connection.
+const (
+	flagHasOutputs byte = 1 << iota
+	flagHasAuth
+
+	knownProposalFlags = flagHasOutputs | flagHasAuth
+)
+
 // Negotiation bounds; proposals outside them are refused before any
 // session state is touched.
 const (
 	// MaxProgramName bounds a proposed program name, in bytes.
 	MaxProgramName = 1024
+
+	// MaxAuthToken bounds a proposal's bearer token, in bytes.
+	MaxAuthToken = 4096
 
 	// MaxCycleBatch is the largest cycle batch a client may propose. The
 	// garbler buffers a whole batch of tables before flushing, so the
@@ -53,6 +68,25 @@ type Proposal struct {
 	CycleBatch int // 0: the server's registered default
 	MaxCycles  int // 0: the server's registered default
 	Workers    int // 0: the server's registered default
+
+	// Auth optionally carries a bearer token the server checks against
+	// the proposed program's registration policy. An empty token encodes
+	// to exactly the pre-auth wire bytes, so clients without one remain
+	// byte-identical to older builds.
+	Auth string
+}
+
+// VersionError reports a proposal that announced a feature bit this side
+// does not implement. The frame is length-delimited, so the stream stays
+// aligned: a server receiving one rejects the proposal and keeps the
+// connection for further (supported) sessions.
+type VersionError struct {
+	Program string
+	Flags   byte
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("proto: proposal %q carries unsupported feature flags %#02x", e.Program, e.Flags)
 }
 
 // Grant is the server's acceptance: the fully resolved session options
@@ -91,22 +125,35 @@ func WriteProposal(w io.Writer, p Proposal) error {
 	if p.CycleBatch < 0 || p.MaxCycles < 0 || p.Workers < 0 {
 		return fmt.Errorf("proto: negative option in proposal")
 	}
-	payload := make([]byte, 0, 2+len(p.Program)+2+4+8+4)
+	if len(p.Auth) > MaxAuthToken {
+		return fmt.Errorf("proto: auth token of %d bytes exceeds %d", len(p.Auth), MaxAuthToken)
+	}
+	payload := make([]byte, 0, 2+len(p.Program)+2+4+8+4+2+len(p.Auth))
 	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(p.Program)))
 	payload = append(payload, p.Program...)
 	var flags byte
 	if p.HasOutputs {
-		flags |= 1
+		flags |= flagHasOutputs
+	}
+	if p.Auth != "" {
+		flags |= flagHasAuth
 	}
 	payload = append(payload, flags, byte(p.Outputs))
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(p.CycleBatch))
 	payload = binary.LittleEndian.AppendUint64(payload, uint64(p.MaxCycles))
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(p.Workers))
+	if p.Auth != "" {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(p.Auth)))
+		payload = append(payload, p.Auth...)
+	}
 	return writeFrame(w, msgPropose, payload)
 }
 
 // ReadProposal reads the next session proposal (server side). io.EOF
-// means the client finished with the connection cleanly.
+// means the client finished with the connection cleanly. A proposal
+// announcing feature flags this build does not know comes back as
+// *VersionError with the program name filled in — the frame has been
+// fully consumed, so the caller may reject it and keep reading.
 func ReadProposal(r io.Reader) (Proposal, error) {
 	b, err := readFrame(r, msgPropose)
 	if err != nil {
@@ -123,13 +170,29 @@ func ReadProposal(r io.Reader) (Proposal, error) {
 	}
 	p.Program = string(b[:n])
 	b = b[n:]
-	p.HasOutputs = b[0]&1 != 0
+	flags := b[0]
+	if unknown := flags &^ knownProposalFlags; unknown != 0 {
+		return p, &VersionError{Program: p.Program, Flags: unknown}
+	}
+	p.HasOutputs = flags&flagHasOutputs != 0
 	p.Outputs = OutputMode(b[1])
 	p.CycleBatch = int(binary.LittleEndian.Uint32(b[2:]))
 	p.MaxCycles = int(binary.LittleEndian.Uint64(b[6:]))
 	p.Workers = int(binary.LittleEndian.Uint32(b[14:]))
 	if p.CycleBatch < 0 || p.MaxCycles < 0 || p.Workers < 0 {
 		return p, fmt.Errorf("proto: proposal option overflow")
+	}
+	b = b[18:]
+	if flags&flagHasAuth != 0 {
+		if len(b) < 2 {
+			return p, fmt.Errorf("proto: malformed proposal auth")
+		}
+		an := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if an == 0 || an > MaxAuthToken || len(b) < an {
+			return p, fmt.Errorf("proto: malformed proposal auth")
+		}
+		p.Auth = string(b[:an])
 	}
 	return p, nil
 }

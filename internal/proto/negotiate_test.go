@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"strings"
 	"testing"
 
 	"arm2gc/internal/build"
@@ -18,6 +19,8 @@ func TestProposalRoundTrip(t *testing.T) {
 		{Program: "hamming", HasOutputs: true, Outputs: OutputEvaluatorOnly, CycleBatch: 16, MaxCycles: 12345},
 		{Program: "x", HasOutputs: true, Outputs: OutputBoth},
 		{Program: "par", CycleBatch: 2, MaxCycles: 64, Workers: 8},
+		{Program: "sec", Auth: "bearer-1"},
+		{Program: "all", HasOutputs: true, Outputs: OutputGarblerOnly, CycleBatch: 4, MaxCycles: 9, Workers: 2, Auth: "k"},
 	}
 	for _, want := range cases {
 		var buf bytes.Buffer
@@ -34,6 +37,70 @@ func TestProposalRoundTrip(t *testing.T) {
 	}
 	if err := WriteProposal(&bytes.Buffer{}, Proposal{}); err == nil {
 		t.Error("empty program name accepted")
+	}
+	long := Proposal{Program: "p", Auth: strings.Repeat("a", MaxAuthToken+1)}
+	if err := WriteProposal(&bytes.Buffer{}, long); err == nil {
+		t.Error("over-long auth token accepted")
+	}
+}
+
+// TestProposalWireCompat pins the pre-auth encoding: a proposal without a
+// token must produce exactly the bytes PR 3 servers expect (no trailing
+// auth field), and those bytes must still parse. This is the
+// byte-identical guarantee the frame evolution rides on.
+func TestProposalWireCompat(t *testing.T) {
+	p := Proposal{Program: "add", HasOutputs: true, Outputs: OutputEvaluatorOnly,
+		CycleBatch: 8, MaxCycles: 10_000, Workers: 4}
+	var buf bytes.Buffer
+	if err := WriteProposal(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	legacy := []byte{
+		msgPropose, 23, 0, 0, 0, // frame header: type + length
+		3, 0, 'a', 'd', 'd', // name
+		0x01, byte(OutputEvaluatorOnly), // flags, mode
+		8, 0, 0, 0, // cycle batch
+		0x10, 0x27, 0, 0, 0, 0, 0, 0, // max cycles
+		4, 0, 0, 0, // workers
+	}
+	if !bytes.Equal(buf.Bytes(), legacy) {
+		t.Fatalf("token-less proposal encodes to % x, legacy wire format is % x", buf.Bytes(), legacy)
+	}
+	got, err := ReadProposal(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("legacy bytes parsed to %+v, want %+v", got, p)
+	}
+}
+
+// TestProposalVersionMismatch: a proposal announcing a feature bit this
+// build does not implement must come back as *VersionError with the frame
+// consumed, so the server can reject it and keep the connection.
+func TestProposalVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProposal(&buf, Proposal{Program: "future"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[5+2+len("future")] |= 0x80 // an unassigned flag bit
+	// A second, supported proposal behind it must still be readable.
+	if err := WriteProposal(&buf, Proposal{Program: "now"}); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	_, err := ReadProposal(r)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("got %v, want *VersionError", err)
+	}
+	if ve.Program != "future" || ve.Flags != 0x80 {
+		t.Errorf("version error carried %+v", ve)
+	}
+	next, err := ReadProposal(r)
+	if err != nil || next.Program != "now" {
+		t.Fatalf("stream misaligned after a version mismatch: %+v, %v", next, err)
 	}
 }
 

@@ -1,0 +1,211 @@
+package arm2gc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// serverMetrics is the Server's live counter set. Everything is atomic so
+// the hot path never takes a lock; the per-program map is guarded by its
+// own mutex and only grows (one entry per registered program).
+type serverMetrics struct {
+	served              atomic.Int64
+	rejected            atomic.Int64
+	failed              atomic.Int64
+	active              atomic.Int64
+	negotiationFailures atomic.Int64
+	connsAccepted       atomic.Int64
+	connsActive         atomic.Int64
+	bytesRead           atomic.Int64
+	bytesWritten        atomic.Int64
+	tableFrames         atomic.Int64
+	cycles              atomic.Int64
+	garbledTables       atomic.Int64
+
+	mu       sync.Mutex
+	programs map[string]*programCounters
+}
+
+// programCounters is one registered program's slice of the counters.
+type programCounters struct {
+	served   atomic.Int64
+	rejected atomic.Int64
+}
+
+// program returns (creating on first use) a program's counter slot.
+func (m *serverMetrics) program(name string) *programCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.programs[name]
+	if c == nil {
+		c = &programCounters{}
+		m.programs[name] = c
+	}
+	return c
+}
+
+// countedConn counts wire bytes through an accepted connection. It wraps
+// the raw conn beneath any TLS layer, so the counters see ciphertext —
+// what actually crossed the network. Embedding net.Conn preserves the
+// deadline methods the protocol's context watcher needs.
+type countedConn struct {
+	net.Conn
+	m *serverMetrics
+}
+
+func (c *countedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.m.bytesRead.Add(int64(n))
+	return n, err
+}
+
+func (c *countedConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.m.bytesWritten.Add(int64(n))
+	return n, err
+}
+
+// ServerMetrics is a point-in-time snapshot of a Server's counters (see
+// Server.Metrics). All fields are cumulative since the Server was created
+// except the *Active gauges.
+type ServerMetrics struct {
+	// SessionsServed counts sessions that ran the protocol to completion.
+	SessionsServed int64 `json:"sessions_served"`
+	// SessionsRejected counts proposals declined by policy — unknown
+	// program, authorization failure, or an option outside the
+	// registration's bounds. The connection survives each one.
+	SessionsRejected int64 `json:"sessions_rejected"`
+	// SessionsFailed counts sessions that died mid-protocol (peer gone,
+	// stream desynchronized); each costs its connection.
+	SessionsFailed int64 `json:"sessions_failed"`
+	// SessionsActive is the number of sessions garbling right now.
+	SessionsActive int64 `json:"sessions_active"`
+	// NegotiationFailures counts proposals that could not be negotiated at
+	// the frame layer — currently version mismatches (a peer announcing
+	// feature flags this build does not implement).
+	NegotiationFailures int64 `json:"negotiation_failures"`
+	// ConnectionsAccepted / ConnectionsActive count evaluator connections.
+	ConnectionsAccepted int64 `json:"connections_accepted"`
+	ConnectionsActive   int64 `json:"connections_active"`
+	// BytesRead / BytesWritten are wire bytes through accepted
+	// connections (ciphertext when serving TLS).
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	// TableFrames counts garbled-table frames sent across all sessions.
+	TableFrames int64 `json:"table_frames"`
+	// Cycles and GarbledTables total the executed processor cycles and
+	// transferred garbled tables — the paper's cost metric, summed over
+	// every served session.
+	Cycles        int64 `json:"cycles"`
+	GarbledTables int64 `json:"garbled_tables"`
+	// EngineBuilds is how many netlist syntheses the serving Engine has
+	// performed; a warm multi-program server holds this at one per layout.
+	EngineBuilds int64 `json:"engine_builds"`
+	// Programs holds the per-registration counters, keyed by registered
+	// name. Every registered program appears, even at zero.
+	Programs map[string]ProgramMetrics `json:"programs"`
+}
+
+// ProgramMetrics is one registered program's session counters.
+type ProgramMetrics struct {
+	Served   int64 `json:"served"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Metrics snapshots the Server's counters. It is safe to call at any
+// time, including while serving.
+func (s *Server) Metrics() ServerMetrics {
+	m := ServerMetrics{
+		SessionsServed:      s.met.served.Load(),
+		SessionsRejected:    s.met.rejected.Load(),
+		SessionsFailed:      s.met.failed.Load(),
+		SessionsActive:      s.met.active.Load(),
+		NegotiationFailures: s.met.negotiationFailures.Load(),
+		ConnectionsAccepted: s.met.connsAccepted.Load(),
+		ConnectionsActive:   s.met.connsActive.Load(),
+		BytesRead:           s.met.bytesRead.Load(),
+		BytesWritten:        s.met.bytesWritten.Load(),
+		TableFrames:         s.met.tableFrames.Load(),
+		Cycles:              s.met.cycles.Load(),
+		GarbledTables:       s.met.garbledTables.Load(),
+		EngineBuilds:        s.eng.Builds(),
+		Programs:            make(map[string]ProgramMetrics),
+	}
+	s.met.mu.Lock()
+	for name, c := range s.met.programs {
+		m.Programs[name] = ProgramMetrics{Served: c.served.Load(), Rejected: c.rejected.Load()}
+	}
+	s.met.mu.Unlock()
+	return m
+}
+
+// MetricsHandler returns an http.Handler exposing the Server's counters
+// in the Prometheus text format (and as JSON with ?format=json). Mount it
+// wherever the operator scrapes:
+//
+//	mux := http.NewServeMux()
+//	mux.Handle("/metrics", srv.MetricsHandler())
+//	go http.ListenAndServe(":9090", mux)
+//
+// The handler is scrape-only: it never touches the negotiation port and
+// holds no locks across the garbling hot path.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := s.Metrics()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(m)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeProm(w, m)
+	})
+}
+
+// writeProm renders a snapshot in the Prometheus exposition format.
+func writeProm(w http.ResponseWriter, m ServerMetrics) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("arm2gc_sessions_served_total", "Sessions that ran the protocol to completion.", m.SessionsServed)
+	counter("arm2gc_sessions_rejected_total", "Proposals declined by policy; the connection survives.", m.SessionsRejected)
+	counter("arm2gc_sessions_failed_total", "Sessions that died mid-protocol.", m.SessionsFailed)
+	gauge("arm2gc_sessions_active", "Sessions garbling right now.", m.SessionsActive)
+	counter("arm2gc_negotiation_failures_total", "Proposals unreadable at the frame layer (version mismatch).", m.NegotiationFailures)
+	counter("arm2gc_connections_accepted_total", "Evaluator connections accepted.", m.ConnectionsAccepted)
+	gauge("arm2gc_connections_active", "Evaluator connections currently open.", m.ConnectionsActive)
+	counter("arm2gc_wire_read_bytes_total", "Wire bytes read from evaluator connections.", m.BytesRead)
+	counter("arm2gc_wire_written_bytes_total", "Wire bytes written to evaluator connections.", m.BytesWritten)
+	counter("arm2gc_table_frames_total", "Garbled-table frames sent.", m.TableFrames)
+	counter("arm2gc_cycles_total", "Processor cycles executed across served sessions.", m.Cycles)
+	counter("arm2gc_garbled_tables_total", "Garbled tables transferred across served sessions.", m.GarbledTables)
+	counter("arm2gc_engine_builds_total", "Netlist syntheses performed by the serving Engine.", m.EngineBuilds)
+
+	// %q escapes backslash, double quote and newline — the exact set the
+	// Prometheus text format requires escaped in label values.
+	names := make([]string, 0, len(m.Programs))
+	for name := range m.Programs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP arm2gc_program_sessions_served_total Sessions served, by registered program.\n")
+	fmt.Fprintf(w, "# TYPE arm2gc_program_sessions_served_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "arm2gc_program_sessions_served_total{program=%q} %d\n", name, m.Programs[name].Served)
+	}
+	fmt.Fprintf(w, "# HELP arm2gc_program_sessions_rejected_total Proposals rejected, by registered program.\n")
+	fmt.Fprintf(w, "# TYPE arm2gc_program_sessions_rejected_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "arm2gc_program_sessions_rejected_total{program=%q} %d\n", name, m.Programs[name].Rejected)
+	}
+}

@@ -2,11 +2,13 @@ package arm2gc
 
 import (
 	"context"
+	"crypto/subtle"
+	"crypto/tls"
+	"crypto/x509"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"arm2gc/internal/proto"
@@ -37,13 +39,46 @@ type Server struct {
 	timeout time.Duration
 	sem     chan struct{}
 	logf    func(format string, args ...any)
+	tls     *tls.Config
 
 	mu       sync.Mutex
 	regs     map[string]*registration
 	idle     map[net.Conn]struct{}
+	conns    map[net.Conn]struct{} // every live connection, idle or not
 	stopping bool
 
-	sessions atomic.Int64
+	met serverMetrics
+}
+
+// Peer identifies the remote side of a negotiation to an authorization
+// policy (see WithAuthorize): its network address, the bearer token its
+// proposal carried (if any), and — on a TLS connection — the handshake
+// state, whose PeerCertificates hold the verified client chain under
+// mutual TLS.
+type Peer struct {
+	Addr  net.Addr
+	Token string
+	TLS   *tls.ConnectionState
+}
+
+// Certificate returns the peer's verified leaf certificate under mutual
+// TLS, nil otherwise — the identity most policies key on (its Subject
+// common name or DNS SANs).
+func (p Peer) Certificate() *x509.Certificate {
+	if p.TLS == nil || len(p.TLS.PeerCertificates) == 0 {
+		return nil
+	}
+	return p.TLS.PeerCertificates[0]
+}
+
+// CommonName returns the subject common name of the peer's verified
+// certificate, "" when there is none — a convenient identity handle for
+// WithAuthorize policies.
+func (p Peer) CommonName() string {
+	if c := p.Certificate(); c != nil {
+		return c.Subject.CommonName
+	}
+	return ""
 }
 
 // registration is one registered program plus the session defaults the
@@ -93,6 +128,16 @@ func WithServerLog(logf func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithTLSConfig makes Serve speak TLS on every accepted connection
+// (default: plaintext). cfg needs at least a server certificate; setting
+// ClientAuth to tls.RequireAndVerifyClientCert with a ClientCAs pool
+// turns on mutual TLS, and the verified client identity reaches
+// WithAuthorize policies through Peer.TLS. Listeners that already produce
+// *tls.Conn (tls.NewListener) are served as-is.
+func WithTLSConfig(cfg *tls.Config) ServerOption {
+	return func(s *Server) { s.tls = cfg }
+}
+
 // NewServer creates a Server over an Engine (nil means DefaultEngine).
 func NewServer(eng *Engine, opts ...ServerOption) *Server {
 	if eng == nil {
@@ -104,7 +149,9 @@ func NewServer(eng *Engine, opts ...ServerOption) *Server {
 		logf:  func(string, ...any) {},
 		regs:  make(map[string]*registration),
 		idle:  make(map[net.Conn]struct{}),
+		conns: make(map[net.Conn]struct{}),
 	}
+	s.met.programs = make(map[string]*programCounters)
 	for _, o := range opts {
 		o(s)
 	}
@@ -145,12 +192,14 @@ func (s *Server) Register(name string, p *Program, defaults ...Option) error {
 		return fmt.Errorf("arm2gc: Register: program %q already registered", name)
 	}
 	s.regs[name] = &registration{prog: p, defaults: defaults, cfg: cfg}
+	s.met.program(name) // listed in Metrics from registration on, even at zero
 	return nil
 }
 
 // SessionsServed reports how many sessions completed successfully — an
-// observable for connection-reuse and load tests.
-func (s *Server) SessionsServed() int64 { return s.sessions.Load() }
+// observable for connection-reuse and load tests. Metrics returns the
+// full counter snapshot.
+func (s *Server) SessionsServed() int64 { return s.met.served.Load() }
 
 // Serve accepts evaluator connections on ln until ctx is cancelled,
 // running each connection's sessions on its own goroutine. Shutdown is
@@ -186,6 +235,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			}
 		}
 		cancelSessions()
+		// The session contexts only unblock I/O inside a guarded protocol
+		// run. A handler elsewhere — writing a grant to a peer that never
+		// reads it, say — would outlive the drain and wedge wg.Wait, so
+		// force-close whatever connections remain.
+		s.closeAll()
 	}()
 
 	var wg sync.WaitGroup
@@ -198,10 +252,19 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			}
 			break
 		}
+		wrapped := s.wrap(conn)
+		if !s.track(wrapped) {
+			wrapped.Close() // shutdown won the race with this accept
+			continue
+		}
+		s.met.connsAccepted.Add(1)
+		s.met.connsActive.Add(1)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s.handle(sessCtx, conn)
+			defer s.met.connsActive.Add(-1)
+			defer s.untrack(wrapped)
+			s.handle(sessCtx, wrapped)
 		}()
 	}
 	wg.Wait()
@@ -210,8 +273,56 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	return acceptErr
 }
 
-// rejection is a proposal verdict that keeps the connection alive.
-type rejection struct{ reason string }
+// ServeTLS is Serve over TLS with an explicit config — shorthand for
+// WithTLSConfig at serve time. cfg must carry a server certificate.
+func (s *Server) ServeTLS(ctx context.Context, ln net.Listener, cfg *tls.Config) error {
+	if cfg == nil {
+		return fmt.Errorf("arm2gc: ServeTLS: nil TLS config")
+	}
+	s.tls = cfg
+	return s.Serve(ctx, ln)
+}
+
+// wrap layers the wire-byte counters and, when configured, TLS over an
+// accepted connection. The counters sit under TLS, so BytesRead/Written
+// report genuine wire traffic (ciphertext), not plaintext. (When the
+// listener itself already produced *tls.Conn, the counter necessarily
+// sits above it and counts plaintext instead.)
+func (s *Server) wrap(conn net.Conn) net.Conn {
+	wrapped := net.Conn(&countedConn{Conn: conn, m: &s.met})
+	if s.tls != nil {
+		if _, already := conn.(*tls.Conn); !already {
+			wrapped = tls.Server(wrapped, s.tls)
+		}
+	}
+	return wrapped
+}
+
+// track adds a live connection to the shutdown set; it reports false once
+// shutdown has started (the caller must close the connection itself).
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+// rejection is a proposal verdict that keeps the connection alive;
+// program is set when the proposal named a registered program, for the
+// per-program rejection counter.
+type rejection struct {
+	reason  string
+	program string
+}
 
 func (r *rejection) Error() string { return "proposal rejected: " + r.reason }
 
@@ -225,21 +336,80 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 		prop, err := proto.ReadProposal(conn)
 		s.unmarkIdle(conn)
 		if err != nil {
+			var ve *proto.VersionError
+			if errors.As(err, &ve) {
+				// The frame was consumed, so the stream is still aligned:
+				// tell the peer why and keep serving proposals this build
+				// does understand.
+				s.met.negotiationFailures.Add(1)
+				if proto.WriteReject(conn, ve.Error()) != nil {
+					return
+				}
+				continue
+			}
 			return // clean EOF, shutdown close, or a broken peer — this conn only
 		}
 		err = s.serveOne(ctx, conn, prop)
 		var rej *rejection
 		if errors.As(err, &rej) {
+			s.met.rejected.Add(1)
+			if rej.program != "" {
+				s.met.program(rej.program).rejected.Add(1)
+			}
 			if proto.WriteReject(conn, rej.reason) != nil {
 				return
 			}
 			continue // a rejected proposal does not cost the connection
 		}
 		if err != nil {
+			s.met.failed.Add(1)
 			s.logf("arm2gc: session %q from %v: %v", prop.Program, conn.RemoteAddr(), err)
 			return // mid-protocol failure: the stream position is unknown
 		}
 	}
+}
+
+// peerOf assembles the authorization identity of a proposing connection.
+func peerOf(conn net.Conn, token string) Peer {
+	p := Peer{Addr: conn.RemoteAddr(), Token: token}
+	// Two layerings reach here: WithTLSConfig puts tls.Server outermost
+	// (over the byte counter); a listener that already produced *tls.Conn
+	// ends up inside the counter instead — look through it.
+	if cc, ok := conn.(*countedConn); ok {
+		conn = cc.Conn
+	}
+	if tc, ok := conn.(*tls.Conn); ok {
+		// The proposal has been read, so the handshake has completed and
+		// the state — including any verified client chain — is final.
+		st := tc.ConnectionState()
+		p.TLS = &st
+	}
+	return p
+}
+
+// notAvailable is the uniform rejection for unknown programs and failed
+// bearer-token checks: the two cases must be indistinguishable to the
+// peer, or an unauthenticated client could enumerate the registered
+// catalog by comparing rejection texts. (WithAuthorize callback errors
+// are sent verbatim — what a policy reveals is the operator's choice.)
+func notAvailable(program string) *rejection {
+	return &rejection{reason: fmt.Sprintf("program %q is not available to this peer", program)}
+}
+
+// authorize applies the registration's admission policy to a proposal:
+// the bearer-token check first, then the WithAuthorize callback. A nil
+// error admits; anything else becomes a rejection upstream.
+func (r *registration) authorize(peer Peer, program string) error {
+	if r.cfg.authToken != "" &&
+		subtle.ConstantTimeCompare([]byte(peer.Token), []byte(r.cfg.authToken)) != 1 {
+		return notAvailable(program)
+	}
+	if r.cfg.authorize != nil {
+		if err := r.cfg.authorize(peer, program); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // serveOne negotiates and garbles a single session.
@@ -248,7 +418,18 @@ func (s *Server) serveOne(ctx context.Context, conn net.Conn, prop proto.Proposa
 	reg := s.regs[prop.Program]
 	s.mu.Unlock()
 	if reg == nil {
-		return &rejection{fmt.Sprintf("unknown program %q", prop.Program)}
+		// Same wording as a failed token check — see notAvailable.
+		return notAvailable(prop.Program)
+	}
+	// Admission policy runs before option resolution, session lookup and
+	// any cryptography: an unauthorized peer learns only the rejection.
+	if err := reg.authorize(peerOf(conn, prop.Auth), prop.Program); err != nil {
+		var rej *rejection
+		if errors.As(err, &rej) {
+			rej.program = prop.Program
+			return rej
+		}
+		return &rejection{reason: err.Error(), program: prop.Program}
 	}
 	opts, grant, err := reg.resolve(prop)
 	if err != nil {
@@ -278,10 +459,17 @@ func (s *Server) serveOne(ctx context.Context, conn net.Conn, prop proto.Proposa
 		runCtx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
 	}
-	if _, err := sess.Garble(runCtx, conn, nil); err != nil {
+	s.met.active.Add(1)
+	info, err := sess.Garble(runCtx, conn, nil)
+	s.met.active.Add(-1)
+	if err != nil {
 		return err
 	}
-	s.sessions.Add(1)
+	s.met.served.Add(1)
+	s.met.program(prop.Program).served.Add(1)
+	s.met.tableFrames.Add(int64(info.TableFrames))
+	s.met.cycles.Add(int64(info.Cycles))
+	s.met.garbledTables.Add(int64(info.GarbledTables))
 	return nil
 }
 
@@ -298,28 +486,28 @@ func (r *registration) resolve(prop proto.Proposal) ([]Option, proto.Grant, erro
 		Workers:    r.cfg.workers,
 	}
 	if prop.HasOutputs && prop.Outputs != r.cfg.outputs {
-		return nil, grant, &rejection{fmt.Sprintf(
+		return nil, grant, &rejection{program: prop.Program, reason: fmt.Sprintf(
 			"output mode %v not offered (registered mode %v)", prop.Outputs, r.cfg.outputs)}
 	}
 	if prop.CycleBatch != 0 {
 		if prop.CycleBatch < 1 || prop.CycleBatch > proto.MaxCycleBatch {
-			return nil, grant, &rejection{fmt.Sprintf("cycle batch %d out of range", prop.CycleBatch)}
+			return nil, grant, &rejection{program: prop.Program, reason: fmt.Sprintf("cycle batch %d out of range", prop.CycleBatch)}
 		}
 		grant.CycleBatch = prop.CycleBatch
 	}
 	if prop.MaxCycles != 0 {
 		if prop.MaxCycles > r.cfg.maxCycles {
-			return nil, grant, &rejection{fmt.Sprintf(
+			return nil, grant, &rejection{program: prop.Program, reason: fmt.Sprintf(
 				"cycle budget %d exceeds the registered limit %d", prop.MaxCycles, r.cfg.maxCycles)}
 		}
 		grant.MaxCycles = prop.MaxCycles
 	}
 	if prop.Workers != 0 {
 		if prop.Workers > proto.MaxWorkers {
-			return nil, grant, &rejection{fmt.Sprintf("worker count %d out of range", prop.Workers)}
+			return nil, grant, &rejection{program: prop.Program, reason: fmt.Sprintf("worker count %d out of range", prop.Workers)}
 		}
 		if prop.Workers > r.cfg.workers {
-			return nil, grant, &rejection{fmt.Sprintf(
+			return nil, grant, &rejection{program: prop.Program, reason: fmt.Sprintf(
 				"worker count %d exceeds the registered limit %d", prop.Workers, r.cfg.workers)}
 		}
 		grant.Workers = prop.Workers
@@ -358,6 +546,18 @@ func (s *Server) closeIdle() {
 	defer s.mu.Unlock()
 	s.stopping = true
 	for conn := range s.idle {
+		conn.Close()
+	}
+}
+
+// closeAll is the shutdown backstop after the drain deadline: every
+// connection still alive — whatever its handler is blocked on — is
+// closed, so no handler goroutine can outlive Serve.
+func (s *Server) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopping = true
+	for conn := range s.conns {
 		conn.Close()
 	}
 }

@@ -204,7 +204,7 @@ func TestServerNegotiationRejects(t *testing.T) {
 		opts   []Option
 		reason string
 	}{
-		{"unknown program", "other", nil, "unknown program"},
+		{"unknown program", "other", nil, "not available"},
 		{"output mode mismatch", "add", []Option{WithOutputMode(OutputEvaluatorOnly)}, "output mode"},
 		{"over budget", "add", []Option{WithMaxCycles(100_000)}, "exceeds the registered limit"},
 	}
