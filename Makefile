@@ -2,14 +2,15 @@ GO ?= go
 FUZZTIME ?= 10s
 
 # The benchmark set `make bench-json` tracks: the warm-session cache path,
-# the pipelined garbler, the parallel cycle engine and the serial per-cycle
-# primitives it is gated against.
-BENCH_SET ?= BenchmarkEngineSessionReuse|BenchmarkGarblerPipeline|BenchmarkParallelCycle|BenchmarkSchedulerCycle|BenchmarkGarbledProcessorCycle
+# the pipelined garbler, the parallel cycle engine, trace replay and the
+# serial per-cycle primitives they are gated against (BenchmarkTraceReplay
+# rides next to BenchmarkSchedulerCycle — the classify pass replay removes).
+BENCH_SET ?= BenchmarkEngineSessionReuse|BenchmarkGarblerPipeline|BenchmarkParallelCycle|BenchmarkSchedulerCycle|BenchmarkGarbledProcessorCycle|BenchmarkTraceReplay
 BENCHTIME ?= 50x
 BENCH_THRESHOLD ?= 1.25
 BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline bench-json bench-baseline bench-compare cover ci dev-certs serve-tls test-hardening
+.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline bench-json bench-baseline bench-compare cover ci dev-certs serve-tls test-hardening test-trace
 
 all: build vet test
 
@@ -80,6 +81,14 @@ test-hardening:
 	$(GO) test -race -shuffle=on -count=1 \
 		-run 'TestServer|TestClient|TestProposal|TestNegotiate|TestLoadRegistry|TestCompare' \
 		. ./internal/proto ./internal/cli ./cmd/bench-json
+
+# Classification-trace correctness: record/replay across the core engine,
+# the trace cache, the wire protocol (byte-identical frame pinning) and
+# the Engine API — shuffled and under the race detector, as in CI.
+test-trace:
+	$(GO) test -race -shuffle=on -count=1 \
+		-run 'Trace|TestPipelinedStatsSink' \
+		. ./internal/core ./internal/cpu ./internal/proto
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

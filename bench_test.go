@@ -134,6 +134,41 @@ func BenchmarkSchedulerCycle(b *testing.B) {
 	b.ReportMetric(float64(len(c.Circuit.Gates)), "gates/cycle")
 }
 
+// BenchmarkTraceReplay measures the garbler's cost when the SkipGate
+// pass is already compiled into a trace (WithTraceReuse warm path): no
+// classification, just the surviving label ops and the few garbled
+// tables, straight from the trace's gate lists. Each op replays the
+// full recorded run; the ns/cycle metric sits next to
+// BenchmarkSchedulerCycle's ns/op — the classify-only price per cycle
+// that replay removes — and the baseline keeps replay several times
+// cheaper.
+func BenchmarkTraceReplay(b *testing.B) {
+	c, pub, cycles := cpuForBench(b)
+	res, err := core.RunLocal(context.Background(), c.Circuit, sim.Inputs{Public: pub},
+		core.RunOpts{Cycles: cycles, Record: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := res.Trace
+	n := tr.NumCycles()
+	g := core.NewReplayGarbler(c.Circuit, gc.CryptoRand)
+	var tables []gc.Table
+	garbled := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	// One op = one whole warm session's garbling (every recorded cycle),
+	// so the measurement window is milliseconds even at small -benchtime.
+	for i := 0; i < b.N; i++ {
+		for cyc := 1; cyc <= n; cyc++ {
+			tables = g.GarbleCycleTrace(tr.Cycle(cyc), cyc, tables[:0])
+			garbled += len(tables)
+			g.CopyDFFs()
+		}
+	}
+	b.ReportMetric(float64(garbled)/float64(b.N*n), "tables/cycle")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/cycle")
+}
+
 // BenchmarkGarbledProcessorCycle measures a full crypto cycle (scheduler +
 // garbler + evaluator) on the processor.
 func BenchmarkGarbledProcessorCycle(b *testing.B) {
@@ -296,13 +331,20 @@ func BenchmarkEngineSessionReuse(b *testing.B) {
 		if _, err := eng.Session(prog, WithMaxCycles(1000)); err != nil {
 			b.Fatal(err)
 		}
+		// A warm session costs a few hundred ns; batch them so the
+		// measurement window is far above scheduler jitter even at
+		// small -benchtime. ns/session is the per-session cost.
+		const batch = 1024
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Session(prog, WithMaxCycles(1000)); err != nil {
-				b.Fatal(err)
+			for j := 0; j < batch; j++ {
+				if _, err := eng.Session(prog, WithMaxCycles(1000)); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/session")
 		if got := eng.Builds(); got != 1 {
 			b.Fatalf("warm sessions rebuilt the netlist: %d builds", got)
 		}

@@ -29,6 +29,13 @@ const (
 // WithMaxCycles overrides it.
 const DefaultMaxCycles = 1_000_000
 
+// DefaultTraceCacheBytes bounds an Engine's classification-trace cache
+// (see WithTraceReuse). A compiled trace costs roughly 20 bytes per live
+// gate-cycle — a 500-cycle program on the 256-word layout compiles to a
+// few MB — so the default comfortably holds dozens of programs; least
+// recently replayed traces are evicted beyond the budget.
+const DefaultTraceCacheBytes = 256 << 20
+
 // Engine is the process-wide entry point of the API: a concurrency-safe
 // factory of garbled-processor sessions with a layout-keyed machine
 // cache. Synthesizing the processor netlist costs ~10ms for the 256-word
@@ -41,18 +48,21 @@ const DefaultMaxCycles = 1_000_000
 // are few); create a throwaway Engine for one-off geometries if that ever
 // matters.
 type Engine struct {
-	cache *cpu.Cache
+	cache  *cpu.Cache
+	traces *cpu.TraceCache
 }
 
 // NewEngine creates an Engine with its own empty cache. DefaultEngine
 // serves callers that do not need cache isolation.
-func NewEngine() *Engine { return &Engine{cache: new(cpu.Cache)} }
+func NewEngine() *Engine {
+	return &Engine{cache: new(cpu.Cache), traces: cpu.NewTraceCache(DefaultTraceCacheBytes)}
+}
 
 // DefaultEngine backs the package-level compatibility shims (NewMachine,
 // Verify) and is free for direct use. It shares the process-wide machine
 // cache with the internal tooling, so a binary mixing both (the bencher)
 // never synthesizes a layout twice.
-var DefaultEngine = &Engine{cache: cpu.SharedCache()}
+var DefaultEngine = &Engine{cache: cpu.SharedCache(), traces: cpu.NewTraceCache(DefaultTraceCacheBytes)}
 
 // Machine returns the cached processor for a layout, synthesizing it on
 // first use. The returned Machine shares the Engine's immutable netlist
@@ -68,6 +78,16 @@ func (e *Engine) Machine(l Layout) (*Machine, error) {
 // Builds reports how many netlist syntheses this Engine has performed —
 // an observable for cache-effectiveness tests and monitoring.
 func (e *Engine) Builds() int64 { return e.cache.Builds() }
+
+// TraceRecordings reports how many classification traces this Engine has
+// recorded and committed to its trace cache — the SkipGate passes that
+// WithTraceReuse sessions have paid. Like Builds, an observable for
+// cache-effectiveness tests and monitoring.
+func (e *Engine) TraceRecordings() int64 { return e.traces.Recordings() }
+
+// TraceReplays reports how many session runs were served from a cached
+// classification trace, skipping the SkipGate pass entirely.
+func (e *Engine) TraceReplays() int64 { return e.traces.Replays() }
 
 // StatsSink receives per-cycle scheduling statistics as a run progresses
 // (see WithStatsSink). It is called synchronously from the cycle loop, so
@@ -94,6 +114,7 @@ type sessionConfig struct {
 	pipeline      int
 	workers       int
 	workersSet    bool
+	traceReuse    bool
 	garblerInput  []uint32
 	rand          io.Reader
 	sink          StatsSink
@@ -153,6 +174,21 @@ func WithWorkers(n int) Option {
 	return func(c *sessionConfig) { c.workers = n; c.workersSet = true }
 }
 
+// WithTraceReuse makes the session draw on the Engine's classification-
+// trace cache: the first run of a program records the per-cycle SkipGate
+// schedule as a compiled trace, and every later run of the same program
+// (same circuit, public inputs, cycle budget and stop flag) replays it,
+// garbling straight from precompiled gate lists with no classification
+// pass at all. The replayed wire stream is byte-identical to the
+// classified one — the schedule is a pure function of public data — so
+// the knob is local, like WithWorkers and WithPipeline: it is not part
+// of the session id and need not match the peer's. Concurrent first runs
+// singleflight the recording (one records, the rest classify without
+// recording); the cache holds up to DefaultTraceCacheBytes of traces per
+// Engine, evicting the least recently replayed. Observe effectiveness
+// via Engine.TraceRecordings and Engine.TraceReplays.
+func WithTraceReuse() Option { return func(c *sessionConfig) { c.traceReuse = true } }
+
 // WithGarblerInput fixes Alice's input words on a session's garbling
 // side. Server registrations use it to bind the server's private input to
 // a program: Server sessions garble with these words (nil means an
@@ -202,6 +238,7 @@ type Session struct {
 	m    *Machine
 	prog *Program
 	cfg  sessionConfig
+	eng  *Engine // for WithTraceReuse; nil on the deprecated Machine path
 }
 
 // Session creates a session for a program, drawing the machine from the
@@ -216,7 +253,7 @@ func (e *Engine) Session(p *Program, opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{m: m, prog: p, cfg: cfg}, nil
+	return &Session{m: m, prog: p, cfg: cfg, eng: e}, nil
 }
 
 // newSessionConfig applies opts over the defaults and validates — the one
@@ -257,6 +294,53 @@ func (s *Session) coreSink() func(int, core.CycleStats) {
 	return func(cyc int, cs core.CycleStats) { sink(CycleUpdate{Cycle: cyc, Stats: cs}) }
 }
 
+// traceKey identifies this session's schedule in the Engine's trace
+// cache. The SkipGate schedule is a pure function of the circuit, the
+// public input bits, the cycle budget (the final cycle switches fanout
+// handling) and the stop flag — exactly the key's fields.
+func (s *Session) traceKey(pub []bool) cpu.TraceKey {
+	return cpu.TraceKey{Circuit: s.m.cpu.Circuit, Pub: cpu.TracePubDigest(pub),
+		Cycles: s.cfg.maxCycles, Stop: "halted"}
+}
+
+// traceSession is one run's view of the Engine trace cache: a cached
+// trace to replay, or a claimed recording slot to settle after the run.
+// The zero value (trace reuse off, or the deprecated Machine path with
+// no Engine) replays and records nothing.
+type traceSession struct {
+	cache  *cpu.TraceCache
+	key    cpu.TraceKey
+	trace  *core.Trace // replay this when non-nil
+	record bool        // this run holds the key's recording slot
+}
+
+func (s *Session) traceFor(pub []bool) traceSession {
+	var ts traceSession
+	if !s.cfg.traceReuse || s.eng == nil {
+		return ts
+	}
+	ts.cache = s.eng.traces
+	ts.key = s.traceKey(pub)
+	if ts.trace = ts.cache.Lookup(ts.key); ts.trace == nil {
+		ts.record = ts.cache.BeginRecord(ts.key)
+	}
+	return ts
+}
+
+// settle commits the recorded trace or, when the run failed to produce
+// one, releases the slot so a later run can record. A no-op unless this
+// run claimed the recording.
+func (ts traceSession) settle(tr *core.Trace, err error) {
+	if !ts.record {
+		return
+	}
+	if err != nil || tr == nil {
+		ts.cache.Abort(ts.key)
+		return
+	}
+	ts.cache.Commit(ts.key, tr)
+}
+
 // Run executes the full garbled protocol in process (both parties), with
 // real garbling and evaluation; use it to validate programs and measure
 // costs before deploying the two-party version. Cancelling ctx aborts the
@@ -266,12 +350,15 @@ func (s *Session) Run(ctx context.Context, alice, bob []uint32) (*RunInfo, error
 	if err != nil {
 		return nil, err
 	}
+	ts := s.traceFor(pub)
 	res, err := core.RunLocal(ctx, s.m.cpu.Circuit, sim.Inputs{Public: pub, Alice: ab, Bob: bb},
 		core.RunOpts{Cycles: s.cfg.maxCycles, StopOutput: "halted", Rand: s.cfg.rand, Sink: s.coreSink(),
-			Workers: s.cfg.workers})
+			Workers: s.cfg.workers, Trace: ts.trace, Record: ts.record})
 	if err != nil {
+		ts.settle(nil, err)
 		return nil, err
 	}
+	ts.settle(res.Trace, nil)
 	return s.m.info(s.prog, res.Outputs, res.Stats, res.Halted), nil
 }
 
@@ -282,6 +369,15 @@ func (s *Session) Count(ctx context.Context) (*RunInfo, error) {
 	pub, err := s.m.cpu.PublicBits(s.prog)
 	if err != nil {
 		return nil, err
+	}
+	// A cached trace already holds the exact schedule totals; serve them
+	// without re-counting. (With a per-cycle sink the count still runs,
+	// so the sink sees every cycle.) Count never records — it produces
+	// no trace — so a miss just falls through.
+	if s.cfg.traceReuse && s.eng != nil && s.cfg.sink == nil {
+		if tr := s.eng.traces.Lookup(s.traceKey(pub)); tr != nil {
+			return s.m.info(s.prog, nil, tr.TotalStats(), true), nil
+		}
 	}
 	st, err := core.Count(ctx, s.m.cpu.Circuit, pub,
 		core.CountOpts{Cycles: s.cfg.maxCycles, StopOutput: "halted", Sink: s.coreSink(),
@@ -305,10 +401,15 @@ func (s *Session) Garble(ctx context.Context, conn io.ReadWriter, alice []uint32
 	if err != nil {
 		return nil, err
 	}
-	res, err := proto.RunGarbler(ctx, conn, s.protoConfig(pub), ab, s.cfg.rand)
+	ts := s.traceFor(pub)
+	cfg := s.protoConfig(pub)
+	cfg.Trace, cfg.Record = ts.trace, ts.record
+	res, err := proto.RunGarbler(ctx, conn, cfg, ab, s.cfg.rand)
 	if err != nil {
+		ts.settle(nil, err)
 		return nil, err
 	}
+	ts.settle(res.Trace, nil)
 	info := s.m.info(s.prog, res.Outputs, res.Stats, res.Halted)
 	info.TableFrames = res.TableFrames
 	return info, nil
@@ -321,10 +422,15 @@ func (s *Session) Evaluate(ctx context.Context, conn io.ReadWriter, bob []uint32
 	if err != nil {
 		return nil, err
 	}
-	res, err := proto.RunEvaluator(ctx, conn, s.protoConfig(pub), bb)
+	ts := s.traceFor(pub)
+	cfg := s.protoConfig(pub)
+	cfg.Trace, cfg.Record = ts.trace, ts.record
+	res, err := proto.RunEvaluator(ctx, conn, cfg, bb)
 	if err != nil {
+		ts.settle(nil, err)
 		return nil, err
 	}
+	ts.settle(res.Trace, nil)
 	info := s.m.info(s.prog, res.Outputs, res.Stats, res.Halted)
 	info.TableFrames = res.TableFrames
 	return info, nil

@@ -9,11 +9,14 @@ import (
 )
 
 // Garbler is Alice's crypto executor: it follows the shared Scheduler and
-// does label work only for the gates the schedule says are needed.
+// does label work only for the gates the schedule says are needed. In
+// trace replay (NewReplayGarbler) there is no scheduler — S is nil and the
+// compiled trace drives the label walk instead.
 type Garbler struct {
 	S *Scheduler
 	R gc.Label
 
+	c       *circuit.Circuit
 	h       *gc.Hash
 	x0      []gc.Label
 	alice   []gc.Label // X0 per Alice input bit
@@ -26,9 +29,17 @@ type Garbler struct {
 // NewGarbler creates Alice's executor over a scheduler, drawing labels
 // from rnd.
 func NewGarbler(s *Scheduler, rnd io.Reader) *Garbler {
-	c := s.C
+	return newGarbler(s.C, s, rnd)
+}
+
+// newGarbler is the shared constructor behind NewGarbler and
+// NewReplayGarbler. The label draws (R, then Alice's bits, then Bob's)
+// happen in one fixed order so a replaying garbler given the same
+// randomness produces the same labels as a classifying one.
+func newGarbler(c *circuit.Circuit, s *Scheduler, rnd io.Reader) *Garbler {
 	g := &Garbler{
 		S:       s,
+		c:       c,
 		R:       gc.RandDelta(rnd),
 		h:       gc.NewHash(),
 		x0:      make([]gc.Label, c.NumWires()),
@@ -258,9 +269,10 @@ func (g *Garbler) GarbleCycleAppend(dst []byte) []byte {
 }
 
 // CopyDFFs performs the end-of-cycle flip-flop label copy (call before
-// Scheduler.Commit).
+// Scheduler.Commit; replay runs have no scheduler and just call it
+// between cycles).
 func (g *Garbler) CopyDFFs() {
-	c := g.S.C
+	c := g.c
 	for i, d := range c.DFFs {
 		g.dffNext[i] = g.x0[d.D]
 	}
@@ -275,10 +287,13 @@ func (g *Garbler) DecodeBit(w circuit.Wire) bool { return g.x0[w].Bit() }
 // X0 exposes a wire's false label (tests and the protocol layer).
 func (g *Garbler) X0(w circuit.Wire) gc.Label { return g.x0[w] }
 
-// Evaluator is Bob's crypto executor, mirroring Garbler with active labels.
+// Evaluator is Bob's crypto executor, mirroring Garbler with active
+// labels; like the Garbler, it runs schedulerless (S == nil) in trace
+// replay.
 type Evaluator struct {
 	S *Scheduler
 
+	c       *circuit.Circuit
 	h       *gc.Hash
 	x       []gc.Label
 	dffNext []gc.Label
@@ -286,18 +301,25 @@ type Evaluator struct {
 
 // NewEvaluator creates Bob's executor over a scheduler.
 func NewEvaluator(s *Scheduler) *Evaluator {
+	return newEvaluator(s.C, s)
+}
+
+// newEvaluator is the shared constructor behind NewEvaluator and
+// NewReplayEvaluator.
+func newEvaluator(c *circuit.Circuit, s *Scheduler) *Evaluator {
 	return &Evaluator{
 		S:       s,
+		c:       c,
 		h:       gc.NewHash(),
-		x:       make([]gc.Label, s.C.NumWires()),
-		dffNext: make([]gc.Label, len(s.C.DFFs)),
+		x:       make([]gc.Label, c.NumWires()),
+		dffNext: make([]gc.Label, len(c.DFFs)),
 	}
 }
 
 // SetInputs installs the labels for Alice's bits (sent directly) and Bob's
 // bits (chosen via OT) on every wire they initialize.
 func (e *Evaluator) SetInputs(aliceActive, bobChosen []gc.Label) error {
-	c := e.S.C
+	c := e.c
 	if len(aliceActive) != c.AliceBits {
 		return fmt.Errorf("core: %d alice labels, want %d", len(aliceActive), c.AliceBits)
 	}
@@ -421,9 +443,9 @@ func (e *Evaluator) evalMux(gate *circuit.Gate, t gc.Table, gid uint64) gc.Label
 }
 
 // CopyDFFs performs the end-of-cycle flip-flop label copy (call before
-// Scheduler.Commit).
+// Scheduler.Commit; schedulerless in replay).
 func (e *Evaluator) CopyDFFs() {
-	c := e.S.C
+	c := e.c
 	for i, d := range c.DFFs {
 		e.dffNext[i] = e.x[d.D]
 	}

@@ -39,6 +39,19 @@ type RunOpts struct {
 	// passes (see Scheduler.SetWorkers); <= 1 means serial. Results and
 	// statistics are identical for every value.
 	Workers int
+
+	// Trace, when set, replays a recorded classification schedule instead
+	// of running the Scheduler: no Classify, just trace-driven label work.
+	// The trace must have been recorded for the same circuit, public input
+	// and Cycles budget. Workers is ignored (replay is already cheaper
+	// than the parallel classified path) and StopOutput is served from the
+	// trace's recorded halt.
+	Trace *Trace
+
+	// Record, when true, compiles this run's classification schedule into
+	// RunResult.Trace for later replay. Mutually exclusive with Trace (a
+	// replayed run has no scheduler to record).
+	Record bool
 }
 
 // RunResult reports a completed run.
@@ -46,7 +59,8 @@ type RunResult struct {
 	Outputs  []bool   // all output buses flattened, final cycle
 	PerCycle [][]bool // per-cycle outputs when RecordEveryCycle
 	Stats    Stats
-	Halted   bool // stopped by StopOutput
+	Halted   bool   // stopped by StopOutput
+	Trace    *Trace // the recorded schedule when RunOpts.Record
 }
 
 // RunLocal executes the full two-party SkipGate protocol in process: one
@@ -65,22 +79,27 @@ func RunLocal(ctx context.Context, c *circuit.Circuit, in sim.Inputs, opts RunOp
 	if rnd == nil {
 		rnd = gc.CryptoRand
 	}
+	if opts.Trace != nil {
+		if opts.Record {
+			return nil, fmt.Errorf("core: RunOpts.Record with RunOpts.Trace: a replayed run has no scheduler to record")
+		}
+		if opts.RecordEveryCycle {
+			return nil, fmt.Errorf("core: RunOpts.RecordEveryCycle is not supported under trace replay")
+		}
+		return runLocalReplay(ctx, c, in, opts, rnd)
+	}
 	s := NewScheduler(c, opts.Seed, in.Public)
-	s.SetWorkers(opts.Workers)
+	if err := s.SetWorkers(opts.Workers); err != nil {
+		return nil, err
+	}
 	g := NewGarbler(s, rnd)
 	e := NewEvaluator(s)
-
-	pairs := g.BobPairs()
-	chosen := make([]gc.Label, len(pairs))
-	for i := range pairs {
-		if in.Bit(circuit.Bob, i) {
-			chosen[i] = pairs[i][1]
-		} else {
-			chosen[i] = pairs[i][0]
-		}
-	}
-	if err := e.SetInputs(g.AliceActiveLabels(in.Alice), chosen); err != nil {
+	if err := deliverInputs(g, e, in); err != nil {
 		return nil, err
+	}
+	var rec *TraceRecorder
+	if opts.Record {
+		rec = NewTraceRecorder(s)
 	}
 
 	res := &RunResult{}
@@ -110,6 +129,18 @@ func RunLocal(ctx context.Context, c *circuit.Circuit, in sim.Inputs, opts RunOp
 		if opts.Sink != nil {
 			opts.Sink(cyc, cs)
 		}
+		// The halt verdict is schedule-only (a public wire state), so it is
+		// known right after Classify — and the recorder compiles it into
+		// the trace alongside the cycle's ops.
+		halted := false
+		if stopWire >= 0 {
+			if v, pub := s.WireState(stopWire); pub && v {
+				halted = true
+			}
+		}
+		if rec != nil {
+			rec.RecordCycle(cs, halted)
+		}
 
 		tables := g.GarbleCycle(nil)
 		rest, err := e.EvalCycle(tables)
@@ -120,7 +151,7 @@ func RunLocal(ctx context.Context, c *circuit.Circuit, in sim.Inputs, opts RunOp
 			return nil, fmt.Errorf("core: cycle %d: %d garbled tables unconsumed", cyc, len(rest))
 		}
 
-		if opts.RecordEveryCycle || final {
+		if opts.RecordEveryCycle || final || halted {
 			out, err := decodeOutputs(s, g, e, ws)
 			if err != nil {
 				return nil, err
@@ -130,25 +161,82 @@ func RunLocal(ctx context.Context, c *circuit.Circuit, in sim.Inputs, opts RunOp
 			}
 			res.Outputs = out
 		}
-		if stopWire >= 0 {
-			if v, pub := s.WireState(stopWire); pub && v {
-				res.Halted = true
-				if !final {
-					out, err := decodeOutputs(s, g, e, ws)
-					if err != nil {
-						return nil, err
-					}
-					res.Outputs = out
-				}
-				break
-			}
+		if halted {
+			res.Halted = true
+			break
 		}
 
 		g.CopyDFFs()
 		e.CopyDFFs()
 		s.Commit()
 	}
+	if rec != nil {
+		res.Trace = rec.Finish(res.Halted)
+	}
 	return res, nil
+}
+
+// runLocalReplay is RunLocal's trace-replay path: no scheduler, both
+// executors driven by the compiled trace.
+func runLocalReplay(ctx context.Context, c *circuit.Circuit, in sim.Inputs, opts RunOpts, rnd io.Reader) (*RunResult, error) {
+	tr := opts.Trace
+	if err := tr.Validate(opts.Cycles); err != nil {
+		return nil, err
+	}
+	g := NewReplayGarbler(c, rnd)
+	e := NewReplayEvaluator(c)
+	if err := deliverInputs(g, e, in); err != nil {
+		return nil, err
+	}
+	res := &RunResult{}
+	var tables []gc.Table
+	n := tr.NumCycles()
+	for cyc := 1; cyc <= n; cyc++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ct := tr.Cycle(cyc)
+		res.Stats.Total.Add(ct.Stats)
+		res.Stats.Cycles++
+		if opts.Sink != nil {
+			opts.Sink(cyc, ct.Stats)
+		}
+		tables = g.GarbleCycleTrace(ct, cyc, tables[:0])
+		rest, err := e.EvalCycleTrace(ct, cyc, tables)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("core: cycle %d: %d garbled tables unconsumed in replay", cyc, len(rest))
+		}
+		if cyc == n {
+			out, err := decodeOutputsTrace(tr, g, e)
+			if err != nil {
+				return nil, err
+			}
+			res.Outputs = out
+			res.Halted = ct.Halted
+			break
+		}
+		g.CopyDFFs()
+		e.CopyDFFs()
+	}
+	return res, nil
+}
+
+// deliverInputs plays the input-delivery phase in process: Alice's active
+// labels directly, Bob's via simulated oblivious transfer.
+func deliverInputs(g *Garbler, e *Evaluator, in sim.Inputs) error {
+	pairs := g.BobPairs()
+	chosen := make([]gc.Label, len(pairs))
+	for i := range pairs {
+		if in.Bit(circuit.Bob, i) {
+			chosen[i] = pairs[i][1]
+		} else {
+			chosen[i] = pairs[i][0]
+		}
+	}
+	return e.SetInputs(g.AliceActiveLabels(in.Alice), chosen)
 }
 
 // decodeOutputs combines public wire values with point-and-permute
@@ -164,6 +252,26 @@ func decodeOutputs(s *Scheduler, g *Garbler, e *Evaluator, ws []circuit.Wire) ([
 		v := e.ActiveBit(w) != g.DecodeBit(w)
 		// Consistency check available only in-process: the active label
 		// must be one of Alice's pair.
+		x := e.Active(w)
+		if x != g.X0(w) && x != g.X0(w).Xor(g.R) {
+			return nil, fmt.Errorf("core: output wire %d: active label matches neither X0 nor X1", w)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// decodeOutputsTrace mirrors decodeOutputs for replayed runs: public
+// output values come from the trace, secret ones from the labels.
+func decodeOutputsTrace(tr *Trace, g *Garbler, e *Evaluator) ([]bool, error) {
+	out := make([]bool, tr.NumOutputs())
+	for i := range out {
+		if v, pub := tr.OutputState(i); pub {
+			out[i] = v
+			continue
+		}
+		w := tr.OutputWire(i)
+		v := e.ActiveBit(w) != g.DecodeBit(w)
 		x := e.Active(w)
 		if x != g.X0(w) && x != g.X0(w).Xor(g.R) {
 			return nil, fmt.Errorf("core: output wire %d: active label matches neither X0 nor X1", w)
@@ -207,7 +315,9 @@ func Count(ctx context.Context, c *circuit.Circuit, pub []bool, opts CountOpts) 
 		stopWire = c.ResolveOutput(stop.Wires[0])
 	}
 	s := NewScheduler(c, opts.Seed, pub)
-	s.SetWorkers(opts.Workers)
+	if err := s.SetWorkers(opts.Workers); err != nil {
+		return Stats{}, err
+	}
 	var st Stats
 	for cyc := 1; cyc <= opts.Cycles; cyc++ {
 		if err := ctx.Err(); err != nil {

@@ -180,10 +180,15 @@ func NewScheduler(c *circuit.Circuit, seed Seed, pub []bool) *Scheduler {
 // the executors' label walks) may use; n < 1 and n == 1 both mean serial,
 // and n is clamped to MaxWorkers. The schedule, statistics and garbled
 // byte stream are identical for every worker count — parallelism only
-// changes who computes each gate. Call it before the first Classify; the
-// level partition comes from the circuit's shared cache, so repeated
-// sessions over one machine pay nothing here.
-func (s *Scheduler) SetWorkers(n int) {
+// changes who computes each gate. Call it before the first Classify: a
+// mid-run change would desync the per-worker fingerprint forks and
+// release lists, so it is refused with an error once the first cycle has
+// been classified. The level partition comes from the circuit's shared
+// cache, so repeated sessions over one machine pay nothing here.
+func (s *Scheduler) SetWorkers(n int) error {
+	if s.cycle > 0 {
+		return fmt.Errorf("core: SetWorkers(%d) after cycle %d: the worker count is fixed once classification starts", n, s.cycle)
+	}
 	if n < 1 {
 		n = 1
 	}
@@ -208,6 +213,7 @@ func (s *Scheduler) SetWorkers(n int) {
 	if len(s.chunkStats) < n {
 		s.chunkStats = make([]CycleStats, n)
 	}
+	return nil
 }
 
 // Workers reports the configured worker count.

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/gc"
+)
+
+// Classification-trace reuse: the SkipGate schedule depends only on public
+// data — the circuit, the public input p and the cycle budget — so it is
+// identical for every session of the same program. A Trace records one
+// classified run's per-cycle decisions in a compiled, executor-ready form;
+// later sessions replay it through Garbler.GarbleCycleTrace /
+// Evaluator.EvalCycleTrace, skipping Scheduler.Classify entirely and
+// collapsing the hot path to fixed-key-AES garbling.
+//
+// Why replay is sound across sessions: classification consumes labels only
+// through fingerprint equality (see fingerprint.go), and fingerprints
+// mirror the symbolic XOR algebra of the labels themselves. Two wires'
+// fingerprints collide exactly when their symbolic label expressions are
+// equal — a seed-independent fact — except with the ~2^-128 AES collision
+// probability that intra-session correctness already assumes. Replaying a
+// trace under a different session seed therefore adds no new failure mode.
+
+// Copy-op codes of a CycleTrace. The garbler applies the Inv variants by
+// XORing its global delta R into the copied label; the evaluator, holding
+// active labels, ignores the inversion (an inverted wire carries the same
+// label with swapped meaning), exactly as in the classified executors.
+const (
+	topCopy    uint8 = iota // out = src
+	topCopyInv              // garbler: out = src ⊕ R; evaluator: out = src
+	topXor                  // out = a ⊕ b
+	topXorInv               // garbler: out = a ⊕ b ⊕ R; evaluator: out = a ⊕ b
+)
+
+// Garbled-op kinds of a CycleTrace. tgGate carries its circuit.Op in the
+// parallel op array; the MUX-derived kinds bake the shape garbleMux /
+// evalMux would re-derive from wire states into the trace, so replay never
+// consults a scheduler.
+const (
+	tgGate   uint8 = iota // binary AND-class gate; op array holds the circuit.Op
+	tgMux                 // both data inputs secret: atomic A ⊕ AND(S, A⊕B)
+	tgAndFF               // out = S ∧ X        (MUX with public-0 A input)
+	tgAndFTT              // out = ¬(S ∧ ¬X)    (MUX with public-1 A input)
+	tgAndTFF              // out = ¬S ∧ X       (MUX with public-0 B input)
+	tgAndTTT              // out = ¬(¬S ∧ ¬X)   (MUX with public-1 B input)
+)
+
+// traceSeg is a maximal run of copy ops followed by a run of garbled ops,
+// in original gate order. Copies and garbles interleave dependency-wise
+// inside a cycle (a garbled gate may read a copied label and vice versa),
+// so a cycle cannot be split into one copy pass and one garble pass;
+// segments preserve the topological order while still letting the replay
+// loop run each garbled stretch as a tight, branch-light AES loop.
+type traceSeg struct {
+	copies  int32
+	garbles int32
+}
+
+// CycleTrace is one cycle's compiled schedule in struct-of-arrays form:
+// parallel arrays per op class, indexed densely in emission order, so the
+// replay loops touch only the fields they need and the garbled-table
+// stream comes out byte-identical to a classified run by construction.
+type CycleTrace struct {
+	Stats  CycleStats // the cycle's scheduling outcome, replayed to sinks
+	Halted bool       // public halt flag fired at the end of this cycle
+
+	segs []traceSeg
+
+	// Copy ops (passthroughs, free XORs): out = f(a[, b]).
+	copyAct []uint8
+	copyOut []int32
+	copyA   []int32
+	copyB   []int32
+
+	// Garbled ops, in table-emission order (ascending gate index — the
+	// serial emission order every worker count reproduces). gate is the
+	// producing gate's index, which keys the table's unique gid.
+	garbKind []uint8
+	garbOp   []uint8
+	garbGate []int32
+	garbOut  []int32
+	garbA    []int32
+	garbB    []int32
+	garbS    []int32
+}
+
+// NumTables returns how many garbled tables this cycle puts on the wire.
+func (ct *CycleTrace) NumTables() int { return len(ct.garbKind) }
+
+// memoryBytes approximates the heap footprint of the cycle's arrays.
+func (ct *CycleTrace) memoryBytes() int {
+	return len(ct.segs)*8 +
+		len(ct.copyAct)*13 + // 1 + 3×4 bytes across the copy arrays
+		len(ct.garbKind)*22 + // 2 + 5×4 bytes across the garble arrays
+		96 // struct and slice headers, amortized
+}
+
+// Trace is a recorded classification schedule for one (circuit, public
+// input, cycle budget, halt flag) tuple, ready for replay by any number of
+// later sessions. A Trace is immutable after TraceRecorder.Finish and safe
+// for concurrent replay.
+type Trace struct {
+	cycles []CycleTrace
+	stats  Stats
+	halted bool
+
+	// Final output-wire states (resolved wires, circuit.OutputWires order):
+	// public outputs carry their value in the trace; secret outputs are
+	// decoded from labels as usual.
+	outW   []circuit.Wire
+	outPub []bool
+	outVal []bool
+
+	bytes int
+}
+
+// NumCycles returns how many cycles the recorded run executed (at most the
+// budget it was recorded under; fewer when the program halted).
+func (t *Trace) NumCycles() int { return len(t.cycles) }
+
+// Cycle returns the compiled schedule of 1-based cycle cyc.
+func (t *Trace) Cycle(cyc int) *CycleTrace { return &t.cycles[cyc-1] }
+
+// TotalStats returns the recorded run's accumulated scheduling statistics
+// — exactly those a fresh Classify run would produce.
+func (t *Trace) TotalStats() Stats { return t.stats }
+
+// Halted reports whether the recorded run stopped at the public halt flag.
+func (t *Trace) Halted() bool { return t.halted }
+
+// NumOutputs returns the number of (flattened) output bits.
+func (t *Trace) NumOutputs() int { return len(t.outW) }
+
+// OutputWire returns the resolved wire of output bit i.
+func (t *Trace) OutputWire(i int) circuit.Wire { return t.outW[i] }
+
+// OutputState returns output bit i's final wire state: val is meaningful
+// only when public is true; secret outputs decode from labels.
+func (t *Trace) OutputState(i int) (val bool, public bool) { return t.outVal[i], t.outPub[i] }
+
+// MemoryBytes approximates the trace's heap footprint — what a bounded
+// trace cache charges against its budget.
+func (t *Trace) MemoryBytes() int { return t.bytes }
+
+// Validate checks a replay request's cycle budget against the budget the
+// trace was recorded under. The budget shapes the schedule itself — the
+// last budget cycle classifies with final-cycle fanouts (flip-flop
+// next-state values are not consumers) — so a trace only replays under the
+// exact budget it was recorded with.
+func (t *Trace) Validate(cycles int) error {
+	switch {
+	case len(t.cycles) == 0:
+		return fmt.Errorf("core: empty trace")
+	case len(t.cycles) > cycles:
+		return fmt.Errorf("core: trace of %d cycles exceeds budget %d", len(t.cycles), cycles)
+	case !t.halted && len(t.cycles) != cycles:
+		return fmt.Errorf("core: trace recorded under budget %d cannot replay under %d", len(t.cycles), cycles)
+	}
+	return nil
+}
+
+// TraceRecorder compiles a classified run into a Trace as it executes.
+// Call RecordCycle after every Scheduler.Classify (any worker count — the
+// settled schedule is identical), then Finish after the last cycle, before
+// abandoning the scheduler. Recording walks the same per-gate state the
+// executors walk, so it adds one linear pass per cycle and nothing to the
+// crypto path.
+type TraceRecorder struct {
+	s *Scheduler
+	t *Trace
+}
+
+// NewTraceRecorder starts recording s's run.
+func NewTraceRecorder(s *Scheduler) *TraceRecorder {
+	return &TraceRecorder{s: s, t: &Trace{}}
+}
+
+// RecordCycle compiles the current classified cycle (between Classify and
+// Commit). halted is the public halt verdict for this cycle — replay obeys
+// it instead of re-deriving wire states.
+func (r *TraceRecorder) RecordCycle(cs CycleStats, halted bool) {
+	s := r.s
+	c := s.C
+	ct := CycleTrace{Stats: cs, Halted: halted}
+	var seg traceSeg
+	flush := func() {
+		if seg.copies != 0 || seg.garbles != 0 {
+			ct.segs = append(ct.segs, seg)
+			seg = traceSeg{}
+		}
+	}
+	addCopy := func(act uint8, out, a, b int32) {
+		if seg.garbles > 0 {
+			flush()
+		}
+		seg.copies++
+		ct.copyAct = append(ct.copyAct, act)
+		ct.copyOut = append(ct.copyOut, out)
+		ct.copyA = append(ct.copyA, a)
+		ct.copyB = append(ct.copyB, b)
+	}
+	addGarb := func(kind, op uint8, gate, out, a, b, sw int32) {
+		seg.garbles++
+		ct.garbKind = append(ct.garbKind, kind)
+		ct.garbOp = append(ct.garbOp, op)
+		ct.garbGate = append(ct.garbGate, gate)
+		ct.garbOut = append(ct.garbOut, out)
+		ct.garbA = append(ct.garbA, a)
+		ct.garbB = append(ct.garbB, b)
+		ct.garbS = append(ct.garbS, sw)
+	}
+	for i := range c.Gates {
+		if s.fan[i] <= 0 {
+			continue
+		}
+		g := &c.Gates[i]
+		out := int32(c.GateBase) + int32(i)
+		switch s.act[i] {
+		case actPub:
+			// unreachable: setPub zeroes the gate's fanout
+		case actCopyA:
+			addCopy(topCopy, out, int32(g.A), 0)
+		case actCopyAInv:
+			addCopy(topCopyInv, out, int32(g.A), 0)
+		case actCopyB:
+			addCopy(topCopy, out, int32(g.B), 0)
+		case actCopyBInv:
+			addCopy(topCopyInv, out, int32(g.B), 0)
+		case actCopyS:
+			addCopy(topCopy, out, int32(g.S), 0)
+		case actCopySInv:
+			addCopy(topCopyInv, out, int32(g.S), 0)
+		case actXor:
+			if g.Op == circuit.XNOR {
+				addCopy(topXorInv, out, int32(g.A), int32(g.B))
+			} else {
+				addCopy(topXor, out, int32(g.A), int32(g.B))
+			}
+		case actMuxXor:
+			addCopy(topXor, out, int32(g.S), int32(g.A))
+		case actGarble:
+			if g.Op != circuit.MUX {
+				addGarb(tgGate, uint8(g.Op), int32(i), out, int32(g.A), int32(g.B), 0)
+				break
+			}
+			// Bake the MUX shape garbleMux/evalMux derive from wire states.
+			sa, sb := s.st[g.A], s.st[g.B]
+			switch {
+			case sa == stSecret && sb == stSecret:
+				addGarb(tgMux, 0, int32(i), out, int32(g.A), int32(g.B), int32(g.S))
+			case sa != stSecret:
+				kind := uint8(tgAndFF)
+				if sa == stPub1 {
+					kind = tgAndFTT
+				}
+				addGarb(kind, 0, int32(i), out, int32(g.S), int32(g.B), 0)
+			default:
+				kind := uint8(tgAndTFF)
+				if sb == stPub1 {
+					kind = tgAndTTT
+				}
+				addGarb(kind, 0, int32(i), out, int32(g.S), int32(g.A), 0)
+			}
+		}
+	}
+	flush()
+	r.t.cycles = append(r.t.cycles, ct)
+	r.t.stats.Cycles++
+	r.t.stats.Total.Add(cs)
+	r.t.bytes += ct.memoryBytes()
+}
+
+// Finish snapshots the final output-wire states and seals the trace. Call
+// it after the last recorded cycle; the resolved output wires it reads are
+// untouched by Commit, so calling before or after the final Commit is
+// equivalent.
+func (r *TraceRecorder) Finish(halted bool) *Trace {
+	s, t := r.s, r.t
+	for _, w := range s.C.OutputWires() {
+		rw := s.C.ResolveOutput(w)
+		v, pub := s.WireState(rw)
+		t.outW = append(t.outW, rw)
+		t.outPub = append(t.outPub, pub)
+		t.outVal = append(t.outVal, v)
+	}
+	t.halted = halted
+	t.bytes += len(t.outW) * 6
+	return t
+}
+
+// NewReplayGarbler creates Alice's executor for trace replay: no
+// scheduler, labels drawn from rnd in exactly the order NewGarbler draws
+// them, so a replaying garbler with the same randomness emits the same
+// labels — and therefore the same wire bytes — as a classifying one.
+func NewReplayGarbler(c *circuit.Circuit, rnd io.Reader) *Garbler {
+	return newGarbler(c, nil, rnd)
+}
+
+// NewReplayEvaluator creates Bob's executor for trace replay.
+func NewReplayEvaluator(c *circuit.Circuit) *Evaluator {
+	return newEvaluator(c, nil)
+}
+
+// GarbleCycleTrace garbles 1-based cycle cyc from a recorded trace,
+// appending the cycle's tables to dst in emission order. It never consults
+// a scheduler: the compiled op arrays drive label work directly, which is
+// the entire point of trace reuse — the per-cycle cost collapses to the
+// label XORs and the fixed-key-AES of surviving garbled gates.
+func (g *Garbler) GarbleCycleTrace(ct *CycleTrace, cyc int, dst []gc.Table) []gc.Table {
+	base := uint64(cyc-1) * uint64(len(g.c.Gates))
+	x0, r := g.x0, g.R
+	ci, gi := 0, 0
+	for _, seg := range ct.segs {
+		for end := ci + int(seg.copies); ci < end; ci++ {
+			out := ct.copyOut[ci]
+			switch ct.copyAct[ci] {
+			case topCopy:
+				x0[out] = x0[ct.copyA[ci]]
+			case topCopyInv:
+				x0[out] = x0[ct.copyA[ci]].Xor(r)
+			case topXor:
+				x0[out] = x0[ct.copyA[ci]].Xor(x0[ct.copyB[ci]])
+			default: // topXorInv
+				x0[out] = x0[ct.copyA[ci]].Xor(x0[ct.copyB[ci]]).Xor(r)
+			}
+		}
+		for end := gi + int(seg.garbles); gi < end; gi++ {
+			gid := base + uint64(ct.garbGate[gi])
+			a, b := x0[ct.garbA[gi]], x0[ct.garbB[gi]]
+			var c0 gc.Label
+			var t gc.Table
+			switch ct.garbKind[gi] {
+			case tgGate:
+				c0, t = gc.GarbleGate(g.h, r, circuit.Op(ct.garbOp[gi]), a, b, gid)
+			case tgMux:
+				c0, t = gc.GarbleMux(g.h, r, x0[ct.garbS[gi]], a, b, gid)
+			case tgAndFF:
+				c0, t = gc.GarbleAndInv(g.h, r, a, b, gid, false, false, false)
+			case tgAndFTT:
+				c0, t = gc.GarbleAndInv(g.h, r, a, b, gid, false, true, true)
+			case tgAndTFF:
+				c0, t = gc.GarbleAndInv(g.h, r, a, b, gid, true, false, false)
+			default: // tgAndTTT
+				c0, t = gc.GarbleAndInv(g.h, r, a, b, gid, true, true, true)
+			}
+			x0[ct.garbOut[gi]] = c0
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+// GarbleCycleTraceAppend is GarbleCycleTrace serializing straight into a
+// payload buffer (TG then TE per table), mirroring GarbleCycleAppend.
+func (g *Garbler) GarbleCycleTraceAppend(ct *CycleTrace, cyc int, dst []byte) []byte {
+	g.scratch = g.GarbleCycleTrace(ct, cyc, g.scratch[:0])
+	for _, t := range g.scratch {
+		tg, te := t.TG.Bytes(), t.TE.Bytes()
+		dst = append(dst, tg[:]...)
+		dst = append(dst, te[:]...)
+	}
+	return dst
+}
+
+// EvalCycleTrace evaluates 1-based cycle cyc from a recorded trace,
+// consuming tables from ts in order and returning the remainder.
+func (e *Evaluator) EvalCycleTrace(ct *CycleTrace, cyc int, ts []gc.Table) ([]gc.Table, error) {
+	if len(ts) < len(ct.garbKind) {
+		return nil, fmt.Errorf("core: table stream exhausted: cycle %d replay needs %d tables, have %d",
+			cyc, len(ct.garbKind), len(ts))
+	}
+	base := uint64(cyc-1) * uint64(len(e.c.Gates))
+	x := e.x
+	ci, gi := 0, 0
+	for _, seg := range ct.segs {
+		for end := ci + int(seg.copies); ci < end; ci++ {
+			out := ct.copyOut[ci]
+			// The evaluator holds active labels: inversions are the
+			// garbler's business, so the four copy codes collapse to two.
+			if ct.copyAct[ci] < topXor {
+				x[out] = x[ct.copyA[ci]]
+			} else {
+				x[out] = x[ct.copyA[ci]].Xor(x[ct.copyB[ci]])
+			}
+		}
+		for end := gi + int(seg.garbles); gi < end; gi++ {
+			gid := base + uint64(ct.garbGate[gi])
+			t := ts[gi]
+			a, b := x[ct.garbA[gi]], x[ct.garbB[gi]]
+			switch ct.garbKind[gi] {
+			case tgGate:
+				x[ct.garbOut[gi]] = gc.EvalGate(e.h, circuit.Op(ct.garbOp[gi]), a, b, t, gid)
+			case tgMux:
+				x[ct.garbOut[gi]] = gc.EvalMux(e.h, x[ct.garbS[gi]], a, b, t, gid)
+			default: // the AndInv shapes all evaluate as a half-gates AND
+				x[ct.garbOut[gi]] = gc.EvalAnd(e.h, a, b, t, gid)
+			}
+		}
+	}
+	return ts[len(ct.garbKind):], nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/circuit/circtest"
+	"arm2gc/internal/sim"
+)
+
+// recordCycles runs a classified garble run like garbleCycles while
+// compiling the trace, returning both the observed frames and the trace.
+func recordCycles(t *testing.T, c *circuit.Circuit, pub []bool, cycles, workers int, rndSeed int64) (garbleRun, *Trace) {
+	t.Helper()
+	s := NewScheduler(c, Seed{1, 2, 3}, pub)
+	if err := s.SetWorkers(workers); err != nil {
+		t.Fatalf("SetWorkers(%d): %v", workers, err)
+	}
+	g := NewGarbler(s, rand.New(rand.NewSource(rndSeed)))
+	rec := NewTraceRecorder(s)
+	var run garbleRun
+	for cyc := 1; cyc <= cycles; cyc++ {
+		cs := s.Classify(cyc == cycles)
+		rec.RecordCycle(cs, false)
+		run.stats = append(run.stats, cs)
+		run.frames = append(run.frames, g.GarbleCycleAppend(nil))
+		g.CopyDFFs()
+		s.Commit()
+	}
+	return run, rec.Finish(false)
+}
+
+// TestTraceReplayByteIdentical is the tentpole's correctness anchor in
+// core: a trace recorded under any worker count, replayed with the same
+// label randomness, must emit exactly the bytes the classified garbler
+// emits, cycle for cycle — and report the classified run's statistics.
+func TestTraceReplayByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		c, _, _ := circtest.Random(rng, 100+rng.Intn(900), 5+rng.Intn(30))
+		pub := circtest.RandBits(rng, c.PublicBits)
+		const cycles = 6
+		for _, workers := range []int{1, 4} {
+			classified, tr := recordCycles(t, c, pub, cycles, workers, 4321)
+			if err := tr.Validate(cycles); err != nil {
+				t.Fatalf("trial %d: Validate: %v", trial, err)
+			}
+			g := NewReplayGarbler(c, rand.New(rand.NewSource(4321)))
+			for cyc := 1; cyc <= cycles; cyc++ {
+				ct := tr.Cycle(cyc)
+				if ct.Stats != classified.stats[cyc-1] {
+					t.Fatalf("trial %d, workers %d: cycle %d stats differ: trace %+v classified %+v",
+						trial, workers, cyc, ct.Stats, classified.stats[cyc-1])
+				}
+				frame := g.GarbleCycleTraceAppend(ct, cyc, nil)
+				if !bytes.Equal(frame, classified.frames[cyc-1]) {
+					t.Fatalf("trial %d, workers %d: cycle %d replay bytes differ (%d vs %d bytes)",
+						trial, workers, cyc, len(frame), len(classified.frames[cyc-1]))
+				}
+				if ct.NumTables()*32 != len(frame) {
+					t.Fatalf("trial %d: cycle %d NumTables %d does not match %d frame bytes",
+						trial, cyc, ct.NumTables(), len(frame))
+				}
+				g.CopyDFFs()
+			}
+		}
+	}
+}
+
+// TestRunLocalTraceRecordReplay records a trace through RunLocal and
+// replays it under different label randomness and a different fingerprint
+// seed: outputs, statistics and memory accounting must line up — the
+// cross-session reuse the Engine's trace cache is built on.
+func TestRunLocalTraceRecordReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ctx := context.Background()
+	for trial := 0; trial < 8; trial++ {
+		c, aBits, bBits := circtest.Random(rng, 80+rng.Intn(600), 3+rng.Intn(20))
+		pub := circtest.RandBits(rng, c.PublicBits)
+		in := sim.Inputs{
+			Public: pub,
+			Alice:  circtest.RandBits(rng, aBits),
+			Bob:    circtest.RandBits(rng, bBits),
+		}
+		const cycles = 5
+		recorded, err := RunLocal(ctx, c, in, RunOpts{
+			Cycles: cycles, Seed: Seed{9}, Rand: rand.New(rand.NewSource(1)), Record: true,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: record run: %v", trial, err)
+		}
+		if recorded.Trace == nil {
+			t.Fatalf("trial %d: Record set but no trace returned", trial)
+		}
+		if recorded.Trace.MemoryBytes() <= 0 {
+			t.Fatalf("trial %d: trace reports %d bytes", trial, recorded.Trace.MemoryBytes())
+		}
+		if got := recorded.Trace.TotalStats(); got != recorded.Stats {
+			t.Fatalf("trial %d: trace stats %+v, run stats %+v", trial, got, recorded.Stats)
+		}
+		replayed, err := RunLocal(ctx, c, in, RunOpts{
+			Cycles: cycles, Seed: Seed{42}, Rand: rand.New(rand.NewSource(2)), Trace: recorded.Trace,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: replay run: %v", trial, err)
+		}
+		if replayed.Stats != recorded.Stats {
+			t.Fatalf("trial %d: replay stats %+v, recorded %+v", trial, replayed.Stats, recorded.Stats)
+		}
+		if len(replayed.Outputs) != len(recorded.Outputs) {
+			t.Fatalf("trial %d: replay %d outputs, recorded %d", trial, len(replayed.Outputs), len(recorded.Outputs))
+		}
+		for i := range recorded.Outputs {
+			if replayed.Outputs[i] != recorded.Outputs[i] {
+				t.Fatalf("trial %d: output %d differs under replay", trial, i)
+			}
+		}
+	}
+}
+
+// TestTraceValidate pins the budget guard: a trace only replays under the
+// exact cycle budget it was recorded with.
+func TestTraceValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c, _, _ := circtest.Random(rng, 200, 8)
+	pub := circtest.RandBits(rng, c.PublicBits)
+	_, tr := recordCycles(t, c, pub, 4, 1, 1)
+	if err := tr.Validate(4); err != nil {
+		t.Fatalf("Validate(4): %v", err)
+	}
+	if err := tr.Validate(3); err == nil {
+		t.Fatalf("Validate(3) accepted a 4-cycle non-halted trace")
+	}
+	if err := tr.Validate(5); err == nil {
+		t.Fatalf("Validate(5) accepted a trace recorded under budget 4")
+	}
+	if err := (&Trace{}).Validate(1); err == nil {
+		t.Fatalf("Validate accepted an empty trace")
+	}
+}
+
+// TestSetWorkersAfterClassify pins the satellite fix: the worker count is
+// fixed once classification starts.
+func TestSetWorkersAfterClassify(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c, _, _ := circtest.Random(rng, 150, 4)
+	pub := circtest.RandBits(rng, c.PublicBits)
+	s := NewScheduler(c, Seed{}, pub)
+	if err := s.SetWorkers(2); err != nil {
+		t.Fatalf("SetWorkers before Classify: %v", err)
+	}
+	s.Classify(false)
+	if err := s.SetWorkers(4); err == nil {
+		t.Fatalf("SetWorkers after Classify succeeded; want error")
+	}
+	if got := s.Workers(); got != 2 {
+		t.Fatalf("failed SetWorkers changed the worker count to %d", got)
+	}
+}
+
+// TestRunLocalTraceRecordExclusive pins the Record×Trace guard.
+func TestRunLocalTraceRecordExclusive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c, aBits, bBits := circtest.Random(rng, 120, 4)
+	in := sim.Inputs{
+		Public: circtest.RandBits(rng, c.PublicBits),
+		Alice:  circtest.RandBits(rng, aBits),
+		Bob:    circtest.RandBits(rng, bBits),
+	}
+	res, err := RunLocal(context.Background(), c, in, RunOpts{Cycles: 2, Record: true})
+	if err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	if _, err := RunLocal(context.Background(), c, in, RunOpts{Cycles: 2, Record: true, Trace: res.Trace}); err == nil {
+		t.Fatalf("Record together with Trace succeeded; want error")
+	}
+}

@@ -1,0 +1,155 @@
+package cpu
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"arm2gc/internal/circuit/circtest"
+	"arm2gc/internal/core"
+	"arm2gc/internal/sim"
+)
+
+// makeTrace records a small real trace to exercise the cache with honest
+// MemoryBytes accounting.
+func makeTrace(t *testing.T, seed int64, cycles int) *core.Trace {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c, aBits, bBits := circtest.Random(rng, 200, 6)
+	in := sim.Inputs{
+		Public: circtest.RandBits(rng, c.PublicBits),
+		Alice:  circtest.RandBits(rng, aBits),
+		Bob:    circtest.RandBits(rng, bBits),
+	}
+	res, err := core.RunLocal(context.Background(), c, in, core.RunOpts{Cycles: cycles, Record: true})
+	if err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	return res.Trace
+}
+
+func key(b byte) TraceKey {
+	var k TraceKey
+	k.Pub[0] = b
+	k.Cycles = 4
+	return k
+}
+
+func TestTraceCacheSingleflight(t *testing.T) {
+	tr := makeTrace(t, 1, 4)
+	c := NewTraceCache(0)
+	k := key(1)
+	if !c.BeginRecord(k) {
+		t.Fatalf("first BeginRecord refused")
+	}
+	if c.BeginRecord(k) {
+		t.Fatalf("second BeginRecord granted while the slot is held")
+	}
+	if c.Lookup(k) != nil {
+		t.Fatalf("Lookup returned a trace while recording is in flight")
+	}
+	c.Abort(k)
+	if !c.BeginRecord(k) {
+		t.Fatalf("BeginRecord refused after Abort")
+	}
+	c.Commit(k, tr)
+	if got := c.Lookup(k); got != tr {
+		t.Fatalf("Lookup after Commit = %v, want the committed trace", got)
+	}
+	if c.BeginRecord(k) {
+		t.Fatalf("BeginRecord granted for a committed key")
+	}
+	if c.Recordings() != 2 || c.Replays() != 1 {
+		t.Fatalf("recordings %d replays %d, want 2 and 1", c.Recordings(), c.Replays())
+	}
+}
+
+func TestTraceCacheSingleflightConcurrent(t *testing.T) {
+	c := NewTraceCache(0)
+	k := key(9)
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c.BeginRecord(k) {
+				wins.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("%d goroutines won the recording slot, want exactly 1", wins.Load())
+	}
+}
+
+func TestTraceCacheLRUEviction(t *testing.T) {
+	tr := makeTrace(t, 2, 4)
+	size := int64(tr.MemoryBytes())
+	c := NewTraceCache(2*size + size/2) // room for two committed traces
+	k1, k2, k3 := key(1), key(2), key(3)
+	for _, k := range []TraceKey{k1, k2} {
+		if !c.BeginRecord(k) {
+			t.Fatalf("BeginRecord(%v) refused", k.Pub[0])
+		}
+		c.Commit(k, tr)
+	}
+	if c.Lookup(k1) == nil { // refresh k1: k2 becomes the LRU victim
+		t.Fatalf("k1 missing after commit")
+	}
+	if !c.BeginRecord(k3) {
+		t.Fatalf("BeginRecord(k3) refused")
+	}
+	c.Commit(k3, tr)
+	if c.Lookup(k2) != nil {
+		t.Fatalf("k2 survived; want it evicted as the least recently replayed")
+	}
+	if c.Lookup(k1) == nil || c.Lookup(k3) == nil {
+		t.Fatalf("k1/k3 missing after eviction")
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions())
+	}
+	if got := c.Bytes(); got != 2*size {
+		t.Fatalf("cache holds %d bytes, want %d", got, 2*size)
+	}
+}
+
+func TestTraceCacheOversizedCommitDropped(t *testing.T) {
+	tr := makeTrace(t, 3, 4)
+	c := NewTraceCache(1) // nothing fits
+	k := key(5)
+	if !c.BeginRecord(k) {
+		t.Fatalf("BeginRecord refused")
+	}
+	c.Commit(k, tr)
+	if c.Lookup(k) != nil {
+		t.Fatalf("oversized trace was cached")
+	}
+	if !c.BeginRecord(k) {
+		t.Fatalf("slot not reclaimable after an oversized commit was dropped")
+	}
+	if c.Bytes() != 0 {
+		t.Fatalf("cache charges %d bytes for a dropped trace", c.Bytes())
+	}
+}
+
+func TestTracePubDigest(t *testing.T) {
+	a := TracePubDigest([]bool{true, false, true})
+	b := TracePubDigest([]bool{true, false, false})
+	if a == b {
+		t.Fatalf("distinct bit vectors digest equal")
+	}
+	// Equal packed bytes, different lengths: the length tail must split them.
+	c := TracePubDigest([]bool{true})
+	d := TracePubDigest([]bool{true, false})
+	if c == d {
+		t.Fatalf("distinct lengths digest equal")
+	}
+	if TracePubDigest(nil) == TracePubDigest([]bool{false}) {
+		t.Fatalf("nil and one-zero-bit digest equal")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	mrand "math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -122,5 +123,58 @@ func TestPipelineOverlapsComputeWithIO(t *testing.T) {
 	// evaluator at cycle 15-16 by then.
 	if got := evalAtGarbleDone.Load(); got >= 14 {
 		t.Errorf("no overlap: evaluator already at cycle %d when the garbler classified its last cycle", got)
+	}
+}
+
+// TestPipelinedStatsSinkOrdered pins the Sink contract under pipelining:
+// the producer goroutine emits every cycle's stats exactly once, in cycle
+// order, and they match the serial run's stats cycle for cycle. Run with
+// -race, this also proves the sink callback is safe to observe from the
+// caller's side once the run returns.
+func TestPipelinedStatsSinkOrdered(t *testing.T) {
+	cfg, alice, bob := multiCycleConfig(t, 1)
+
+	collect := func(role string, pipeline int) []core.CycleStats {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		var stats []core.CycleStats
+		sink := func(cyc int, cs core.CycleStats) {
+			mu.Lock()
+			defer mu.Unlock()
+			seen[cyc]++
+			if cyc != len(stats)+1 {
+				t.Errorf("%s pipeline %d: sink saw cycle %d after %d cycles", role, pipeline, cyc, len(stats))
+			}
+			stats = append(stats, cs)
+		}
+		cfgG, cfgE := cfg, cfg
+		cfgG.Pipeline = pipeline
+		if role == "garbler" {
+			cfgG.Sink = sink
+		} else {
+			cfgE.Sink = sink
+		}
+		runBothAsym(t, cfgG, cfgE, alice, bob, 21)
+		mu.Lock()
+		defer mu.Unlock()
+		if len(stats) != cfg.Cycles {
+			t.Fatalf("%s pipeline %d: sink fired %d times, want %d", role, pipeline, len(stats), cfg.Cycles)
+		}
+		for cyc := 1; cyc <= cfg.Cycles; cyc++ {
+			if seen[cyc] != 1 {
+				t.Fatalf("%s pipeline %d: cycle %d reported %d times, want exactly once", role, pipeline, cyc, seen[cyc])
+			}
+		}
+		return stats
+	}
+
+	for _, role := range []string{"garbler", "evaluator"} {
+		serial := collect(role, 0)
+		pipelined := collect(role, 4)
+		for cyc := range serial {
+			if serial[cyc] != pipelined[cyc] {
+				t.Fatalf("%s cycle %d stats differ: serial %+v pipelined %+v", role, cyc+1, serial[cyc], pipelined[cyc])
+			}
+		}
 	}
 }

@@ -81,6 +81,20 @@ type Config struct {
 	// classified, on both roles.
 	Sink func(cycle int, cs core.CycleStats)
 
+	// Trace, when set, replays a recorded classification schedule instead
+	// of running the SkipGate scheduler: the role walks the compiled gate
+	// list, collapsing its hot path to fixed-key-AES label work. The trace
+	// must come from the same (circuit, public input, cycle budget, halt
+	// flag) tuple — see core.Trace. The wire stream is byte-identical to a
+	// classified run's, so the knob is local like Workers and Pipeline: it
+	// is not part of the session id, and a replaying role interoperates
+	// with a classifying peer.
+	Trace *core.Trace
+
+	// Record, when set, compiles this run's classification schedule into
+	// Result.Trace for later replay. Mutually exclusive with Trace.
+	Record bool
+
 	// tapTables is a test hook: the evaluator calls it with every raw
 	// msgTables payload it receives, in arrival order.
 	tapTables func(payload []byte)
@@ -268,6 +282,10 @@ type Result struct {
 	// TableFrames is the number of msgTables frames that crossed the
 	// wire; with CycleBatch > 1 it is ~Cycles/CycleBatch.
 	TableFrames int
+
+	// Trace is the recorded classification schedule when Config.Record
+	// was set and the run completed.
+	Trace *core.Trace
 }
 
 // RunGarbler plays Alice.
@@ -305,9 +323,31 @@ func runGarbler(ctx context.Context, conn io.ReadWriter, cfg Config, aliceInput 
 		return nil, fmt.Errorf("proto: evaluator session mismatch")
 	}
 
-	s := core.NewScheduler(cfg.Circuit, seed, cfg.Public)
-	s.SetWorkers(cfg.Workers)
-	g := core.NewGarbler(s, rnd)
+	// The replaying garbler draws its seed and labels from rnd in exactly
+	// the classified order, so given the same randomness the two paths put
+	// the same bytes on the wire from the hello frame onward. The seed
+	// still matters to a classifying peer; replay itself never uses it.
+	var s *core.Scheduler
+	var rec *core.TraceRecorder
+	var g *core.Garbler
+	if cfg.Trace != nil {
+		if cfg.Record {
+			return nil, fmt.Errorf("proto: Record with Trace: a replayed run has no scheduler to record")
+		}
+		if err := cfg.Trace.Validate(cfg.Cycles); err != nil {
+			return nil, err
+		}
+		g = core.NewReplayGarbler(cfg.Circuit, rnd)
+	} else {
+		s = core.NewScheduler(cfg.Circuit, seed, cfg.Public)
+		if err := s.SetWorkers(cfg.Workers); err != nil {
+			return nil, err
+		}
+		g = core.NewGarbler(s, rnd)
+		if cfg.Record {
+			rec = core.NewTraceRecorder(s)
+		}
+	}
 	if err := writeFrame(conn, msgAliceLabels, packLabels(g.AliceActiveLabels(aliceInput))); err != nil {
 		return nil, err
 	}
@@ -317,14 +357,36 @@ func runGarbler(ctx context.Context, conn io.ReadWriter, cfg Config, aliceInput 
 
 	res := &Result{}
 	run := newRun(cfg)
-	if err := garbleStream(ctx, conn, cfg, s, g, run, res); err != nil {
+	if err := garbleStream(ctx, conn, cfg, s, g, run, res, rec); err != nil {
 		return nil, err
+	}
+	if rec != nil {
+		res.Trace = rec.Finish(res.Halted)
+	}
+
+	// state reads output bit i's final public/secret verdict — from the
+	// scheduler, or from the trace in replay (the trace records the same
+	// resolved wires newRun derives).
+	state := func(i int) (bool, bool) {
+		if cfg.Trace != nil {
+			return cfg.Trace.OutputState(i)
+		}
+		return s.WireState(run.outWires[i])
+	}
+	decodeBits := func() []bool {
+		d := make([]bool, len(run.outWires))
+		for i, w := range run.outWires {
+			if _, pub := state(i); !pub {
+				d[i] = g.DecodeBit(w)
+			}
+		}
+		return d
 	}
 
 	switch cfg.Outputs {
 	case OutputEvaluatorOnly:
 		// Send decode bits; learn nothing back.
-		if err := writeFrame(conn, msgDecode, packBits(run.decodeBits(s, g))); err != nil {
+		if err := writeFrame(conn, msgDecode, packBits(decodeBits())); err != nil {
 			return nil, err
 		}
 	case OutputGarblerOnly:
@@ -337,7 +399,7 @@ func runGarbler(ctx context.Context, conn io.ReadWriter, cfg Config, aliceInput 
 		bits := unpackBits(perm, len(run.outWires))
 		out := make([]bool, len(run.outWires))
 		for i, w := range run.outWires {
-			if v, pub := s.WireState(w); pub {
+			if v, pub := state(i); pub {
 				out[i] = v
 			} else {
 				out[i] = bits[i] != g.DecodeBit(w)
@@ -346,7 +408,7 @@ func runGarbler(ctx context.Context, conn io.ReadWriter, cfg Config, aliceInput 
 		res.Outputs = out
 	default:
 		// Both learn: send decode bits, receive final values.
-		if err := writeFrame(conn, msgDecode, packBits(run.decodeBits(s, g))); err != nil {
+		if err := writeFrame(conn, msgDecode, packBits(decodeBits())); err != nil {
 			return nil, err
 		}
 		vals, err := readFrame(conn, msgOutputs)
@@ -387,9 +449,27 @@ func runEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput 
 		return nil, err
 	}
 
-	s := core.NewScheduler(cfg.Circuit, seed, cfg.Public)
-	s.SetWorkers(cfg.Workers)
-	e := core.NewEvaluator(s)
+	var s *core.Scheduler
+	var rec *core.TraceRecorder
+	var e *core.Evaluator
+	if cfg.Trace != nil {
+		if cfg.Record {
+			return nil, fmt.Errorf("proto: Record with Trace: a replayed run has no scheduler to record")
+		}
+		if err := cfg.Trace.Validate(cfg.Cycles); err != nil {
+			return nil, err
+		}
+		e = core.NewReplayEvaluator(cfg.Circuit)
+	} else {
+		s = core.NewScheduler(cfg.Circuit, seed, cfg.Public)
+		if err := s.SetWorkers(cfg.Workers); err != nil {
+			return nil, err
+		}
+		e = core.NewEvaluator(s)
+		if cfg.Record {
+			rec = core.NewTraceRecorder(s)
+		}
+	}
 	aliceBytes, err := readFrame(conn, msgAliceLabels)
 	if err != nil {
 		return nil, err
@@ -408,67 +488,30 @@ func runEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput 
 
 	res := &Result{}
 	run := newRun(cfg)
-	batch := cfg.batch()
-	var pending []gc.Table // tables of the current frame not yet consumed
-	inBatch := 0
-	for cyc := 1; cyc <= cfg.Cycles; cyc++ {
-		if err := ctx.Err(); err != nil {
+	if cfg.Trace != nil {
+		if err := evalStreamReplay(ctx, conn, cfg, e, res); err != nil {
 			return nil, err
 		}
-		final := cyc == cfg.Cycles
-		cs := s.Classify(final)
-		res.Stats.Total.Add(cs)
-		res.Stats.Cycles++
-		if cfg.Sink != nil {
-			cfg.Sink(cyc, cs)
-		}
-		if inBatch == 0 {
-			// Batch start: the garbler sends one frame covering the next
-			// CycleBatch cycles (fewer at the halt/budget edge).
-			payload, err := readFrame(conn, msgTables)
-			if err != nil {
-				return nil, err
-			}
-			if cfg.tapTables != nil {
-				cfg.tapTables(payload)
-			}
-			res.TableFrames++
-			if len(payload)%gc.TableBytes != 0 {
-				return nil, fmt.Errorf("proto: cycle %d: ragged table frame of %d bytes", cyc, len(payload))
-			}
-			pending = make([]gc.Table, len(payload)/gc.TableBytes)
-			for i := range pending {
-				pending[i].TG = gc.LabelFromBytes(payload[i*gc.TableBytes:])
-				pending[i].TE = gc.LabelFromBytes(payload[i*gc.TableBytes+16:])
-			}
-		}
-		pending, err = e.EvalCycle(pending)
-		if err != nil {
-			return nil, err
-		}
-		inBatch++
-		halted := run.stopped(s)
-		if inBatch == batch || final || halted {
-			if len(pending) != 0 {
-				return nil, fmt.Errorf("proto: cycle %d: %d unconsumed tables at batch end", cyc, len(pending))
-			}
-			inBatch = 0
-		}
-		if halted {
-			res.Halted = true
-			break
-		}
-		e.CopyDFFs()
-		s.Commit()
+	} else if err := evalStream(ctx, conn, cfg, s, e, run, res, rec); err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		res.Trace = rec.Finish(res.Halted)
 	}
 
+	state := func(i int) (bool, bool) {
+		if cfg.Trace != nil {
+			return cfg.Trace.OutputState(i)
+		}
+		return s.WireState(run.outWires[i])
+	}
 	switch cfg.Outputs {
 	case OutputGarblerOnly:
 		// Send only the active labels' permute bits; without the decode
 		// bits they reveal nothing to us and everything to the garbler.
 		perm := make([]bool, len(run.outWires))
 		for i, w := range run.outWires {
-			if _, pub := s.WireState(w); !pub {
+			if _, pub := state(i); !pub {
 				perm[i] = e.ActiveBit(w)
 			}
 		}
@@ -483,7 +526,7 @@ func runEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput 
 		decode := unpackBits(decBytes, len(run.outWires))
 		out := make([]bool, len(run.outWires))
 		for i, w := range run.outWires {
-			if v, pub := s.WireState(w); pub {
+			if v, pub := state(i); pub {
 				out[i] = v
 			} else {
 				out[i] = e.ActiveBit(w) != decode[i]
@@ -497,6 +540,129 @@ func runEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput 
 		res.Outputs = out
 	}
 	return res, nil
+}
+
+// evalStream is the evaluator's classified cycle loop: classify, read a
+// table frame at each batch start, evaluate, and optionally record the
+// schedule for later replay.
+func evalStream(ctx context.Context, conn io.ReadWriter, cfg Config, s *core.Scheduler, e *core.Evaluator, run *runState, res *Result, rec *core.TraceRecorder) error {
+	batch := cfg.batch()
+	var pending []gc.Table // tables of the current frame not yet consumed
+	inBatch := 0
+	for cyc := 1; cyc <= cfg.Cycles; cyc++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		final := cyc == cfg.Cycles
+		cs := s.Classify(final)
+		res.Stats.Total.Add(cs)
+		res.Stats.Cycles++
+		if cfg.Sink != nil {
+			cfg.Sink(cyc, cs)
+		}
+		// The halt verdict is schedule-only, so it is known right after
+		// Classify — and the recorder compiles it into the trace.
+		halted := run.stopped(s)
+		if rec != nil {
+			rec.RecordCycle(cs, halted)
+		}
+		if inBatch == 0 {
+			// Batch start: the garbler sends one frame covering the next
+			// CycleBatch cycles (fewer at the halt/budget edge).
+			var err error
+			pending, err = readTables(conn, cfg, res, cyc)
+			if err != nil {
+				return err
+			}
+		}
+		var err error
+		pending, err = e.EvalCycle(pending)
+		if err != nil {
+			return err
+		}
+		inBatch++
+		if inBatch == batch || final || halted {
+			if len(pending) != 0 {
+				return fmt.Errorf("proto: cycle %d: %d unconsumed tables at batch end", cyc, len(pending))
+			}
+			inBatch = 0
+		}
+		if halted {
+			res.Halted = true
+			break
+		}
+		e.CopyDFFs()
+		s.Commit()
+	}
+	return nil
+}
+
+// evalStreamReplay is the evaluator's trace-replay loop: no scheduler,
+// frame boundaries re-derived from the trace exactly where the classified
+// loop would put them (batch edges, the recorded halt, the budget edge).
+func evalStreamReplay(ctx context.Context, conn io.ReadWriter, cfg Config, e *core.Evaluator, res *Result) error {
+	tr := cfg.Trace
+	batch := cfg.batch()
+	var pending []gc.Table
+	inBatch := 0
+	n := tr.NumCycles()
+	for cyc := 1; cyc <= n; cyc++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ct := tr.Cycle(cyc)
+		res.Stats.Total.Add(ct.Stats)
+		res.Stats.Cycles++
+		if cfg.Sink != nil {
+			cfg.Sink(cyc, ct.Stats)
+		}
+		if inBatch == 0 {
+			var err error
+			pending, err = readTables(conn, cfg, res, cyc)
+			if err != nil {
+				return err
+			}
+		}
+		var err error
+		pending, err = e.EvalCycleTrace(ct, cyc, pending)
+		if err != nil {
+			return err
+		}
+		inBatch++
+		if inBatch == batch || cyc == cfg.Cycles || ct.Halted {
+			if len(pending) != 0 {
+				return fmt.Errorf("proto: cycle %d: %d unconsumed tables at batch end", cyc, len(pending))
+			}
+			inBatch = 0
+		}
+		if ct.Halted {
+			res.Halted = true
+			break
+		}
+		e.CopyDFFs()
+	}
+	return nil
+}
+
+// readTables reads and parses one msgTables frame.
+func readTables(conn io.ReadWriter, cfg Config, res *Result, cyc int) ([]gc.Table, error) {
+	payload, err := readFrame(conn, msgTables)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.tapTables != nil {
+		cfg.tapTables(payload)
+	}
+	res.TableFrames++
+	if len(payload)%gc.TableBytes != 0 {
+		return nil, fmt.Errorf("proto: cycle %d: ragged table frame of %d bytes", cyc, len(payload))
+	}
+	tables := make([]gc.Table, len(payload)/gc.TableBytes)
+	for i := range tables {
+		tables[i].TG = gc.LabelFromBytes(payload[i*gc.TableBytes:])
+		tables[i].TE = gc.LabelFromBytes(payload[i*gc.TableBytes+16:])
+	}
+	return tables, nil
 }
 
 // runState holds per-run derived data shared by both roles.
@@ -516,18 +682,6 @@ func newRun(cfg Config) *runState {
 		}
 	}
 	return r
-}
-
-// decodeBits collects the garbler's point-and-permute bits for the secret
-// outputs.
-func (r *runState) decodeBits(s *core.Scheduler, g *core.Garbler) []bool {
-	decode := make([]bool, len(r.outWires))
-	for i, w := range r.outWires {
-		if _, pub := s.WireState(w); !pub {
-			decode[i] = g.DecodeBit(w)
-		}
-	}
-	return decode
 }
 
 // stopped checks the public halt flag after a cycle's classification.

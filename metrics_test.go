@@ -1,0 +1,162 @@
+package arm2gc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"arm2gc/internal/proto"
+)
+
+// shortErrConn returns bytes alongside an error — the partial-transfer
+// shape net.Conn permits and TCP produces when a peer dies mid-read.
+type shortErrConn struct{ net.Conn }
+
+func (shortErrConn) Read(p []byte) (int, error)  { return 3, io.ErrUnexpectedEOF }
+func (shortErrConn) Write(p []byte) (int, error) { return 5, io.ErrClosedPipe }
+
+// TestCountedConnCountsBytesWithError pins partial-transfer accounting:
+// a Read or Write that moves n > 0 bytes and then fails must still count
+// those n bytes — they crossed the wire.
+func TestCountedConnCountsBytesWithError(t *testing.T) {
+	m := &serverMetrics{programs: make(map[string]*programCounters)}
+	c := &countedConn{Conn: shortErrConn{}, m: m}
+
+	n, err := c.Read(make([]byte, 8))
+	if n != 3 || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("Read = (%d, %v), want (3, unexpected EOF)", n, err)
+	}
+	n, err = c.Write(make([]byte, 8))
+	if n != 5 || !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("Write = (%d, %v), want (5, closed pipe)", n, err)
+	}
+	if got := m.bytesRead.Load(); got != 3 {
+		t.Errorf("bytesRead = %d, want 3: bytes delivered before the error were dropped", got)
+	}
+	if got := m.bytesWritten.Load(); got != 5 {
+		t.Errorf("bytesWritten = %d, want 5: bytes sent before the error were dropped", got)
+	}
+}
+
+// waitActiveZero polls until the active-session gauge settles at zero;
+// serveOne decrements it on its way out, which can race the client
+// observing its own end of the session.
+func waitActiveZero(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if srv.Metrics().SessionsActive == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SessionsActive stuck at %d", srv.Metrics().SessionsActive)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServerActiveGaugeStageFailures fails sessions at every stage of
+// serveOne — admission, negotiation, mid-protocol — and checks the
+// active-session gauge returns to zero each time, counts exactly the
+// garbling window on success, and the failure lands in the right
+// counter.
+func TestServerActiveGaugeStageFailures(t *testing.T) {
+	prog := compileAdd(t)
+	eng := NewEngine()
+	srv := NewServer(eng)
+	var activeDuring atomic.Int64
+	if err := srv.Register("add", prog,
+		WithMaxCycles(10_000),
+		WithGarblerInput([]uint32{1}),
+		WithStatsSink(func(CycleUpdate) {
+			// Runs inside the server's garbling loop: the gauge must
+			// show this session.
+			if a := srv.Metrics().SessionsActive; a > activeDuring.Load() {
+				activeDuring.Store(a)
+			}
+		})); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("locked", prog,
+		WithMaxCycles(10_000), WithAuthToken("secret"), WithGarblerInput([]uint32{1})); err != nil {
+		t.Fatal(err)
+	}
+	addr, shutdown := startServer(t, srv)
+	defer shutdown()
+
+	cl, err := Dial(context.Background(), addr, WithClientEngine(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, name := range []string{"add", "locked", "ghost"} {
+		if err := cl.Register(name, prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Stage 1: admission failures — unknown program, then a bad bearer
+	// token. Both are rejections; the gauge never rises.
+	var rej *RejectedError
+	if _, err := cl.Evaluate(context.Background(), "ghost", []uint32{2}); !errors.As(err, &rej) {
+		t.Fatalf("unknown program: got %v, want *RejectedError", err)
+	}
+	if _, err := cl.Evaluate(context.Background(), "locked", []uint32{2},
+		WithAuthToken("wrong")); !errors.As(err, &rej) {
+		t.Fatalf("bad token: got %v, want *RejectedError", err)
+	}
+	m := srv.Metrics()
+	if m.SessionsRejected != 2 || m.SessionsActive != 0 || m.SessionsFailed != 0 {
+		t.Fatalf("after admission failures: %+v", m)
+	}
+
+	// Stage 2: negotiation failure — an over-budget proposal.
+	if _, err := cl.Evaluate(context.Background(), "add", []uint32{2},
+		WithMaxCycles(100_000)); !errors.As(err, &rej) {
+		t.Fatalf("over budget: got %v, want *RejectedError", err)
+	}
+	if m = srv.Metrics(); m.SessionsRejected != 3 || m.SessionsActive != 0 {
+		t.Fatalf("after negotiation failure: %+v", m)
+	}
+
+	// Stage 3: mid-protocol death — win the grant, then hang up while
+	// the server is garbling. The gauge must come back down and the
+	// failure must land in SessionsFailed, not SessionsRejected.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proto.Negotiate(context.Background(), raw, proto.Proposal{Program: "add"}); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().SessionsFailed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("mid-protocol disconnect never counted as a failed session")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitActiveZero(t, srv)
+
+	// Stage 4: success — the gauge shows the session while it garbles
+	// and is back to zero after.
+	info, err := cl.Evaluate(context.Background(), "add", []uint32{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Outputs[0] != 3 {
+		t.Fatalf("sum = %d, want 3", info.Outputs[0])
+	}
+	waitActiveZero(t, srv)
+	if got := activeDuring.Load(); got != 1 {
+		t.Fatalf("gauge read %d during garbling, want 1", got)
+	}
+	if m = srv.Metrics(); m.SessionsServed != 1 || m.SessionsFailed != 1 || m.SessionsRejected != 3 {
+		t.Fatalf("final counters: %+v", m)
+	}
+}

@@ -460,8 +460,10 @@ func (s *Server) serveOne(ctx context.Context, conn net.Conn, prop proto.Proposa
 		defer cancel()
 	}
 	s.met.active.Add(1)
+	// Deferred so the gauge cannot leak on any exit path — error returns
+	// below and panics unwinding through the protocol stack alike.
+	defer s.met.active.Add(-1)
 	info, err := sess.Garble(runCtx, conn, nil)
-	s.met.active.Add(-1)
 	if err != nil {
 		return err
 	}
