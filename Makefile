@@ -4,13 +4,15 @@ FUZZTIME ?= 10s
 # The benchmark set `make bench-json` tracks: the warm-session cache path,
 # the pipelined garbler, the parallel cycle engine, trace replay and the
 # serial per-cycle primitives they are gated against (BenchmarkTraceReplay
-# rides next to BenchmarkSchedulerCycle — the classify pass replay removes).
-BENCH_SET ?= BenchmarkEngineSessionReuse|BenchmarkGarblerPipeline|BenchmarkParallelCycle|BenchmarkSchedulerCycle|BenchmarkGarbledProcessorCycle|BenchmarkTraceReplay
+# rides next to BenchmarkSchedulerCycle — the classify pass replay removes),
+# plus the offline/online split (BenchmarkPooledSession rides next to
+# BenchmarkColdSession — the garbling work the pool moves offline).
+BENCH_SET ?= BenchmarkEngineSessionReuse|BenchmarkGarblerPipeline|BenchmarkParallelCycle|BenchmarkSchedulerCycle|BenchmarkGarbledProcessorCycle|BenchmarkTraceReplay|BenchmarkColdSession|BenchmarkPooledSession
 BENCHTIME ?= 50x
 BENCH_THRESHOLD ?= 1.25
 BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline bench-json bench-baseline bench-compare cover ci dev-certs serve-tls test-hardening test-trace
+.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline bench-pool bench-json bench-baseline bench-compare cover ci dev-certs serve-tls test-hardening test-trace test-pool
 
 all: build vet test
 
@@ -40,6 +42,12 @@ bench-engine:
 # link latency: the pipelined path overlaps garbling with frame I/O.
 bench-pipeline:
 	$(GO) test -run '^$$' -bench BenchmarkGarblerPipeline -benchtime 5x .
+
+# Offline/online split: a session served from a pre-garbled stream (the
+# state a garble-ahead pool hit leaves the server in) vs a cold one that
+# garbles inline — the gap is the online latency the pool removes.
+bench-pool:
+	$(GO) test -run '^$$' -bench 'BenchmarkColdSession|BenchmarkPooledSession' -benchtime 5x .
 
 # Machine-readable benchmark report at the repo root (BENCH_<date>.json):
 # ns/op, allocs and the engine's own counters for the core benchmark set.
@@ -89,6 +97,15 @@ test-trace:
 	$(GO) test -race -shuffle=on -count=1 \
 		-run 'Trace|TestPipelinedStatsSink' \
 		. ./internal/core ./internal/cpu ./internal/proto
+
+# Garble-ahead correctness: recorded streams byte-identical to live
+# garbling, single-use enforcement, eviction/spill lifecycle, evaluator
+# read-ahead and the server's pool-hit/miss paths — shuffled and under
+# the race detector, as in CI.
+test-pool:
+	$(GO) test -race -shuffle=on -count=1 \
+		-run 'Record|ReadAhead|Pool|GarbleAhead' \
+		. ./internal/proto ./internal/pool
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -427,6 +427,94 @@ func BenchmarkGarblerPipeline(b *testing.B) {
 	b.Run("pipeline4", func(b *testing.B) { benchTwoParty(b, 4) })
 }
 
+// benchOnlineSession times the online phase of complete two-party
+// Hamming sessions over net.Pipe: the garbler either garbles live inside
+// the session (cold) or serves a stream pre-garbled offline by
+// Session.Record (pooled — the Server's garble-ahead path). The
+// evaluator replays a warm classification trace and reads ahead in both
+// variants, so the gap between them is exactly the garbling work the
+// offline phase moved off the critical path. The 512-bit workload keeps
+// the per-cycle work dominant over the fixed per-session handshake-and-OT
+// cost both variants pay. Recording happens with the timer stopped —
+// that is the offline phase by definition.
+func benchOnlineSession(b *testing.B, pooled bool) {
+	w := bencher.HammingWorkload(512)
+	prog, _, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine()
+	alice := make([]uint32, prog.Layout.AliceWords)
+	bob := make([]uint32, prog.Layout.BobWords)
+	for i := range alice {
+		alice[i] = 0xa5a5a5a5
+	}
+	for i := range bob {
+		bob[i] = uint32(0x5a5a5a5a + i)
+	}
+	gopts := []Option{WithMaxCycles(4000), WithCycleBatch(8), WithGarblerInput(alice)}
+	eopts := []Option{WithMaxCycles(4000), WithCycleBatch(8), WithTraceReuse(), WithReadAhead(4)}
+	ctx := context.Background()
+	runOnce := func(rec *RecordedStream) {
+		gs, err := eng.Session(prog, gopts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		es, err := eng.Session(prog, eopts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ca, cb := net.Pipe()
+		done := make(chan error, 1)
+		go func() {
+			var err error
+			if rec != nil {
+				_, err = gs.GarbleRecorded(ctx, ca, rec)
+			} else {
+				_, err = gs.Garble(ctx, ca, nil)
+			}
+			done <- err
+		}()
+		if _, err := es.Evaluate(ctx, cb, bob); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		ca.Close()
+		cb.Close()
+	}
+	runOnce(nil) // untimed: netlist build + the evaluator's trace recording
+	rs, err := eng.Session(prog, append(gopts[:len(gopts):len(gopts)], WithTraceReuse())...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rec *RecordedStream
+		if pooled {
+			b.StopTimer()
+			if rec, err = rs.Record(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		runOnce(rec)
+	}
+}
+
+// BenchmarkColdSession is the online phase with no pool: the garbler
+// classifies and garbles every table inside the session.
+func BenchmarkColdSession(b *testing.B) { benchOnlineSession(b, false) }
+
+// BenchmarkPooledSession is the online phase served from a pre-garbled
+// stream — handshake, OT and frame I/O only, the state a garble-ahead
+// pool hit puts the server in. The baseline keeps it several times
+// cheaper than BenchmarkColdSession (`make bench-compare` gates the
+// ratio's two sides).
+func BenchmarkPooledSession(b *testing.B) { benchOnlineSession(b, true) }
+
 // BenchmarkPlainSimCPU is the plaintext-simulation floor for the same
 // processor netlist.
 func BenchmarkPlainSimCPU(b *testing.B) {

@@ -115,6 +115,8 @@ type sessionConfig struct {
 	workers       int
 	workersSet    bool
 	traceReuse    bool
+	readAhead     int
+	garbleAhead   int // 0: server default; -1: off; >0: explicit depth
 	garblerInput  []uint32
 	rand          io.Reader
 	sink          StatsSink
@@ -188,6 +190,30 @@ func WithWorkers(n int) Option {
 // Engine, evicting the least recently replayed. Observe effectiveness
 // via Engine.TraceRecordings and Engine.TraceReplays.
 func WithTraceReuse() Option { return func(c *sessionConfig) { c.traceReuse = true } }
+
+// WithReadAhead makes an evaluating session pull up to depth frames off
+// the connection in a reader goroutine ahead of its cycle loop (default
+// 0: synchronous reads). The reader peeks at frame types, buffering
+// table frames and parking the stream's trailing frame for the post-halt
+// decode read, so a garbler that streams faster than labels evaluate —
+// a pool-fed garbler always does — never blocks on a full socket. Like
+// WithPipeline on the garbling side, the knob is local: it changes no
+// wire byte and is not part of the session id. The garbling side and the
+// in-process Run ignore it.
+func WithReadAhead(depth int) Option { return func(c *sessionConfig) { c.readAhead = depth } }
+
+// WithGarbleAheadDepth sets, on a Server registration, how many
+// pre-garbled streams the garble-ahead pool keeps ready for this program
+// (overriding the pool's default depth). It has no effect unless the
+// Server was built WithGarbleAhead; sessions outside a Server ignore it.
+func WithGarbleAheadDepth(n int) Option {
+	return func(c *sessionConfig) { c.garbleAhead = n }
+}
+
+// WithGarbleAheadOff opts a Server registration out of the garble-ahead
+// pool: every session for the program garbles live, even on a Server
+// built WithGarbleAhead.
+func WithGarbleAheadOff() Option { return func(c *sessionConfig) { c.garbleAhead = -1 } }
 
 // WithGarblerInput fixes Alice's input words on a session's garbling
 // side. Server registrations use it to bind the server's private input to
@@ -275,6 +301,12 @@ func newSessionConfig(opts []Option) (sessionConfig, error) {
 	}
 	if cfg.workers < 1 || cfg.workers > proto.MaxWorkers {
 		return cfg, fmt.Errorf("arm2gc: WithWorkers(%d): worker count must be in [1, %d]", cfg.workers, proto.MaxWorkers)
+	}
+	if cfg.readAhead < 0 {
+		return cfg, fmt.Errorf("arm2gc: WithReadAhead(%d): depth cannot be negative", cfg.readAhead)
+	}
+	if cfg.garbleAhead < -1 {
+		return cfg, fmt.Errorf("arm2gc: WithGarbleAheadDepth(%d): depth must be positive", cfg.garbleAhead)
 	}
 	return cfg, nil
 }
@@ -415,6 +447,59 @@ func (s *Session) Garble(ctx context.Context, conn io.ReadWriter, alice []uint32
 	return info, nil
 }
 
+// RecordedStream is one complete pre-garbled session: everything the
+// garbler would put on the wire (hello, input labels, OT pairs, the full
+// table stream) plus the output-decode metadata, produced offline by
+// Session.Record and served online by Session.GarbleRecorded. A stream
+// is single-use — its labels come from one fresh seed and must reach one
+// evaluator only; the garble-ahead pool enforces this, direct callers
+// must. See Server's WithGarbleAhead for the managed path.
+type RecordedStream = proto.Recorded
+
+// Record runs the garbler's offline phase with no peer: it garbles this
+// session's complete table stream into memory — through exactly the loop
+// a live Garble uses, so serving the result later is byte-identical to
+// garbling live — using the registration's garbler input
+// (WithGarblerInput; nil means all-zero). With WithTraceReuse the first
+// Record pays the classification pass and every later one replays the
+// cached trace, making offline passes ~an order of magnitude cheaper.
+// Cancelling ctx aborts between cycles.
+func (s *Session) Record(ctx context.Context) (*RecordedStream, error) {
+	pub, ab, err := s.m.partyBits(s.prog, circuit.Alice, s.cfg.garblerInput)
+	if err != nil {
+		return nil, err
+	}
+	ts := s.traceFor(pub)
+	cfg := s.protoConfig(pub)
+	cfg.Trace, cfg.Record = ts.trace, ts.record
+	rec, res, err := proto.RecordGarbler(ctx, cfg, ab, s.cfg.rand)
+	if err != nil {
+		ts.settle(nil, err)
+		return nil, err
+	}
+	ts.settle(res.Trace, nil)
+	return rec, nil
+}
+
+// GarbleRecorded plays Alice from a pre-garbled stream: the online phase
+// is the handshake, OT and frame I/O — no garbling at all. The stream
+// must have been recorded by a session with the same program, public
+// input and negotiated options (its session id is checked), and must
+// never have been served before. Cancellation behaves as in Garble.
+func (s *Session) GarbleRecorded(ctx context.Context, conn io.ReadWriter, rec *RecordedStream) (*RunInfo, error) {
+	pub, err := s.m.cpu.PublicBits(s.prog)
+	if err != nil {
+		return nil, err
+	}
+	res, err := proto.ServeRecorded(ctx, conn, s.protoConfig(pub), rec)
+	if err != nil {
+		return nil, err
+	}
+	info := s.m.info(s.prog, res.Outputs, res.Stats, res.Halted)
+	info.TableFrames = res.TableFrames
+	return info, nil
+}
+
 // Evaluate plays Bob (the evaluator) over a connection. Cancellation
 // behaves as in Garble.
 func (s *Session) Evaluate(ctx context.Context, conn io.ReadWriter, bob []uint32) (*RunInfo, error) {
@@ -446,6 +531,7 @@ func (s *Session) protoConfig(pub []bool) proto.Config {
 		CycleBatch: s.cfg.cycleBatch,
 		Pipeline:   s.cfg.pipeline,
 		Workers:    s.cfg.workers,
+		ReadAhead:  s.cfg.readAhead,
 		Sink:       s.coreSink(),
 	}
 }

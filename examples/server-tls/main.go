@@ -1,8 +1,10 @@
 // The hardened service in one process: a registry of two programs loaded
-// from disk, served over TLS with per-program bearer-token authorization
-// and a Prometheus metrics endpoint; one client runs both programs over a
+// from disk, served over TLS with per-program bearer-token authorization,
+// a warmed garble-ahead pool (the registry's "garble_ahead" settings) and
+// a Prometheus metrics endpoint; one client runs both programs over a
 // single TLS connection, has an unauthorized proposal rejected without
-// losing that connection, and the metrics report the exact counts.
+// losing that connection, and the metrics report the exact counts —
+// including that every session was served from a pre-garbled stream.
 //
 // The certificates are throwaway dev material minted in-process
 // (internal/devcert, the same generator behind `make serve-tls`); a real
@@ -49,13 +51,22 @@ func main() {
 	}
 
 	eng := arm2gc.NewEngine()
-	srv := arm2gc.NewServer(eng, arm2gc.WithTLSConfig(srvTLS), arm2gc.WithMaxSessions(4))
+	srv := arm2gc.NewServer(eng, arm2gc.WithTLSConfig(srvTLS), arm2gc.WithMaxSessions(4),
+		arm2gc.WithGarbleAhead(arm2gc.PoolConfig{}))
 	for _, e := range entries {
 		if err := srv.Register(e.Name, e.Program, e.Options...); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("registered %q from the registry\n", e.Name)
 	}
+
+	// Warm the garble-ahead pool before taking traffic: the registry asks
+	// for 2 ready streams of addmax and 1 of xorshare, so the very first
+	// client session skips the garbling pass entirely.
+	if err := srv.WarmGarbleAhead(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("garble-ahead pool warmed: %d streams ready\n", srv.Metrics().GarbleAhead.Ready)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -114,6 +125,8 @@ func main() {
 	m := srv.Metrics()
 	fmt.Printf("metrics: served=%d rejected=%d bytes_out=%d table_frames=%d builds=%d\n",
 		m.SessionsServed, m.SessionsRejected, m.BytesWritten, m.TableFrames, m.EngineBuilds)
+	fmt.Printf("garble-ahead: hits=%d misses=%d refills=%d\n",
+		m.GarbleAhead.Hits, m.GarbleAhead.Misses, m.GarbleAhead.Refills)
 	rec := httptest.NewRecorder()
 	srv.MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
 	fmt.Printf("scrape sample:\n%s", firstLines(rec.Body.String(), 3))

@@ -40,11 +40,12 @@ type SessionOpts struct {
 	outputMode *string
 	pipeline   *int
 	workers    *int
+	readAhead  *int
 }
 
 // SessionFlags registers the session-option flags the two-party tools
-// share: -max-cycles, -cycle-batch, -output-mode, -pipeline and -workers.
-// Call Options after flag.Parse to assemble the option list.
+// share: -max-cycles, -cycle-batch, -output-mode, -pipeline, -workers and
+// -read-ahead. Call Options after flag.Parse to assemble the option list.
 func SessionFlags() *SessionOpts {
 	return &SessionOpts{
 		maxCycles:  flag.Int("max-cycles", 1_000_000, "cycle budget"),
@@ -52,6 +53,7 @@ func SessionFlags() *SessionOpts {
 		outputMode: flag.String("output-mode", "both", "who learns the outputs: both | garbler | evaluator (both parties must agree)"),
 		pipeline:   flag.Int("pipeline", 0, "garbler-side lookahead: frames garbled ahead of the network writer (0 = serial)"),
 		workers:    flag.Int("workers", 1, "per-cycle classify/garble worker goroutines (1 = serial; a client proposal is capped by the server's registered count)"),
+		readAhead:  flag.Int("read-ahead", 0, "evaluator-side lookahead: frames buffered off the socket ahead of the cycle loop (0 = synchronous)"),
 	}
 }
 
@@ -82,6 +84,9 @@ func (o *SessionOpts) Options(onlySet bool) ([]arm2gc.Option, error) {
 	}
 	if include("workers") {
 		opts = append(opts, arm2gc.WithWorkers(*o.workers))
+	}
+	if include("read-ahead") {
+		opts = append(opts, arm2gc.WithReadAhead(*o.readAhead))
 	}
 	return opts, nil
 }

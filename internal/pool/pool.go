@@ -1,0 +1,593 @@
+// Package pool implements the garble-ahead subsystem: a bounded store of
+// pre-garbled session streams (proto.Recorded), keyed by session id, that
+// background workers keep topped up so the online phase of a session
+// collapses to OT plus frame I/O.
+//
+// Lifecycle rules the rest of the system leans on:
+//
+//   - Entries are single-use. Get pops under the pool lock, so no two
+//     sessions can ever serve the same pre-garbled stream — each entry's
+//     labels come from one fresh seed and must reach one evaluator only.
+//   - Producers race consumers: refill workers garble in the background
+//     while Get drains the front. The per-key target depth bounds how far
+//     producers run ahead; a Get below target wakes them (demand-driven
+//     refill, no polling).
+//   - Bytes are bounded twice. MemBytes caps what stays resident; beyond
+//     it, entries overflow to SpillDir as crash-safe files (written to a
+//     temp name, renamed into place; stale files from a crashed process
+//     are removed by New, live ones by Close). MaxBytes caps memory and
+//     spill together; beyond it the oldest entries of a key demanded
+//     strictly less recently than the incoming one are evicted — and when
+//     no colder victim exists, the incoming entry is dropped and its key
+//     parked until demand moves, so producers never spin against a full
+//     budget.
+//   - Invalidate drops a key's finished entries (registry or option
+//     changes make them unservable); the key stays registered and refills
+//     under whatever producer now backs it.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"arm2gc/internal/proto"
+)
+
+// Key identifies one (program, resolved-options) stream flavor — the
+// protocol session id: any client negotiating these exact public
+// parameters can be served any entry garbled under the key.
+type Key [32]byte
+
+// Producer garbles one fresh entry for its key. It must return a
+// never-served Recorded with a fresh seed on every call; it runs on
+// refill workers concurrently with other producers and with Get.
+type Producer func(ctx context.Context) (*proto.Recorded, error)
+
+// Defaults for zero Config fields.
+const (
+	DefaultDepth    = 2
+	DefaultMemBytes = 256 << 20
+	DefaultWorkers  = 2
+)
+
+// Config sizes a Pool.
+type Config struct {
+	// Depth is the target number of ready entries per registered key
+	// (default DefaultDepth). A key registered with its own depth
+	// overrides it.
+	Depth int
+
+	// MemBytes bounds the bytes held in memory (default
+	// DefaultMemBytes). Entries beyond it spill to SpillDir, or are
+	// refused when there is none.
+	MemBytes int64
+
+	// MaxBytes bounds memory and spill together (default: 4× MemBytes
+	// when spilling is configured, MemBytes otherwise). Inserting beyond
+	// it evicts from the least-recently-demanded key.
+	MaxBytes int64
+
+	// SpillDir, when set, receives overflow entries as files. The pool
+	// owns the directory's *.gcpool files: New deletes stale ones, Close
+	// deletes live ones. Two live pools must not share a SpillDir.
+	SpillDir string
+
+	// Workers is how many refill goroutines Start launches (default
+	// DefaultWorkers).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Depth <= 0 {
+		c.Depth = DefaultDepth
+	}
+	if c.MemBytes <= 0 {
+		c.MemBytes = DefaultMemBytes
+	}
+	if c.MaxBytes <= 0 {
+		if c.SpillDir != "" {
+			c.MaxBytes = 4 * c.MemBytes
+		} else {
+			c.MaxBytes = c.MemBytes
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
+	}
+	return c
+}
+
+// entry is one ready pre-garbled stream: resident (rec != nil) or
+// spilled (path != "").
+type entry struct {
+	rec  *proto.Recorded
+	path string
+	size int64
+}
+
+// slot is one registered key's queue plus its counters.
+type slot struct {
+	key     Key
+	name    string // for stats; the registered program name
+	depth   int
+	produce Producer
+
+	entries []entry // FIFO: oldest first
+	filling int     // produces in flight
+	lastGet int64   // pool-wide demand sequence at the last Get; LRU rank
+
+	// parked marks a slot whose last produced entry the byte budgets
+	// refused (dropped, or failed to spill). A parked slot counts no
+	// deficit — otherwise producers would spin garbling entries only to
+	// drop them — until a Get or Invalidate moves bytes and unparks it.
+	parked bool
+
+	hits, misses, refills, failures, evictions int64
+	refillTime                                 time.Duration
+}
+
+func (s *slot) deficit() int {
+	if s.parked {
+		return 0
+	}
+	return s.depth - len(s.entries) - s.filling
+}
+
+// Pool is the garble-ahead store. All methods are safe for concurrent
+// use.
+type Pool struct {
+	cfg Config
+
+	mu         sync.Mutex
+	slots      map[Key]*slot
+	order      []*slot // registration order; claim scans round-robin
+	next       int     // round-robin cursor over order
+	memBytes   int64
+	spillBytes int64
+	getSeq     int64
+	spillSeq   int
+	loadFails  int64
+	closed     bool
+
+	wake    chan struct{}
+	started bool
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+const spillExt = ".gcpool"
+
+// New creates a Pool. When cfg.SpillDir is set the directory is created
+// and any stale spill files — leftovers of a crashed process — are
+// removed, so a restart never serves (or double-counts) a file it cannot
+// trust.
+func New(cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SpillDir != "" {
+		if err := os.MkdirAll(cfg.SpillDir, 0o700); err != nil {
+			return nil, fmt.Errorf("pool: spill dir: %w", err)
+		}
+		stale, err := filepath.Glob(filepath.Join(cfg.SpillDir, "*"+spillExt))
+		if err != nil {
+			return nil, fmt.Errorf("pool: spill dir: %w", err)
+		}
+		for _, f := range stale {
+			os.Remove(f)
+		}
+	}
+	return &Pool{
+		cfg:   cfg,
+		slots: make(map[Key]*slot),
+		wake:  make(chan struct{}, 1),
+	}, nil
+}
+
+// Register adds a key the pool keeps topped up. depth overrides the
+// config default when positive. produce garbles one entry per call.
+func (p *Pool) Register(key Key, name string, depth int, produce Producer) error {
+	if produce == nil {
+		return fmt.Errorf("pool: Register(%q): nil producer", name)
+	}
+	if depth <= 0 {
+		depth = p.cfg.Depth
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("pool: Register(%q): pool is closed", name)
+	}
+	if _, dup := p.slots[key]; dup {
+		return fmt.Errorf("pool: Register(%q): key already registered", name)
+	}
+	s := &slot{key: key, name: name, depth: depth, produce: produce}
+	p.slots[key] = s
+	p.order = append(p.order, s)
+	p.kick()
+	return nil
+}
+
+// Get pops the oldest ready entry for key, or nil when the key is
+// unregistered or momentarily dry (the caller falls back to live
+// garbling). A successful Get consumes the entry permanently — single
+// use is enforced right here, under the pool lock — and wakes the refill
+// workers to restore the key's depth.
+func (p *Pool) Get(key Key) *proto.Recorded {
+	p.mu.Lock()
+	s := p.slots[key]
+	if s == nil {
+		p.mu.Unlock()
+		return nil
+	}
+	p.getSeq++
+	s.lastGet = p.getSeq
+	p.unparkLocked()
+	if len(s.entries) == 0 {
+		s.misses++
+		p.mu.Unlock()
+		p.kick()
+		return nil
+	}
+	e := s.entries[0]
+	s.entries = s.entries[1:]
+	s.hits++
+	if e.rec != nil {
+		p.memBytes -= e.size
+	} else {
+		p.spillBytes -= e.size
+	}
+	p.mu.Unlock()
+	p.kick()
+	if e.rec != nil {
+		return e.rec
+	}
+	// Spilled entry: load outside the lock — disk reads must not stall
+	// other sessions' Gets. The file is exclusively ours (it left the
+	// queue above).
+	rec, err := p.load(e.path)
+	if err != nil {
+		p.mu.Lock()
+		p.loadFails++
+		p.mu.Unlock()
+		return nil // count as a miss upstream; live garbling covers it
+	}
+	return rec
+}
+
+func (p *Pool) load(path string) (*proto.Recorded, error) {
+	defer os.Remove(path)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return proto.UnmarshalRecorded(b)
+}
+
+// unparkLocked lifts every budget park: called when demand moves (bytes
+// may have been freed, and a Get is the only signal the pool waits for),
+// it lets parked keys try one more produce each instead of spinning.
+func (p *Pool) unparkLocked() {
+	for _, s := range p.order {
+		s.parked = false
+	}
+}
+
+// kick nudges the refill workers without blocking.
+func (p *Pool) kick() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Start launches the refill workers; they run until ctx is cancelled or
+// Close is called. Idempotent.
+func (p *Pool) Start(ctx context.Context) {
+	p.mu.Lock()
+	if p.started || p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.started = true
+	ctx, p.cancel = context.WithCancel(ctx)
+	p.mu.Unlock()
+	for i := 0; i < p.cfg.Workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.worker(ctx)
+		}()
+	}
+}
+
+func (p *Pool) worker(ctx context.Context) {
+	for {
+		s := p.claim(nil)
+		if s == nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-p.wake:
+				continue
+			}
+		}
+		if err := p.fillOne(ctx, s); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// A failing producer (bad registration, exhausted disk) must
+			// not hot-spin the worker; back off before the next claim.
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// claim picks the next slot with a deficit, round-robin so one hot key
+// cannot starve the rest, and reserves one produce on it. Slots in skip
+// are passed over (Fill quarantines failed producers there).
+func (p *Pool) claim(skip map[*slot]bool) *slot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < len(p.order); i++ {
+		s := p.order[(p.next+i)%len(p.order)]
+		if s.deficit() > 0 && !skip[s] {
+			p.next = (p.next + i + 1) % len(p.order)
+			s.filling++
+			return s
+		}
+	}
+	return nil
+}
+
+// fillOne produces one entry for a claimed slot and inserts it.
+func (p *Pool) fillOne(ctx context.Context, s *slot) error {
+	start := time.Now()
+	rec, err := s.produce(ctx)
+	took := time.Since(start)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.filling--
+	if err != nil {
+		s.failures++
+		return err
+	}
+	s.refills++
+	s.refillTime += took
+	if p.closed {
+		return nil // produced after Close: drop
+	}
+	p.insertLocked(s, rec)
+	return nil
+}
+
+// Fill synchronously tops every registered key up to its depth — pool
+// warming for server startup and deterministic tests. It runs on the
+// calling goroutine, one entry at a time, and returns the first producer
+// error (later keys are still attempted).
+func (p *Pool) Fill(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var firstErr error
+	failed := make(map[*slot]bool)
+	for {
+		s := p.claim(failed)
+		if s == nil {
+			return firstErr
+		}
+		if err := p.fillOne(ctx, s); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			if ctx.Err() != nil {
+				return firstErr
+			}
+			failed[s] = true // one failure quarantines the key this pass
+		}
+	}
+}
+
+// insertLocked adds a produced entry under the byte budgets: evict
+// beyond MaxBytes, spill beyond MemBytes, drop when neither helps.
+func (p *Pool) insertLocked(s *slot, rec *proto.Recorded) {
+	size := int64(rec.SizeBytes())
+	for p.memBytes+p.spillBytes+size > p.cfg.MaxBytes {
+		if !p.evictOneLocked(s) {
+			// Nothing evictable but this key's own entries (or the entry
+			// alone exceeds the budget): refusing the newest stream is the
+			// only move left.
+			s.evictions++
+			s.parked = true
+			return
+		}
+	}
+	if p.memBytes+size > p.cfg.MemBytes {
+		if p.cfg.SpillDir == "" {
+			s.evictions++
+			s.parked = true
+			return
+		}
+		path, onDisk, err := p.spillLocked(rec)
+		if err != nil {
+			s.failures++
+			s.parked = true
+			return
+		}
+		s.entries = append(s.entries, entry{path: path, size: onDisk})
+		p.spillBytes += onDisk
+		return
+	}
+	s.entries = append(s.entries, entry{rec: rec, size: size})
+	p.memBytes += size
+}
+
+// evictOneLocked drops the oldest entry of the least-recently-demanded
+// slot — but only one demanded strictly less recently than keep, the
+// slot being inserted into: eviction reorders the pool toward demand,
+// and without the strict ordering two equally-cold keys at a full budget
+// would evict each other's entries in an endless producer thrash. It
+// reports false when no such victim exists.
+func (p *Pool) evictOneLocked(keep *slot) bool {
+	var victim *slot
+	for _, s := range p.order {
+		if s == keep || len(s.entries) == 0 || s.lastGet >= keep.lastGet {
+			continue
+		}
+		if victim == nil || s.lastGet < victim.lastGet {
+			victim = s
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	e := victim.entries[0]
+	victim.entries = victim.entries[1:]
+	victim.evictions++
+	if e.rec != nil {
+		p.memBytes -= e.size
+	} else {
+		p.spillBytes -= e.size
+		os.Remove(e.path)
+	}
+	return true
+}
+
+// spillLocked writes an entry to disk crash-safely: the bytes land under
+// a temp name and only a successful rename publishes the .gcpool file,
+// so a crash mid-write leaves nothing a restart could half-read.
+func (p *Pool) spillLocked(rec *proto.Recorded) (string, int64, error) {
+	b, err := rec.MarshalBinary()
+	if err != nil {
+		return "", 0, err
+	}
+	p.spillSeq++
+	path := filepath.Join(p.cfg.SpillDir, fmt.Sprintf("entry-%d-%06d%s", os.Getpid(), p.spillSeq, spillExt))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o600); err != nil {
+		return "", 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	return path, int64(len(b)), nil
+}
+
+// Invalidate drops every ready entry of a key — call it when the
+// registration behind the key changes and pre-garbled streams are no
+// longer servable. The key stays registered; refill workers rebuild its
+// depth with the (new) producer. It reports whether the key was known.
+func (p *Pool) Invalidate(key Key) bool {
+	p.mu.Lock()
+	s := p.slots[key]
+	if s == nil {
+		p.mu.Unlock()
+		return false
+	}
+	for _, e := range s.entries {
+		if e.rec != nil {
+			p.memBytes -= e.size
+		} else {
+			p.spillBytes -= e.size
+			os.Remove(e.path)
+		}
+	}
+	s.entries = nil
+	p.unparkLocked() // bytes freed; parked keys may fit now
+	p.mu.Unlock()
+	p.kick()
+	return true
+}
+
+// Close stops the refill workers, waits for any in-flight produce, and
+// deletes every spill file. The pool refuses further work after.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	cancel := p.cancel
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	p.kick() // unblock workers parked on wake
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.order {
+		for _, e := range s.entries {
+			if e.path != "" {
+				os.Remove(e.path)
+			}
+		}
+		s.entries = nil
+	}
+	p.memBytes, p.spillBytes = 0, 0
+}
+
+// Stats is a point-in-time snapshot of the pool's counters.
+type Stats struct {
+	Hits      int64 // Gets served from a ready entry
+	Misses    int64 // Gets on a registered but dry key
+	Refills   int64 // successful background/warming produces
+	Failures  int64 // producer errors (plus spill-write failures)
+	Evictions int64 // entries dropped for byte budgets
+	LoadFails int64 // spill files that would not load (served live instead)
+
+	RefillTime time.Duration // producer time summed over all refills
+
+	MemBytes   int64 // resident entry bytes right now
+	SpillBytes int64 // on-disk entry bytes right now
+	Ready      int   // ready entries across all keys right now
+
+	Programs map[string]ProgramStats // keyed by registered name
+}
+
+// ProgramStats is one registered key's slice of the counters. When
+// several keys were registered under one name their counters sum.
+type ProgramStats struct {
+	Ready   int // entries ready right now
+	Depth   int // target depth
+	Hits    int64
+	Misses  int64
+	Refills int64
+}
+
+// Stats snapshots the pool.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		LoadFails:  p.loadFails,
+		MemBytes:   p.memBytes,
+		SpillBytes: p.spillBytes,
+		Programs:   make(map[string]ProgramStats, len(p.order)),
+	}
+	for _, s := range p.order {
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Refills += s.refills
+		st.Failures += s.failures
+		st.Evictions += s.evictions
+		st.RefillTime += s.refillTime
+		st.Ready += len(s.entries)
+		ps := st.Programs[s.name]
+		ps.Ready += len(s.entries)
+		ps.Depth += s.depth
+		ps.Hits += s.hits
+		ps.Misses += s.misses
+		ps.Refills += s.refills
+		st.Programs[s.name] = ps
+	}
+	return st
+}

@@ -1,0 +1,480 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"arm2gc/internal/build"
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/core"
+	"arm2gc/internal/proto"
+	"arm2gc/internal/sim"
+)
+
+// adderConfig builds a small 8-bit adder session config; vary salt to get
+// distinct session ids (distinct pool keys) from one circuit.
+func adderConfig(t *testing.T, salt int) (proto.Config, []bool) {
+	t.Helper()
+	b := build.New(fmt.Sprintf("adder%d", salt))
+	a := b.Input(circuit.Alice, "a", 8)
+	x := b.Input(circuit.Bob, "x", 8)
+	b.Output("sum", b.Add(a, x))
+	c := b.MustCompile()
+	cfg := proto.Config{Circuit: c, Cycles: 1 + salt}
+	return cfg, sim.UnpackUint(uint64(40+salt), 8)
+}
+
+// recordProducer garbles real entries for tests; every call draws a fresh
+// seed, so Seed() doubles as an entry identity.
+func recordProducer(cfg proto.Config, alice []bool) Producer {
+	return func(ctx context.Context) (*proto.Recorded, error) {
+		rec, _, err := proto.RecordGarbler(ctx, cfg, alice, nil)
+		return rec, err
+	}
+}
+
+func keyOf(t *testing.T, cfg proto.Config) Key {
+	t.Helper()
+	sid, err := cfg.SessionID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Key(sid)
+}
+
+// oneEntrySize produces a throwaway entry to size byte budgets exactly.
+func oneEntrySize(t *testing.T, cfg proto.Config, alice []bool) int64 {
+	t.Helper()
+	rec, _, err := proto.RecordGarbler(context.Background(), cfg, alice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(rec.SizeBytes())
+}
+
+// waitReady polls until the pool holds want ready entries (refill workers
+// run in the background) or fails the test.
+func waitReady(t *testing.T, p *Pool, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if got := p.Stats().Ready; got == want {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("pool holds %d ready entries, want %d", got, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPoolSingleUse is the core guarantee: with 4 entries filled and 32
+// concurrent Gets racing, exactly 4 succeed and no stream is ever handed
+// out twice (every Recorded carries a fresh seed; duplicates would share
+// one). Run under -race in CI.
+func TestPoolSingleUse(t *testing.T) {
+	cfg, alice := adderConfig(t, 0)
+	p, err := New(Config{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	key := keyOf(t, cfg)
+	if err := p.Register(key, "adder", 0, recordProducer(cfg, alice)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fill(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Ready != 4 || st.Refills != 4 {
+		t.Fatalf("after Fill: ready %d refills %d, want 4/4", st.Ready, st.Refills)
+	}
+
+	var mu sync.Mutex
+	seeds := make(map[core.Seed]int)
+	var hits int
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := p.Get(key)
+			if rec == nil {
+				return
+			}
+			mu.Lock()
+			seeds[rec.Seed()]++
+			hits++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if hits != 4 {
+		t.Fatalf("%d Gets succeeded, want exactly 4", hits)
+	}
+	for s, n := range seeds {
+		if n != 1 {
+			t.Fatalf("stream %x served %d times", s[:4], n)
+		}
+	}
+	st := p.Stats()
+	if st.Hits != 4 || st.Misses != 28 {
+		t.Fatalf("hits %d misses %d, want 4/28", st.Hits, st.Misses)
+	}
+	if got := p.Get(Key{0xff}); got != nil {
+		t.Fatal("unregistered key returned an entry")
+	}
+}
+
+// TestPoolDemandRefill: background workers must restore a key's depth
+// after Gets drain it — woken by the Get, not by polling.
+func TestPoolDemandRefill(t *testing.T) {
+	cfg, alice := adderConfig(t, 0)
+	p, err := New(Config{Depth: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	key := keyOf(t, cfg)
+	if err := p.Register(key, "adder", 0, recordProducer(cfg, alice)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p.Start(ctx)
+	waitReady(t, p, 3)
+	if p.Get(key) == nil {
+		t.Fatal("warm pool missed")
+	}
+	waitReady(t, p, 3) // the Get kicked a refill
+	if st := p.Stats(); st.Refills < 4 {
+		t.Fatalf("refills %d, want at least 4", st.Refills)
+	}
+}
+
+// TestPoolConcurrentProducersConsumers races refill workers against
+// concurrent Gets (run under -race in CI) and re-checks single use across
+// the whole run.
+func TestPoolConcurrentProducersConsumers(t *testing.T) {
+	cfg, alice := adderConfig(t, 0)
+	p, err := New(Config{Depth: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOf(t, cfg)
+	if err := p.Register(key, "adder", 0, recordProducer(cfg, alice)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p.Start(ctx)
+
+	var mu sync.Mutex
+	seeds := make(map[core.Seed]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if rec := p.Get(key); rec != nil {
+					mu.Lock()
+					if seeds[rec.Seed()] {
+						t.Error("stream served twice")
+					}
+					seeds[rec.Seed()] = true
+					mu.Unlock()
+				} else {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if len(seeds) == 0 {
+		t.Fatal("no Gets were served at all")
+	}
+	// Close drops whatever is left; a second Close is a no-op.
+	p.Close()
+	if st := p.Stats(); st.Ready != 0 || st.MemBytes != 0 {
+		t.Fatalf("after Close: ready %d memBytes %d", st.Ready, st.MemBytes)
+	}
+}
+
+// TestPoolByteEviction: a MaxBytes budget of two entries across two keys
+// must evict the least-recently-demanded key's oldest entry for the
+// incoming one, and never exceed the budget.
+func TestPoolByteEviction(t *testing.T) {
+	cfgA, aliceA := adderConfig(t, 0)
+	cfgB, aliceB := adderConfig(t, 1)
+	size := oneEntrySize(t, cfgA, aliceA)
+	budget := 2*size + size/2
+	p, err := New(Config{Depth: 2, MemBytes: budget, MaxBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	keyA, keyB := keyOf(t, cfgA), keyOf(t, cfgB)
+	if err := p.Register(keyA, "a", 0, recordProducer(cfgA, aliceA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register(keyB, "b", 0, recordProducer(cfgB, aliceB)); err != nil {
+		t.Fatal(err)
+	}
+	// Fill wants 4 entries; only ~2 fit.
+	p.Fill(context.Background())
+	st := p.Stats()
+	if st.MemBytes > budget {
+		t.Fatalf("resident %d bytes over the %d budget", st.MemBytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("over-budget fill recorded no evictions")
+	}
+	if st.Ready == 0 || st.Ready > 2 {
+		t.Fatalf("ready %d entries, want 1-2 under a 2-entry budget", st.Ready)
+	}
+
+	// Demand key A, then overfill: the eviction victim must be B (least
+	// recently demanded), never the key being inserted into.
+	p.Get(keyA)
+	p.Fill(context.Background())
+	st = p.Stats()
+	if st.Programs["a"].Ready == 0 {
+		t.Fatal("recently-demanded key was starved by eviction")
+	}
+	if st.MemBytes > budget {
+		t.Fatalf("resident %d bytes over budget after refill", st.MemBytes)
+	}
+}
+
+// TestPoolSpill: entries over MemBytes must overflow to crash-safe
+// .gcpool files, load back byte-faithfully on Get (deleting the file),
+// and vanish on Close.
+func TestPoolSpill(t *testing.T) {
+	cfg, alice := adderConfig(t, 0)
+	size := oneEntrySize(t, cfg, alice)
+	dir := t.TempDir()
+	p, err := New(Config{Depth: 3, MemBytes: size + size/2, MaxBytes: 10 * size, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOf(t, cfg)
+	if err := p.Register(key, "adder", 0, recordProducer(cfg, alice)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fill(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+spillExt))
+	if len(files) != 2 {
+		t.Fatalf("%d spill files, want 2 (1 resident + 2 spilled)", len(files))
+	}
+	if st := p.Stats(); st.Ready != 3 || st.SpillBytes == 0 {
+		t.Fatalf("ready %d spillBytes %d after spilling fill", st.Ready, st.SpillBytes)
+	}
+
+	// All three entries must come back, distinct, FIFO draining the
+	// resident one first and then loading the spilled files (which are
+	// deleted as they are consumed).
+	seeds := make(map[core.Seed]bool)
+	for i := 0; i < 3; i++ {
+		rec := p.Get(key)
+		if rec == nil {
+			t.Fatalf("Get %d missed on a pool holding 3 entries", i)
+		}
+		seeds[rec.Seed()] = true
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("%d distinct streams served, want 3", len(seeds))
+	}
+	if files, _ = filepath.Glob(filepath.Join(dir, "*"+spillExt)); len(files) != 0 {
+		t.Fatalf("%d spill files survive their entries", len(files))
+	}
+	if st := p.Stats(); st.SpillBytes != 0 || st.MemBytes != 0 || st.LoadFails != 0 {
+		t.Fatalf("drained pool: mem %d spill %d loadFails %d", st.MemBytes, st.SpillBytes, st.LoadFails)
+	}
+
+	// Refill to spill again; Close must delete the live files.
+	if err := p.Fill(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if files, _ = filepath.Glob(filepath.Join(dir, "*"+spillExt)); len(files) == 0 {
+		t.Fatal("refill did not spill")
+	}
+	p.Close()
+	if files, _ = filepath.Glob(filepath.Join(dir, "*"+spillExt)); len(files) != 0 {
+		t.Fatalf("%d spill files survive Close", len(files))
+	}
+}
+
+// TestPoolSpillCorruption: a spill file that rots on disk must fail the
+// Get loudly into the miss path (live garbling covers it), never serve
+// garbage labels.
+func TestPoolSpillCorruption(t *testing.T) {
+	cfg, alice := adderConfig(t, 0)
+	size := oneEntrySize(t, cfg, alice)
+	dir := t.TempDir()
+	p, err := New(Config{Depth: 2, MemBytes: size / 2, MaxBytes: 10 * size, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	key := keyOf(t, cfg)
+	if err := p.Register(key, "adder", 0, recordProducer(cfg, alice)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fill(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+spillExt))
+	if len(files) != 2 {
+		t.Fatalf("%d spill files, want 2 (everything spills below MemBytes)", len(files))
+	}
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("rot"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec := p.Get(key); rec != nil {
+		t.Fatal("corrupted spill file served a stream")
+	}
+	if st := p.Stats(); st.LoadFails != 1 {
+		t.Fatalf("loadFails %d, want 1", st.LoadFails)
+	}
+}
+
+// TestPoolStaleSpillCleanup: New must delete leftover .gcpool files of a
+// crashed predecessor — they cannot be trusted — and leave foreign files
+// alone.
+func TestPoolStaleSpillCleanup(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "entry-999-000001"+spillExt)
+	foreign := filepath.Join(dir, "keep.txt")
+	for _, f := range []string{stale, foreign} {
+		if err := os.WriteFile(f, []byte("x"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := New(Config{SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale spill file survived New")
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatal("foreign file was deleted by New")
+	}
+}
+
+// TestPoolInvalidate drops a key's ready entries (and their spill files)
+// while keeping the key registered for refill.
+func TestPoolInvalidate(t *testing.T) {
+	cfg, alice := adderConfig(t, 0)
+	size := oneEntrySize(t, cfg, alice)
+	dir := t.TempDir()
+	p, err := New(Config{Depth: 3, MemBytes: size + size/2, MaxBytes: 10 * size, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	key := keyOf(t, cfg)
+	if err := p.Register(key, "adder", 0, recordProducer(cfg, alice)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fill(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Invalidate(key) {
+		t.Fatal("known key reported unknown")
+	}
+	if p.Invalidate(Key{1}) {
+		t.Fatal("unknown key reported known")
+	}
+	st := p.Stats()
+	if st.Ready != 0 || st.MemBytes != 0 || st.SpillBytes != 0 {
+		t.Fatalf("after Invalidate: ready %d mem %d spill %d", st.Ready, st.MemBytes, st.SpillBytes)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*"+spillExt)); len(files) != 0 {
+		t.Fatalf("%d spill files survive Invalidate", len(files))
+	}
+	// The key refills afterwards.
+	if err := p.Fill(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Ready; got != 3 {
+		t.Fatalf("invalidated key refilled to %d, want 3", got)
+	}
+}
+
+// TestPoolRegisterValidation covers the registration error paths and the
+// closed-pool behavior.
+func TestPoolRegisterValidation(t *testing.T) {
+	cfg, alice := adderConfig(t, 0)
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOf(t, cfg)
+	if err := p.Register(key, "adder", 0, nil); err == nil {
+		t.Fatal("nil producer accepted")
+	}
+	if err := p.Register(key, "adder", 0, recordProducer(cfg, alice)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register(key, "adder", 0, recordProducer(cfg, alice)); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	p.Close()
+	if err := p.Register(Key{2}, "late", 0, recordProducer(cfg, alice)); err == nil {
+		t.Fatal("closed pool accepted a registration")
+	}
+	if rec := p.Get(key); rec != nil {
+		t.Fatal("closed pool served an entry")
+	}
+}
+
+// TestPoolProducerFailure: a failing producer surfaces from Fill, counts
+// as a failure, quarantines the key for the pass, and leaves the pool
+// serving (misses fall back to live garbling upstream).
+func TestPoolProducerFailure(t *testing.T) {
+	cfgGood, aliceGood := adderConfig(t, 1)
+	p, err := New(Config{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	bad := func(ctx context.Context) (*proto.Recorded, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	if err := p.Register(Key{3}, "bad", 0, bad); err != nil {
+		t.Fatal(err)
+	}
+	good := keyOf(t, cfgGood)
+	if err := p.Register(good, "good", 0, recordProducer(cfgGood, aliceGood)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fill(context.Background()); err == nil {
+		t.Fatal("Fill swallowed the producer error")
+	}
+	st := p.Stats()
+	if st.Failures == 0 {
+		t.Fatal("producer failure not counted")
+	}
+	// The healthy key still filled to depth despite the sick one.
+	if st.Programs["good"].Ready != 2 {
+		t.Fatalf("healthy key ready %d, want 2", st.Programs["good"].Ready)
+	}
+	if rec := p.Get(Key{3}); rec != nil {
+		t.Fatal("failing key served an entry")
+	}
+	if rec := p.Get(good); rec == nil {
+		t.Fatal("healthy key missed")
+	}
+}

@@ -95,6 +95,19 @@ type Config struct {
 	// Result.Trace for later replay. Mutually exclusive with Trace.
 	Record bool
 
+	// ReadAhead, when positive, makes the evaluator pull up to that many
+	// frames off the connection in a reader goroutine ahead of its cycle
+	// loop (typed frame peeking: table frames are buffered, and the first
+	// non-table frame parks in the buffer for the post-halt decode read).
+	// It keeps a slow evaluator's socket drained against a garbler that
+	// streams faster than labels evaluate — a pool-fed garbler always
+	// does. The knob is evaluator-local (not part of the session id); the
+	// garbling side ignores it. It needs a deadline-capable connection
+	// (every net.Conn) and — when classifying in OutputGarblerOnly mode,
+	// where no garbler frame trails the table stream — it silently stays
+	// synchronous.
+	ReadAhead int
+
 	// tapTables is a test hook: the evaluator calls it with every raw
 	// msgTables payload it receives, in arrival order.
 	tapTables func(payload []byte)
@@ -172,9 +185,13 @@ func readFrame(r io.Reader, wantType byte) ([]byte, error) {
 		return nil, err
 	}
 	if typ != wantType {
-		return nil, fmt.Errorf("proto: got message type %d, want %d", typ, wantType)
+		return nil, typeMismatch(typ, wantType)
 	}
 	return b, nil
+}
+
+func typeMismatch(got, want byte) error {
+	return fmt.Errorf("proto: got message type %d, want %d", got, want)
 }
 
 // readAnyFrame reads the next frame whatever its type; the negotiation
@@ -488,11 +505,16 @@ func runEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput 
 
 	res := &Result{}
 	run := newRun(cfg)
+	// From here the garbler only sends: stream frames through the
+	// read-ahead reader (a synchronous pass-through unless cfg.ReadAhead
+	// asks for buffering), which shutdown joins on every path.
+	fr := newFrameReader(conn, cfg)
+	defer fr.shutdown()
 	if cfg.Trace != nil {
-		if err := evalStreamReplay(ctx, conn, cfg, e, res); err != nil {
+		if err := evalStreamReplay(ctx, fr, cfg, e, res); err != nil {
 			return nil, err
 		}
-	} else if err := evalStream(ctx, conn, cfg, s, e, run, res, rec); err != nil {
+	} else if err := evalStream(ctx, fr, cfg, s, e, run, res, rec); err != nil {
 		return nil, err
 	}
 	if rec != nil {
@@ -519,7 +541,7 @@ func runEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput 
 			return nil, err
 		}
 	default:
-		decBytes, err := readFrame(conn, msgDecode)
+		decBytes, err := fr.read(msgDecode)
 		if err != nil {
 			return nil, err
 		}
@@ -545,7 +567,7 @@ func runEvaluator(ctx context.Context, conn io.ReadWriter, cfg Config, bobInput 
 // evalStream is the evaluator's classified cycle loop: classify, read a
 // table frame at each batch start, evaluate, and optionally record the
 // schedule for later replay.
-func evalStream(ctx context.Context, conn io.ReadWriter, cfg Config, s *core.Scheduler, e *core.Evaluator, run *runState, res *Result, rec *core.TraceRecorder) error {
+func evalStream(ctx context.Context, fr *frameReader, cfg Config, s *core.Scheduler, e *core.Evaluator, run *runState, res *Result, rec *core.TraceRecorder) error {
 	batch := cfg.batch()
 	var pending []gc.Table // tables of the current frame not yet consumed
 	inBatch := 0
@@ -570,7 +592,7 @@ func evalStream(ctx context.Context, conn io.ReadWriter, cfg Config, s *core.Sch
 			// Batch start: the garbler sends one frame covering the next
 			// CycleBatch cycles (fewer at the halt/budget edge).
 			var err error
-			pending, err = readTables(conn, cfg, res, cyc)
+			pending, err = readTables(fr, cfg, res, cyc)
 			if err != nil {
 				return err
 			}
@@ -600,7 +622,7 @@ func evalStream(ctx context.Context, conn io.ReadWriter, cfg Config, s *core.Sch
 // evalStreamReplay is the evaluator's trace-replay loop: no scheduler,
 // frame boundaries re-derived from the trace exactly where the classified
 // loop would put them (batch edges, the recorded halt, the budget edge).
-func evalStreamReplay(ctx context.Context, conn io.ReadWriter, cfg Config, e *core.Evaluator, res *Result) error {
+func evalStreamReplay(ctx context.Context, fr *frameReader, cfg Config, e *core.Evaluator, res *Result) error {
 	tr := cfg.Trace
 	batch := cfg.batch()
 	var pending []gc.Table
@@ -618,7 +640,7 @@ func evalStreamReplay(ctx context.Context, conn io.ReadWriter, cfg Config, e *co
 		}
 		if inBatch == 0 {
 			var err error
-			pending, err = readTables(conn, cfg, res, cyc)
+			pending, err = readTables(fr, cfg, res, cyc)
 			if err != nil {
 				return err
 			}
@@ -645,8 +667,8 @@ func evalStreamReplay(ctx context.Context, conn io.ReadWriter, cfg Config, e *co
 }
 
 // readTables reads and parses one msgTables frame.
-func readTables(conn io.ReadWriter, cfg Config, res *Result, cyc int) ([]gc.Table, error) {
-	payload, err := readFrame(conn, msgTables)
+func readTables(fr *frameReader, cfg Config, res *Result, cyc int) ([]gc.Table, error) {
+	payload, err := fr.read(msgTables)
 	if err != nil {
 		return nil, err
 	}

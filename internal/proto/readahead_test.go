@@ -1,0 +1,152 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReadAheadByteIdentical pins the evaluator read-ahead contract:
+// buffering frames off the socket ahead of the cycle loop is a purely
+// local knob — outputs, stats and the garbler's wire bytes must be
+// untouched for every depth × batch combination.
+func TestReadAheadByteIdentical(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		base, alice, bob := multiCycleConfig(t, batch)
+		ra, rb, want := runBothAsym(t, base, base, alice, bob, 17)
+
+		for _, depth := range []int{1, 2, 16} {
+			cfgE := base
+			cfgE.ReadAhead = depth
+			sa, sb, got := runBothAsym(t, base, cfgE, alice, bob, 17)
+			if len(got) != len(want) {
+				t.Fatalf("b%d d%d: %d frames, synchronous saw %d", batch, depth, len(got), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(want[i], got[i]) {
+					t.Fatalf("b%d d%d: frame %d differs under read-ahead", batch, depth, i)
+				}
+			}
+			if sa.Stats != ra.Stats || sb.Stats != rb.Stats {
+				t.Fatalf("b%d d%d: stats diverge under read-ahead", batch, depth)
+			}
+			for i := range rb.Outputs {
+				if sb.Outputs[i] != rb.Outputs[i] || sa.Outputs[i] != ra.Outputs[i] {
+					t.Fatalf("b%d d%d: output %d differs under read-ahead", batch, depth, i)
+				}
+			}
+		}
+	}
+}
+
+// TestReadAheadHalted exercises the typed-frame peeking across the halt
+// edge: the classifying evaluator cannot know the stream length, so the
+// read-ahead goroutine must park the decode frame it peeks after the last
+// table frame and let the typed decode read pick it up.
+func TestReadAheadHalted(t *testing.T) {
+	for _, batch := range []int{1, 4} {
+		cfg, alice, bob := haltingConfig(t, batch)
+		ra, rb, _ := runBothAsym(t, cfg, cfg, alice, bob, 23)
+		if !rb.Halted {
+			t.Fatalf("batch %d: reference run did not halt", batch)
+		}
+
+		cfgE := cfg
+		cfgE.ReadAhead = 4
+		sa, sb, _ := runBothAsym(t, cfg, cfgE, alice, bob, 23)
+		if !sa.Halted || !sb.Halted {
+			t.Fatalf("batch %d: read-ahead run did not halt", batch)
+		}
+		if sa.Stats != ra.Stats || sb.Stats != rb.Stats {
+			t.Fatalf("batch %d: stats diverge under read-ahead", batch)
+		}
+		for i := range rb.Outputs {
+			if sb.Outputs[i] != rb.Outputs[i] {
+				t.Fatalf("batch %d: output %d differs under read-ahead", batch, i)
+			}
+		}
+	}
+}
+
+// TestReadAheadTraceReplay covers the replaying evaluator, where the
+// trace pins the exact frame count and the goroutine reads just that many
+// — including against a pooled (recorded) garbler, the server's steady
+// state.
+func TestReadAheadTraceReplay(t *testing.T) {
+	for _, batch := range []int{1, 4} {
+		cfg, alice, bob := haltingConfig(t, batch)
+		_, trE := recordTraces(t, cfg, alice, bob, 29)
+		ra, rb, _ := runBothAsym(t, cfg, cfg, alice, bob, 29)
+
+		cfgE := cfg
+		cfgE.Trace = trE
+		cfgE.ReadAhead = 4
+		sa, sb, _ := runBothAsym(t, cfg, cfgE, alice, bob, 29)
+		if sa.Stats != ra.Stats || sb.Stats != rb.Stats {
+			t.Fatalf("batch %d: stats diverge (replay + read-ahead)", batch)
+		}
+		for i := range rb.Outputs {
+			if sb.Outputs[i] != rb.Outputs[i] {
+				t.Fatalf("batch %d: output %d differs (replay + read-ahead)", batch, i)
+			}
+		}
+
+		// Same evaluator against a pooled garbler stream.
+		rec, _, err := RecordGarbler(nil, cfg, alice, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, pb, _ := serveBoth(t, cfg, cfgE, rec, bob)
+		if pb.Stats != rb.Stats {
+			t.Fatalf("batch %d: pooled stats diverge under read-ahead replay", batch)
+		}
+		for i := range rb.Outputs {
+			if pb.Outputs[i] != rb.Outputs[i] {
+				t.Fatalf("batch %d: pooled output %d differs under read-ahead replay", batch, i)
+			}
+		}
+	}
+}
+
+// TestReadAheadGarblerOnlyOutputs: in classifying OutputGarblerOnly mode
+// no sentinel frame follows the table stream — the next frame is the
+// evaluator's own — so read-ahead must silently degrade to synchronous
+// reads and leave the exchange intact.
+func TestReadAheadGarblerOnlyOutputs(t *testing.T) {
+	base, alice, bob := multiCycleConfig(t, 2)
+	base.Outputs = OutputGarblerOnly
+	ra, _, _ := runBothAsym(t, base, base, alice, bob, 31)
+
+	cfgE := base
+	cfgE.ReadAhead = 4
+	sa, sb, _ := runBothAsym(t, base, cfgE, alice, bob, 31)
+	if len(sb.Outputs) != 0 {
+		t.Fatalf("evaluator learned %d outputs in garbler-only mode", len(sb.Outputs))
+	}
+	for i := range ra.Outputs {
+		if sa.Outputs[i] != ra.Outputs[i] {
+			t.Fatalf("garbler output %d differs", i)
+		}
+	}
+}
+
+// TestCountTraceFrames checks the derived frame count against the frames
+// a replayed session actually puts on the wire, across batch sizes and
+// the halt edge.
+func TestCountTraceFrames(t *testing.T) {
+	check := func(name string, cfg Config, alice, bob []bool, seed int64) {
+		t.Helper()
+		trG, trE := recordTraces(t, cfg, alice, bob, seed)
+		gR, eR := cfg, cfg
+		gR.Trace, eR.Trace = trG, trE
+		_, _, frames := runBothAsym(t, gR, eR, alice, bob, seed)
+		if got := countTraceFrames(eR); got != len(frames) {
+			t.Fatalf("%s: countTraceFrames = %d, wire carried %d", name, got, len(frames))
+		}
+	}
+	for _, batch := range []int{1, 3, 4, 16} {
+		cfg, alice, bob := multiCycleConfig(t, batch)
+		check("accum", cfg, alice, bob, 37)
+		hcfg, halice, hbob := haltingConfig(t, batch)
+		check("halting", hcfg, halice, hbob, 37)
+	}
+}

@@ -1,0 +1,432 @@
+package proto
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"arm2gc/internal/core"
+	"arm2gc/internal/gc"
+	"arm2gc/internal/ot"
+)
+
+// Recorded is one complete pre-garbled session: every byte the garbler
+// would put on the wire before the evaluator's input matters — the hello
+// frame, Alice's active input labels, Bob's OT label pairs and the full
+// garbled-table stream — plus the output-decode metadata the online phase
+// needs afterwards. Nothing in it depends on the evaluator: only the label
+// *choice* does, and that happens inside OT at serve time.
+//
+// A Recorded is bound to one session id (the digest of the circuit, the
+// public input and the negotiable options) and MUST be served at most
+// once: its labels came from one fresh seed, and replaying them to two
+// evaluators would let the transcripts be correlated. ServeRecorded does
+// not enforce single use — the pool layer that hands entries out does.
+type Recorded struct {
+	sid    [32]byte
+	hello  []byte        // the exact msgHello payload: sid || seed
+	alice  []byte        // the exact msgAliceLabels payload
+	pairs  [][2]gc.Label // Bob's OT input-label pairs, in wire order
+	frames [][]byte      // every msgTables payload, in wire order
+	stats  core.Stats
+	halted bool
+
+	// Per flattened output bit: publicly resolved flag, the public value
+	// when so, and the point-and-permute decode bit when secret.
+	outPub []bool
+	outVal []bool
+	outDec []bool
+
+	size int // cached SizeBytes
+}
+
+// SessionID returns the session digest this stream was garbled for; only
+// a Config digesting to the same id may serve it.
+func (r *Recorded) SessionID() [32]byte { return r.sid }
+
+// Seed returns the garbler's fingerprint seed for this stream. The seed
+// is public (it crosses the wire in the hello frame); it doubles as a
+// per-entry identity in tests, since every Recorded draws a fresh one.
+func (r *Recorded) Seed() core.Seed {
+	var s core.Seed
+	copy(s[:], r.hello[32:])
+	return s
+}
+
+// TableFrames returns how many msgTables frames the stream carries.
+func (r *Recorded) TableFrames() int { return len(r.frames) }
+
+// Stats returns the recorded run's scheduling statistics.
+func (r *Recorded) Stats() core.Stats { return r.stats }
+
+// Halted reports whether the recorded run hit the program's halt flag
+// before the cycle budget.
+func (r *Recorded) Halted() bool { return r.halted }
+
+// SizeBytes estimates the entry's memory footprint — the payload bytes
+// plus per-slice bookkeeping — for pool byte budgets.
+func (r *Recorded) SizeBytes() int { return r.size }
+
+func (r *Recorded) computeSize() {
+	n := len(r.hello) + len(r.alice) + 32*len(r.pairs) + 3*len(r.outPub) + 256
+	for _, f := range r.frames {
+		n += len(f) + 24
+	}
+	r.size = n
+}
+
+// RecordGarbler runs the garbler's entire offline phase with no peer: it
+// draws a fresh seed from rnd, garbles the complete table stream into
+// memory through exactly the loop the live path uses (classified, or
+// replayed from cfg.Trace), and captures the label and decode metadata.
+// ServeRecorded then replays the result to one evaluator with a wire
+// stream byte-identical to what RunGarbler would have produced from the
+// same randomness.
+//
+// The returned Result carries the run's stats and — when cfg.Record is
+// set — the compiled classification trace, exactly as RunGarbler would.
+// cfg.Pipeline is ignored: there is no I/O to overlap with offline.
+func RecordGarbler(ctx context.Context, cfg Config, aliceInput []bool, rnd io.Reader) (*Recorded, *Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sid, err := cfg.SessionID()
+	if err != nil {
+		return nil, nil, err
+	}
+	if rnd == nil {
+		rnd = gc.CryptoRand
+	}
+	var seed core.Seed
+	if _, err := io.ReadFull(rnd, seed[:]); err != nil {
+		return nil, nil, err
+	}
+	rec := &Recorded{sid: sid, hello: append(append([]byte{}, sid[:]...), seed[:]...)}
+
+	// Same construction — and the same label-draw order from rnd — as
+	// runGarbler, so record+serve and live garbling are interchangeable
+	// byte for byte.
+	var s *core.Scheduler
+	var trec *core.TraceRecorder
+	var g *core.Garbler
+	if cfg.Trace != nil {
+		if cfg.Record {
+			return nil, nil, fmt.Errorf("proto: Record with Trace: a replayed run has no scheduler to record")
+		}
+		if err := cfg.Trace.Validate(cfg.Cycles); err != nil {
+			return nil, nil, err
+		}
+		g = core.NewReplayGarbler(cfg.Circuit, rnd)
+	} else {
+		s = core.NewScheduler(cfg.Circuit, seed, cfg.Public)
+		if err := s.SetWorkers(cfg.Workers); err != nil {
+			return nil, nil, err
+		}
+		g = core.NewGarbler(s, rnd)
+		if cfg.Record {
+			trec = core.NewTraceRecorder(s)
+		}
+	}
+	rec.alice = packLabels(g.AliceActiveLabels(aliceInput))
+	rec.pairs = g.BobPairs()
+
+	res := &Result{}
+	run := newRun(cfg)
+	emit := func(payload []byte) ([]byte, error) {
+		rec.frames = append(rec.frames, append([]byte(nil), payload...))
+		return payload, nil
+	}
+	if cfg.Trace != nil {
+		err = garbleFramesReplay(ctx, cfg, g, res, emit)
+	} else {
+		err = garbleFrames(ctx, cfg, s, g, run, res, trec, emit)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	res.TableFrames = len(rec.frames)
+	if trec != nil {
+		res.Trace = trec.Finish(res.Halted)
+	}
+
+	state := func(i int) (bool, bool) {
+		if cfg.Trace != nil {
+			return cfg.Trace.OutputState(i)
+		}
+		return s.WireState(run.outWires[i])
+	}
+	rec.outPub = make([]bool, len(run.outWires))
+	rec.outVal = make([]bool, len(run.outWires))
+	rec.outDec = make([]bool, len(run.outWires))
+	for i, w := range run.outWires {
+		v, pub := state(i)
+		rec.outPub[i], rec.outVal[i] = pub, v && pub
+		if !pub {
+			rec.outDec[i] = g.DecodeBit(w)
+		}
+	}
+	rec.stats, rec.halted = res.Stats, res.Halted
+	rec.computeSize()
+	return rec, res, nil
+}
+
+// ServeRecorded plays the garbler's online phase from a pre-garbled
+// stream: hello, Alice's labels, OT, the buffered table frames, then the
+// output-decode exchange — byte-identical to RunGarbler over the same
+// randomness, with zero garbling on the hot path. cfg must digest to the
+// stream's session id (it fixes the output mode the decode phase runs
+// under). The caller guarantees rec has never been served before.
+func ServeRecorded(ctx context.Context, conn io.ReadWriter, cfg Config, rec *Recorded) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := watchContext(ctx, conn)
+	defer stop()
+	res, err := serveRecorded(ctx, conn, cfg, rec)
+	return res, abortErr(ctx, err)
+}
+
+func serveRecorded(ctx context.Context, conn io.ReadWriter, cfg Config, rec *Recorded) (*Result, error) {
+	sid, err := cfg.SessionID()
+	if err != nil {
+		return nil, err
+	}
+	if sid != rec.sid {
+		return nil, fmt.Errorf("proto: recorded stream was garbled for a different session")
+	}
+	if err := writeFrame(conn, msgHello, rec.hello); err != nil {
+		return nil, err
+	}
+	ack, err := readFrame(conn, msgHello)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(ack, sid[:]) {
+		return nil, fmt.Errorf("proto: evaluator session mismatch")
+	}
+	if err := writeFrame(conn, msgAliceLabels, rec.alice); err != nil {
+		return nil, err
+	}
+	if err := ot.SendLabels(conn, rec.pairs); err != nil {
+		return nil, fmt.Errorf("proto: OT: %w", err)
+	}
+	res := &Result{Stats: rec.stats, Halted: rec.halted}
+	for _, f := range rec.frames {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := writeFrame(conn, msgTables, f); err != nil {
+			return nil, err
+		}
+		res.TableFrames++
+	}
+
+	switch cfg.Outputs {
+	case OutputEvaluatorOnly:
+		if err := writeFrame(conn, msgDecode, packBits(rec.outDec)); err != nil {
+			return nil, err
+		}
+	case OutputGarblerOnly:
+		perm, err := readFrame(conn, msgOutputs)
+		if err != nil {
+			return nil, err
+		}
+		bits := unpackBits(perm, len(rec.outPub))
+		out := make([]bool, len(rec.outPub))
+		for i := range out {
+			if rec.outPub[i] {
+				out[i] = rec.outVal[i]
+			} else {
+				out[i] = bits[i] != rec.outDec[i]
+			}
+		}
+		res.Outputs = out
+	default:
+		if err := writeFrame(conn, msgDecode, packBits(rec.outDec)); err != nil {
+			return nil, err
+		}
+		vals, err := readFrame(conn, msgOutputs)
+		if err != nil {
+			return nil, err
+		}
+		res.Outputs = unpackBits(vals, len(rec.outPub))
+	}
+	return res, nil
+}
+
+// recordedMagic versions the spill format; any mismatch refuses the file
+// rather than misparse it.
+var recordedMagic = [5]byte{'A', '2', 'G', 'P', 1}
+
+// MarshalBinary serializes the entry for spill-to-disk. The format is
+// internal to this build (a pool never outlives its process across
+// versions — stale spill files are deleted on startup), but it is still
+// versioned and length-checked so a truncated or foreign file fails
+// loudly instead of yielding garbage labels.
+func (r *Recorded) MarshalBinary() ([]byte, error) {
+	size := len(recordedMagic) + 32 + 4 + len(r.hello) + 4 + len(r.alice) +
+		4 + 32*len(r.pairs) + 4 + 7*8 + 1 + 4 + len(r.outPub)
+	for _, f := range r.frames {
+		size += 4 + len(f)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, recordedMagic[:]...)
+	out = append(out, r.sid[:]...)
+	putChunk := func(b []byte) {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	putChunk(r.hello)
+	putChunk(r.alice)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(r.pairs)))
+	for _, p := range r.pairs {
+		b0, b1 := p[0].Bytes(), p[1].Bytes()
+		out = append(out, b0[:]...)
+		out = append(out, b1[:]...)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(r.frames)))
+	for _, f := range r.frames {
+		putChunk(f)
+	}
+	for _, v := range []int{r.stats.Cycles, r.stats.Total.Garbled, r.stats.Total.Filtered,
+		r.stats.Total.FreeXOR, r.stats.Total.PublicGates, r.stats.Total.Passthrough,
+		r.stats.Total.DeadSkipped} {
+		out = binary.LittleEndian.AppendUint64(out, uint64(v))
+	}
+	if r.halted {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(r.outPub)))
+	for i := range r.outPub {
+		var b byte
+		if r.outPub[i] {
+			b |= 1
+		}
+		if r.outVal[i] {
+			b |= 2
+		}
+		if r.outDec[i] {
+			b |= 4
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// UnmarshalRecorded parses a MarshalBinary blob back into an entry.
+func UnmarshalRecorded(b []byte) (*Recorded, error) {
+	bad := fmt.Errorf("proto: truncated recorded stream")
+	take := func(n int) ([]byte, error) {
+		if n < 0 || len(b) < n {
+			return nil, bad
+		}
+		out := b[:n]
+		b = b[n:]
+		return out, nil
+	}
+	u32 := func() (int, error) {
+		c, err := take(4)
+		if err != nil {
+			return 0, err
+		}
+		n := binary.LittleEndian.Uint32(c)
+		if n > 1<<30 {
+			return 0, fmt.Errorf("proto: recorded chunk of %d bytes refused", n)
+		}
+		return int(n), nil
+	}
+	chunk := func() ([]byte, error) {
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		c, err := take(n)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte(nil), c...), nil
+	}
+	magic, err := take(len(recordedMagic))
+	if err != nil || !bytes.Equal(magic, recordedMagic[:]) {
+		return nil, fmt.Errorf("proto: not a recorded stream (bad magic/version)")
+	}
+	r := &Recorded{}
+	sid, err := take(32)
+	if err != nil {
+		return nil, err
+	}
+	copy(r.sid[:], sid)
+	if r.hello, err = chunk(); err != nil {
+		return nil, err
+	}
+	if len(r.hello) != 32+16 {
+		return nil, fmt.Errorf("proto: recorded hello of %d bytes", len(r.hello))
+	}
+	if r.alice, err = chunk(); err != nil {
+		return nil, err
+	}
+	npairs, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	r.pairs = make([][2]gc.Label, npairs)
+	for i := range r.pairs {
+		pb, err := take(32)
+		if err != nil {
+			return nil, err
+		}
+		r.pairs[i][0] = gc.LabelFromBytes(pb)
+		r.pairs[i][1] = gc.LabelFromBytes(pb[16:])
+	}
+	nframes, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	r.frames = make([][]byte, nframes)
+	for i := range r.frames {
+		if r.frames[i], err = chunk(); err != nil {
+			return nil, err
+		}
+	}
+	st, err := take(7 * 8)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]int, 7)
+	for i := range vals {
+		vals[i] = int(binary.LittleEndian.Uint64(st[8*i:]))
+	}
+	r.stats = core.Stats{Cycles: vals[0], Total: core.CycleStats{Garbled: vals[1],
+		Filtered: vals[2], FreeXOR: vals[3], PublicGates: vals[4],
+		Passthrough: vals[5], DeadSkipped: vals[6]}}
+	hb, err := take(1)
+	if err != nil {
+		return nil, err
+	}
+	r.halted = hb[0] == 1
+	nout, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	ob, err := take(nout)
+	if err != nil {
+		return nil, err
+	}
+	r.outPub = make([]bool, nout)
+	r.outVal = make([]bool, nout)
+	r.outDec = make([]bool, nout)
+	for i, v := range ob {
+		r.outPub[i] = v&1 != 0
+		r.outVal[i] = v&2 != 0
+		r.outDec[i] = v&4 != 0
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("proto: %d trailing bytes after recorded stream", len(b))
+	}
+	r.computeSize()
+	return r, nil
+}

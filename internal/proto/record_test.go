@@ -1,0 +1,283 @@
+package proto
+
+import (
+	"bytes"
+	"context"
+	mrand "math/rand"
+	"net"
+	"strings"
+	"testing"
+)
+
+// serveBoth plays ServeRecorded against RunEvaluator over a pipe, tapping
+// the table frames the evaluator sees — the pooled-session counterpart of
+// runBothAsym.
+func serveBoth(t *testing.T, cfgG, cfgE Config, rec *Recorded, bob []bool) (*Result, *Result, [][]byte) {
+	t.Helper()
+	var frames [][]byte
+	cfgE.tapTables = func(p []byte) { frames = append(frames, append([]byte(nil), p...)) }
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	type res struct {
+		r   *Result
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		r, err := ServeRecorded(context.Background(), ca, cfgG, rec)
+		ch <- res{r, err}
+	}()
+	rb, err := RunEvaluator(context.Background(), cb, cfgE, bob)
+	if err != nil {
+		t.Fatalf("evaluator: %v", err)
+	}
+	ra := <-ch
+	if ra.err != nil {
+		t.Fatalf("serve recorded: %v", ra.err)
+	}
+	return ra.r, rb, frames
+}
+
+// TestRecordServeByteIdenticalGrid is the offline/online acceptance grid:
+// a stream garbled offline by RecordGarbler and served by ServeRecorded
+// must put exactly the bytes a live RunGarbler puts on the wire — from
+// the same label randomness — for every workers × pipeline × cycle-batch
+// combination, with identical outputs and stats on both sides.
+func TestRecordServeByteIdenticalGrid(t *testing.T) {
+	base, alice, bob := multiCycleConfig(t, 1)
+	for _, workers := range []int{1, 2, 8} {
+		for _, pipeline := range []int{0, 4} {
+			for _, batch := range []int{1, 8} {
+				cfg := base
+				cfg.CycleBatch = batch
+
+				// Live reference at this grid point (Pipeline and Workers
+				// are garbler-local knobs; the wire contract says they do
+				// not move bytes).
+				cfgG := cfg
+				cfgG.Workers, cfgG.Pipeline = workers, pipeline
+				ra, rb, want := runBothAsym(t, cfgG, cfg, alice, bob, 7)
+				if len(want) == 0 {
+					t.Fatalf("w%d p%d b%d: no reference frames", workers, pipeline, batch)
+				}
+
+				rec, rres, err := RecordGarbler(context.Background(), cfgG, alice,
+					mrand.New(mrand.NewSource(7)))
+				if err != nil {
+					t.Fatalf("w%d p%d b%d: record: %v", workers, pipeline, batch, err)
+				}
+				if rec.TableFrames() != len(want) {
+					t.Fatalf("w%d p%d b%d: recorded %d frames, live sent %d",
+						workers, pipeline, batch, rec.TableFrames(), len(want))
+				}
+				if rres.Stats != ra.Stats {
+					t.Fatalf("w%d p%d b%d: offline stats %+v, live %+v",
+						workers, pipeline, batch, rres.Stats, ra.Stats)
+				}
+
+				sa, sb, got := serveBoth(t, cfg, cfg, rec, bob)
+				if len(got) != len(want) {
+					t.Fatalf("w%d p%d b%d: served %d frames, live sent %d",
+						workers, pipeline, batch, len(got), len(want))
+				}
+				for i := range want {
+					if !bytes.Equal(want[i], got[i]) {
+						t.Fatalf("w%d p%d b%d: frame %d differs from live garbling",
+							workers, pipeline, batch, i)
+					}
+				}
+				if sa.Stats != ra.Stats || sb.Stats != rb.Stats {
+					t.Fatalf("w%d p%d b%d: served stats diverge", workers, pipeline, batch)
+				}
+				for i := range ra.Outputs {
+					if sa.Outputs[i] != ra.Outputs[i] || sb.Outputs[i] != rb.Outputs[i] {
+						t.Fatalf("w%d p%d b%d: output %d differs from live run",
+							workers, pipeline, batch, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRecordServeTraceReplay pins the pool's steady state: offline
+// recording through a compiled classification trace (the producer's warm
+// path) must still serve the exact classified bytes.
+func TestRecordServeTraceReplay(t *testing.T) {
+	base, alice, bob := multiCycleConfig(t, 4)
+	trG, _ := recordTraces(t, base, alice, bob, 9)
+	_, rb, want := runBothAsym(t, base, base, alice, bob, 9)
+
+	cfgR := base
+	cfgR.Trace = trG
+	rec, _, err := RecordGarbler(context.Background(), cfgR, alice, mrand.New(mrand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("record via trace: %v", err)
+	}
+	_, sb, got := serveBoth(t, base, base, rec, bob)
+	if len(got) != len(want) {
+		t.Fatalf("trace-recorded stream: %d frames, classified sent %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(want[i], got[i]) {
+			t.Fatalf("trace-recorded stream: frame %d differs", i)
+		}
+	}
+	for i := range rb.Outputs {
+		if sb.Outputs[i] != rb.Outputs[i] {
+			t.Fatalf("trace-recorded stream: output %d differs", i)
+		}
+	}
+
+	// Record+Record is refused: a replayed run has no scheduler to record.
+	cfgR.Record = true
+	if _, _, err := RecordGarbler(context.Background(), cfgR, alice, nil); err == nil {
+		t.Fatal("Record with Trace set was accepted")
+	}
+}
+
+// TestRecordServeOutputModes runs the decode phase of a served stream
+// under every output mode against the live run's outputs.
+func TestRecordServeOutputModes(t *testing.T) {
+	for _, mode := range []OutputMode{OutputBoth, OutputGarblerOnly, OutputEvaluatorOnly} {
+		base, alice, bob := multiCycleConfig(t, 2)
+		base.Outputs = mode
+		ra, rb, _ := runBothAsym(t, base, base, alice, bob, 5)
+
+		rec, _, err := RecordGarbler(context.Background(), base, alice, mrand.New(mrand.NewSource(5)))
+		if err != nil {
+			t.Fatalf("mode %v: record: %v", mode, err)
+		}
+		sa, sb, _ := serveBoth(t, base, base, rec, bob)
+		if len(sa.Outputs) != len(ra.Outputs) || len(sb.Outputs) != len(rb.Outputs) {
+			t.Fatalf("mode %v: output lengths diverge (%d/%d vs %d/%d)",
+				mode, len(sa.Outputs), len(sb.Outputs), len(ra.Outputs), len(rb.Outputs))
+		}
+		for i := range ra.Outputs {
+			if sa.Outputs[i] != ra.Outputs[i] {
+				t.Fatalf("mode %v: garbler output %d differs", mode, i)
+			}
+		}
+		for i := range rb.Outputs {
+			if sb.Outputs[i] != rb.Outputs[i] {
+				t.Fatalf("mode %v: evaluator output %d differs", mode, i)
+			}
+		}
+	}
+}
+
+// TestRecordServeHalted pins the halt edge: a recorded stream of a
+// program that raises its stop flag mid-budget must carry exactly the
+// frames up to the halt, for batch sizes that do and do not divide the
+// halted cycle count.
+func TestRecordServeHalted(t *testing.T) {
+	for _, batch := range []int{1, 4} {
+		cfg, alice, bob := haltingConfig(t, batch)
+		ra, rb, want := runBothAsym(t, cfg, cfg, alice, bob, 3)
+		if !ra.Halted {
+			t.Fatalf("batch %d: live run did not halt", batch)
+		}
+
+		rec, _, err := RecordGarbler(context.Background(), cfg, alice, mrand.New(mrand.NewSource(3)))
+		if err != nil {
+			t.Fatalf("batch %d: record: %v", batch, err)
+		}
+		if !rec.Halted() {
+			t.Fatalf("batch %d: recorded stream does not carry the halt", batch)
+		}
+		sa, sb, got := serveBoth(t, cfg, cfg, rec, bob)
+		if !sa.Halted || !sb.Halted {
+			t.Fatalf("batch %d: served session did not halt", batch)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("batch %d: served %d frames, live sent %d", batch, len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(want[i], got[i]) {
+				t.Fatalf("batch %d: frame %d differs across the halt edge", batch, i)
+			}
+		}
+		for i := range rb.Outputs {
+			if sb.Outputs[i] != rb.Outputs[i] {
+				t.Fatalf("batch %d: output %d differs", batch, i)
+			}
+		}
+	}
+}
+
+// TestServeRecordedSessionMismatch: a stream garbled for one option set
+// must be refused — before any byte moves — by a config digesting to a
+// different session id.
+func TestServeRecordedSessionMismatch(t *testing.T) {
+	cfg1, alice, _ := multiCycleConfig(t, 1)
+	rec, _, err := RecordGarbler(context.Background(), cfg1, alice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg8 := cfg1
+	cfg8.CycleBatch = 8
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	if _, err := ServeRecorded(context.Background(), ca, cfg8, rec); err == nil ||
+		!strings.Contains(err.Error(), "different session") {
+		t.Fatalf("mismatched config accepted the stream: %v", err)
+	}
+}
+
+// TestRecordedMarshalRoundTrip pins the spill format: a marshal/unmarshal
+// round trip must serve a byte-identical stream, and corrupted or
+// truncated blobs must be refused loudly.
+func TestRecordedMarshalRoundTrip(t *testing.T) {
+	cfg, alice, bob := haltingConfig(t, 4)
+	_, rb, want := runBothAsym(t, cfg, cfg, alice, bob, 13)
+	rec, _, err := RecordGarbler(context.Background(), cfg, alice, mrand.New(mrand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := rec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalRecorded(blob)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.SessionID() != rec.SessionID() || back.Seed() != rec.Seed() ||
+		back.TableFrames() != rec.TableFrames() || back.Stats() != rec.Stats() ||
+		back.Halted() != rec.Halted() || back.SizeBytes() != rec.SizeBytes() {
+		t.Fatal("round trip changed the stream's metadata")
+	}
+	_, sb, got := serveBoth(t, cfg, cfg, back, bob)
+	if len(got) != len(want) {
+		t.Fatalf("unmarshaled stream served %d frames, live sent %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(want[i], got[i]) {
+			t.Fatalf("unmarshaled stream: frame %d differs", i)
+		}
+	}
+	for i := range rb.Outputs {
+		if sb.Outputs[i] != rb.Outputs[i] {
+			t.Fatalf("unmarshaled stream: output %d differs", i)
+		}
+	}
+
+	// Hostile inputs: bad magic, truncation at every boundary class,
+	// trailing garbage.
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if _, err := UnmarshalRecorded(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	for _, cut := range []int{len(recordedMagic) - 1, len(recordedMagic) + 16, len(blob) / 2, len(blob) - 1} {
+		if _, err := UnmarshalRecorded(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := UnmarshalRecorded(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

@@ -26,6 +26,8 @@ type serverMetrics struct {
 	tableFrames         atomic.Int64
 	cycles              atomic.Int64
 	garbledTables       atomic.Int64
+	poolHits            atomic.Int64
+	poolMisses          atomic.Int64
 
 	mu       sync.Mutex
 	programs map[string]*programCounters
@@ -109,6 +111,46 @@ type ServerMetrics struct {
 	// Programs holds the per-registration counters, keyed by registered
 	// name. Every registered program appears, even at zero.
 	Programs map[string]ProgramMetrics `json:"programs"`
+	// GarbleAhead reports the garble-ahead pool; nil unless the Server
+	// was built WithGarbleAhead.
+	GarbleAhead *GarbleAheadMetrics `json:"garble_ahead,omitempty"`
+}
+
+// GarbleAheadMetrics is the garble-ahead pool's slice of a Server
+// metrics snapshot.
+type GarbleAheadMetrics struct {
+	// Hits counts sessions served from a pre-garbled stream; Misses
+	// counts sessions of pooled programs that garbled live instead —
+	// the pool was dry, or the client proposed non-default options.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Refills counts completed offline garbling passes; RefillNanos is
+	// the producer time they took in total, so RefillNanos/Refills is
+	// the mean refill latency.
+	Refills        int64 `json:"refills"`
+	RefillFailures int64 `json:"refill_failures"`
+	RefillNanos    int64 `json:"refill_nanos"`
+	// Evictions counts entries dropped for byte budgets; SpillLoadFails
+	// counts spill files that would not load back (served live instead).
+	Evictions      int64 `json:"evictions"`
+	SpillLoadFails int64 `json:"spill_load_failures"`
+	// MemBytes/SpillBytes/Ready gauge the pool's current contents.
+	MemBytes   int64 `json:"mem_bytes"`
+	SpillBytes int64 `json:"spill_bytes"`
+	Ready      int   `json:"ready"`
+	// Programs holds per-program pool state, keyed by registered name.
+	Programs map[string]GarbleAheadProgram `json:"programs"`
+}
+
+// GarbleAheadProgram is one pooled program's depth and traffic. Its
+// Hits/Misses count only default-option sessions (the streams the pool
+// actually fills); the top-level counters include off-key sessions too.
+type GarbleAheadProgram struct {
+	Ready   int   `json:"ready"`
+	Depth   int   `json:"depth"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Refills int64 `json:"refills"`
 }
 
 // ProgramMetrics is one registered program's session counters.
@@ -141,6 +183,27 @@ func (s *Server) Metrics() ServerMetrics {
 		m.Programs[name] = ProgramMetrics{Served: c.served.Load(), Rejected: c.rejected.Load()}
 	}
 	s.met.mu.Unlock()
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		ga := &GarbleAheadMetrics{
+			Hits:           s.met.poolHits.Load(),
+			Misses:         s.met.poolMisses.Load(),
+			Refills:        ps.Refills,
+			RefillFailures: ps.Failures,
+			RefillNanos:    ps.RefillTime.Nanoseconds(),
+			Evictions:      ps.Evictions,
+			SpillLoadFails: ps.LoadFails,
+			MemBytes:       ps.MemBytes,
+			SpillBytes:     ps.SpillBytes,
+			Ready:          ps.Ready,
+			Programs:       make(map[string]GarbleAheadProgram, len(ps.Programs)),
+		}
+		for name, p := range ps.Programs {
+			ga.Programs[name] = GarbleAheadProgram{Ready: p.Ready, Depth: p.Depth,
+				Hits: p.Hits, Misses: p.Misses, Refills: p.Refills}
+		}
+		m.GarbleAhead = ga
+	}
 	return m
 }
 
@@ -207,5 +270,33 @@ func writeProm(w http.ResponseWriter, m ServerMetrics) {
 	fmt.Fprintf(w, "# TYPE arm2gc_program_sessions_rejected_total counter\n")
 	for _, name := range names {
 		fmt.Fprintf(w, "arm2gc_program_sessions_rejected_total{program=%q} %d\n", name, m.Programs[name].Rejected)
+	}
+
+	if ga := m.GarbleAhead; ga != nil {
+		counter("arm2gc_pool_hits_total", "Sessions served from a pre-garbled stream.", ga.Hits)
+		counter("arm2gc_pool_misses_total", "Pooled-program sessions that garbled live.", ga.Misses)
+		counter("arm2gc_pool_refills_total", "Completed offline garbling passes.", ga.Refills)
+		counter("arm2gc_pool_refill_failures_total", "Failed offline garbling passes.", ga.RefillFailures)
+		counter("arm2gc_pool_refill_nanoseconds_total", "Producer time across refills; divide by refills for mean latency.", ga.RefillNanos)
+		counter("arm2gc_pool_evictions_total", "Pool entries dropped for byte budgets.", ga.Evictions)
+		counter("arm2gc_pool_spill_load_failures_total", "Spill files that would not load back.", ga.SpillLoadFails)
+		gauge("arm2gc_pool_mem_bytes", "Pre-garbled bytes resident in memory.", ga.MemBytes)
+		gauge("arm2gc_pool_spill_bytes", "Pre-garbled bytes spilled to disk.", ga.SpillBytes)
+		gauge("arm2gc_pool_ready", "Ready pre-garbled streams across all programs.", int64(ga.Ready))
+		pnames := make([]string, 0, len(ga.Programs))
+		for name := range ga.Programs {
+			pnames = append(pnames, name)
+		}
+		sort.Strings(pnames)
+		fmt.Fprintf(w, "# HELP arm2gc_pool_program_ready Ready pre-garbled streams, by program.\n")
+		fmt.Fprintf(w, "# TYPE arm2gc_pool_program_ready gauge\n")
+		for _, name := range pnames {
+			fmt.Fprintf(w, "arm2gc_pool_program_ready{program=%q} %d\n", name, ga.Programs[name].Ready)
+		}
+		fmt.Fprintf(w, "# HELP arm2gc_pool_program_depth Target pool depth, by program.\n")
+		fmt.Fprintf(w, "# TYPE arm2gc_pool_program_depth gauge\n")
+		for _, name := range pnames {
+			fmt.Fprintf(w, "arm2gc_pool_program_depth{program=%q} %d\n", name, ga.Programs[name].Depth)
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"arm2gc/internal/pool"
 	"arm2gc/internal/proto"
 )
 
@@ -40,6 +41,8 @@ type Server struct {
 	sem     chan struct{}
 	logf    func(format string, args ...any)
 	tls     *tls.Config
+	pool    *pool.Pool // garble-ahead store; nil without WithGarbleAhead
+	poolErr error      // deferred WithGarbleAhead failure
 
 	mu       sync.Mutex
 	regs     map[string]*registration
@@ -87,6 +90,8 @@ type registration struct {
 	prog     *Program
 	defaults []Option
 	cfg      sessionConfig
+	pooled   bool     // garble-ahead entries exist for this program
+	poolKey  pool.Key // the default-options session id the pool fills
 }
 
 // ServerOption configures a Server.
@@ -138,6 +143,26 @@ func WithTLSConfig(cfg *tls.Config) ServerOption {
 	return func(s *Server) { s.tls = cfg }
 }
 
+// PoolConfig sizes a Server's garble-ahead pool (see WithGarbleAhead):
+// the default per-program depth, the resident and total byte budgets,
+// the spill directory and the refill concurrency. The zero value takes
+// sane defaults throughout (see the pool package constants).
+type PoolConfig = pool.Config
+
+// WithGarbleAhead turns on the offline/online split: background refill
+// workers pre-garble complete per-session table streams for every
+// registered program (WithGarbleAheadOff opts one out;
+// WithGarbleAheadDepth overrides cfg.Depth per program), and serveOne
+// dequeues a ready stream instead of garbling live — the online phase
+// collapses to OT plus frame I/O, keeping tail latency flat under load
+// spikes. Entries are single-use and byte-identical to live garbling on
+// the wire; a client proposing non-default options simply misses the
+// pool and is garbled live. Refill starts with Serve (or explicitly via
+// WarmGarbleAhead); Serve's shutdown stops it and deletes spill files.
+func WithGarbleAhead(cfg PoolConfig) ServerOption {
+	return func(s *Server) { s.pool, s.poolErr = pool.New(cfg) }
+}
+
 // NewServer creates a Server over an Engine (nil means DefaultEngine).
 func NewServer(eng *Engine, opts ...ServerOption) *Server {
 	if eng == nil {
@@ -179,6 +204,9 @@ func (s *Server) Register(name string, p *Program, defaults ...Option) error {
 	if len(name) > proto.MaxProgramName {
 		return fmt.Errorf("arm2gc: Register: name of %d bytes exceeds %d", len(name), proto.MaxProgramName)
 	}
+	if s.poolErr != nil {
+		return fmt.Errorf("arm2gc: WithGarbleAhead: %w", s.poolErr)
+	}
 	cfg, err := newSessionConfig(defaults)
 	if err != nil {
 		return err
@@ -186,14 +214,53 @@ func (s *Server) Register(name string, p *Program, defaults ...Option) error {
 	if _, err := s.eng.Session(p, defaults...); err != nil {
 		return err
 	}
+	reg := &registration{prog: p, defaults: defaults, cfg: cfg}
+	// With garble-ahead on (and the program not opted out), build the
+	// producer: a session over the registration defaults plus trace reuse
+	// — the first offline pass pays the classification, every later one
+	// replays the cached trace — whose session id is the pool key clients
+	// negotiating the defaults will hit.
+	var psess *Session
+	if s.pool != nil && cfg.garbleAhead >= 0 {
+		prodOpts := append(defaults[:len(defaults):len(defaults)], WithTraceReuse())
+		if psess, err = s.eng.Session(p, prodOpts...); err != nil {
+			return err
+		}
+		sid, err := psess.sessionID()
+		if err != nil {
+			return err
+		}
+		reg.poolKey = pool.Key(sid)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.regs[name]; dup {
 		return fmt.Errorf("arm2gc: Register: program %q already registered", name)
 	}
-	s.regs[name] = &registration{prog: p, defaults: defaults, cfg: cfg}
+	if psess != nil {
+		producer := func(ctx context.Context) (*RecordedStream, error) { return psess.Record(ctx) }
+		if err := s.pool.Register(reg.poolKey, name, cfg.garbleAhead, producer); err != nil {
+			return err
+		}
+		reg.pooled = true
+	}
+	s.regs[name] = reg
 	s.met.program(name) // listed in Metrics from registration on, even at zero
 	return nil
+}
+
+// WarmGarbleAhead synchronously fills the garble-ahead pool to every
+// registered program's depth before serving — so the very first client
+// hits a ready stream. A no-op without WithGarbleAhead. Serve's refill
+// workers keep the pool topped up afterwards; calling this is optional.
+func (s *Server) WarmGarbleAhead(ctx context.Context) error {
+	if s.poolErr != nil {
+		return fmt.Errorf("arm2gc: WithGarbleAhead: %w", s.poolErr)
+	}
+	if s.pool == nil {
+		return nil
+	}
+	return s.pool.Fill(ctx)
 }
 
 // SessionsServed reports how many sessions completed successfully — an
@@ -212,6 +279,17 @@ func (s *Server) SessionsServed() int64 { return s.met.served.Load() }
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if s.poolErr != nil {
+		return fmt.Errorf("arm2gc: WithGarbleAhead: %w", s.poolErr)
+	}
+	if s.pool != nil {
+		// Refill runs until shutdown starts (ctx), then Close — after the
+		// last handler is done — stops any straggler and deletes the spill
+		// files. Sessions draining past ctx fall back to live garbling on
+		// an empty (or closed) pool, which is always correct.
+		s.pool.Start(ctx)
+		defer s.pool.Close()
 	}
 	sessCtx, cancelSessions := context.WithCancel(context.Background())
 	defer cancelSessions()
@@ -450,6 +528,19 @@ func (s *Server) serveOne(ctx context.Context, conn net.Conn, prop proto.Proposa
 			return ctx.Err()
 		}
 	}
+	// Garble-ahead: dequeue a pre-garbled stream for the session id the
+	// grant just pinned. A client that proposed non-default options lands
+	// on a different id than the pool fills — a miss, served live. The
+	// dequeue sits after the session slot is acquired so an entry is never
+	// burned on a session that queues past shutdown.
+	var rec *RecordedStream
+	if s.pool != nil && reg.pooled {
+		if rec = s.pool.Get(pool.Key(grant.SessionID)); rec != nil {
+			s.met.poolHits.Add(1)
+		} else {
+			s.met.poolMisses.Add(1)
+		}
+	}
 	if err := proto.WriteGrant(conn, grant); err != nil {
 		return err
 	}
@@ -463,7 +554,12 @@ func (s *Server) serveOne(ctx context.Context, conn net.Conn, prop proto.Proposa
 	// Deferred so the gauge cannot leak on any exit path — error returns
 	// below and panics unwinding through the protocol stack alike.
 	defer s.met.active.Add(-1)
-	info, err := sess.Garble(runCtx, conn, nil)
+	var info *RunInfo
+	if rec != nil {
+		info, err = sess.GarbleRecorded(runCtx, conn, rec)
+	} else {
+		info, err = sess.Garble(runCtx, conn, nil)
+	}
 	if err != nil {
 		return err
 	}
