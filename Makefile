@@ -12,7 +12,14 @@ BENCHTIME ?= 50x
 BENCH_THRESHOLD ?= 1.25
 BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline bench-pool bench-json bench-baseline bench-compare cover ci dev-certs serve-tls test-hardening test-trace test-pool
+# Benchmarks run with the machine's full parallelism: an inherited
+# GOMAXPROCS of 1 silently biases BenchmarkParallelCycle against
+# workers>1. The value lands in the report's hardware fingerprint
+# (gomaxprocs), which gates ns/op comparisons to like hardware.
+NPROC ?= $(shell getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+BENCH_ENV = GOMAXPROCS=$(NPROC)
+
+.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline bench-pool bench-json bench-baseline bench-compare cover ci dev-certs serve-tls test-hardening test-trace test-pool test-gateway
 
 all: build vet test
 
@@ -36,23 +43,23 @@ fuzz-smoke:
 # Cache-hit guard: warm Engine sessions must perform zero netlist
 # synthesis (the benchmark fails if they rebuild).
 bench-engine:
-	$(GO) test -run '^$$' -bench BenchmarkEngineSessionReuse -benchtime 50x .
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench BenchmarkEngineSessionReuse -benchtime 50x .
 
 # Pipelined vs serial garbler wall clock over net.Pipe with simulated
 # link latency: the pipelined path overlaps garbling with frame I/O.
 bench-pipeline:
-	$(GO) test -run '^$$' -bench BenchmarkGarblerPipeline -benchtime 5x .
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench BenchmarkGarblerPipeline -benchtime 5x .
 
 # Offline/online split: a session served from a pre-garbled stream (the
 # state a garble-ahead pool hit leaves the server in) vs a cold one that
 # garbles inline — the gap is the online latency the pool removes.
 bench-pool:
-	$(GO) test -run '^$$' -bench 'BenchmarkColdSession|BenchmarkPooledSession' -benchtime 5x .
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench 'BenchmarkColdSession|BenchmarkPooledSession' -benchtime 5x .
 
 # Machine-readable benchmark report at the repo root (BENCH_<date>.json):
 # ns/op, allocs and the engine's own counters for the core benchmark set.
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -benchtime $(BENCHTIME) . \
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/bench-json -out $(BENCH_FILE)
 
 # Regenerate the committed regression baseline (run on the machine class
@@ -106,6 +113,16 @@ test-pool:
 	$(GO) test -race -shuffle=on -count=1 \
 		-run 'Record|ReadAhead|Pool|GarbleAhead' \
 		. ./internal/proto ./internal/pool
+
+# Fleet-gateway correctness: hash-ring sharding and bounded-load spill,
+# per-peer shedding, the chaos sequence (backend kill → clean client
+# error → eject → survivor serves → re-admit), live registry/fleet ops,
+# client retry/backoff and two-hop TLS — shuffled and under the race
+# detector, as in CI's fleet job.
+test-gateway:
+	$(GO) test -race -shuffle=on -count=1 \
+		-run 'TestGateway|TestRing|TestPeerLimiter|TestServerRetire|TestPoolRetire|TestClientRetry|TestClientWithRetry|TestGatewayOpts' \
+		. ./internal/gateway ./internal/pool ./internal/cli
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

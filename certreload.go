@@ -1,0 +1,36 @@
+package arm2gc
+
+import (
+	"crypto/tls"
+	"time"
+
+	"arm2gc/internal/certwatch"
+)
+
+// NewCertReloader returns a tls.Config.GetCertificate callback serving
+// the certificate/key pair at the given paths and re-reading them when
+// they change on disk — TLS rotation without restarting the listener.
+// The files are stat'ed lazily from inside handshakes, at most once per
+// poll interval (poll <= 0 uses a 5s default); a reload that fails keeps
+// serving the previous certificate. The pair is loaded eagerly once, so
+// a broken certificate is a construction error rather than a surprise at
+// first handshake.
+//
+//	getCert, err := arm2gc.NewCertReloader("server.pem", "server-key.pem", 0)
+//	srv := arm2gc.NewServer(eng, arm2gc.WithTLSConfig(&tls.Config{
+//	    GetCertificate: getCert,
+//	}))
+//
+// The same callback plugs into a fleet gateway's listener config; both
+// ends of the deployment rotate certificates the same way.
+func NewCertReloader(certFile, keyFile string, poll time.Duration) (func(*tls.ClientHelloInfo) (*tls.Certificate, error), error) {
+	var opts []certwatch.Option
+	if poll > 0 {
+		opts = append(opts, certwatch.WithPoll(poll))
+	}
+	r, err := certwatch.New(certFile, keyFile, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return r.GetCertificate, nil
+}

@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"time"
 
 	"arm2gc/internal/proto"
 )
@@ -19,6 +21,42 @@ import (
 // with errors.As. The connection survives a rejection, so the Client
 // remains usable.
 type RejectedError = proto.Rejected
+
+// RetryableError is what Client.Evaluate returns when the peer sheds the
+// proposal with a Retry-After hint — a fleet gateway refusing load, not a
+// policy verdict. After is how long the peer asked this side to back off.
+// It wraps the underlying *RejectedError, so errors.As works for both
+// types; the connection survives a shed like any other rejection.
+// WithRetry(n) makes Evaluate honor the hint itself before surfacing it.
+type RetryableError struct {
+	After time.Duration
+	Err   error
+}
+
+func (e *RetryableError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.After)
+}
+
+func (e *RetryableError) Unwrap() error { return e.Err }
+
+// retryDelay is the jittered backoff for one shed attempt: at least half
+// the hint, at most 1.5× — spreading a thundering herd of shed clients
+// without ignoring the peer's ask.
+func retryDelay(after time.Duration) time.Duration {
+	return after/2 + rand.N(after)
+}
+
+// sleepCtx sleeps d, returning early with ctx's error when cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Client is the evaluator side of the two-party API as a service client:
 // it holds one connection to a Server and runs any number of sequential
@@ -210,13 +248,30 @@ func (c *Client) Evaluate(ctx context.Context, name string, bob []uint32, opts .
 	if cfg.workersSet {
 		prop.Workers = cfg.workers
 	}
-	grant, err := proto.Negotiate(ctx, c.conn, prop)
-	if err != nil {
-		var rej *RejectedError
-		if errors.As(err, &rej) {
-			return nil, err // the connection survives a rejection
+	var grant proto.Grant
+	for attempt := 0; ; attempt++ {
+		grant, err = proto.Negotiate(ctx, c.conn, prop)
+		if err == nil {
+			break
 		}
-		return nil, c.fail(err)
+		var rej *RejectedError
+		if !errors.As(err, &rej) {
+			return nil, c.fail(err)
+		}
+		// The connection survives a rejection. A Retry-After hint marks
+		// it as a transient shed: surface it typed, and — WithRetry —
+		// re-propose after a jittered backoff. Retries live entirely
+		// here, before any cryptographic material has flowed; once the
+		// session runs, no failure is ever replayed.
+		if rej.RetryAfter <= 0 {
+			return nil, err
+		}
+		if attempt >= cfg.retries {
+			return nil, &RetryableError{After: rej.RetryAfter, Err: err}
+		}
+		if serr := sleepCtx(ctx, retryDelay(rej.RetryAfter)); serr != nil {
+			return nil, serr
+		}
 	}
 	resolved := append(opts[:len(opts):len(opts)],
 		WithOutputMode(grant.Outputs),

@@ -30,6 +30,20 @@
 // with -tls/-tls-ca/-tls-cert/-tls-key and -auth-token. See `make
 // serve-tls` for a working TLS + registry invocation with dev certs.
 //
+// The gateway role fronts a fleet of serve backends behind one listener:
+// clients dial the gateway exactly as they would a single server, and
+// each session is relayed to a backend chosen by consistent-hashing the
+// program name (so a program's sessions keep hitting the same warm
+// garble-ahead pool), spilling to the next ring node when the affinity
+// backend is saturated or unhealthy. Backends are health-checked,
+// ejected and re-admitted automatically; -gw-rate/-gw-burst shed
+// per-peer overload with a Retry-After hint; -admin-token arms a live
+// ops endpoint beside -metrics for registering/retiring programs and
+// resizing the fleet without a restart:
+//
+//	arm2gc -role gateway -listen :9000 -backends localhost:9001,localhost:9002 \
+//	       -metrics :9090 -admin-token sesame
+//
 // -garble-ahead N turns on the offline/online split: background workers
 // keep N pre-garbled table streams ready per program (tune with
 // -pool-mem-bytes / -pool-max-bytes / -pool-spill-dir / -pool-workers and
@@ -58,10 +72,11 @@ import (
 
 	"arm2gc"
 	"arm2gc/internal/cli"
+	"arm2gc/internal/gateway"
 )
 
 func main() {
-	role := flag.String("role", "local", "garbler | evaluator | serve | client | local (both in-process)")
+	role := flag.String("role", "local", "garbler | evaluator | serve | client | gateway (front a fleet of serve backends) | local (both in-process)")
 	listen := flag.String("listen", "", "garbler/serve: address to listen on")
 	connect := flag.String("connect", "", "evaluator/client: garbler address to dial")
 	cFile := flag.String("c", "", "MiniC source file (gc_main entry)")
@@ -79,9 +94,12 @@ func main() {
 	poolMax := flag.Int64("pool-max-bytes", 0, "serve: garble-ahead bytes overall, memory + spill (0 = default)")
 	poolSpill := flag.String("pool-spill-dir", "", "serve: directory for garble-ahead overflow entries (empty = no spill)")
 	poolWorkers := flag.Int("pool-workers", 0, "serve: background refill goroutines (0 = default)")
+	poolAdaptive := flag.Bool("pool-adaptive", false, "serve: adapt per-program garble-ahead depth to demand (hit-rate/arrival EWMAs); -garble-ahead becomes the cap, -pool-min-depth the floor")
+	poolMinDepth := flag.Int("pool-min-depth", 0, "serve: floor for -pool-adaptive depth (0 = 1)")
 	layout := cli.LayoutFlags("; both parties must pass the same value — it is part of the public layout the session id covers")
 	sessOpts := cli.SessionFlags()
 	tlsOpts := cli.TLSFlags()
+	gwOpts := cli.GatewayFlags()
 	disasm := flag.Bool("S", false, "print the linked program and exit")
 	dumpNetlist := flag.String("dump-netlist", "", "write the processor netlist (text format) to a file and exit")
 	flag.Parse()
@@ -91,10 +109,10 @@ func main() {
 
 	eng := arm2gc.NewEngine()
 
-	// A registry-driven server needs no -c/-asm program of its own; every
-	// other mode does.
+	// A registry-driven server needs no -c/-asm program of its own, and a
+	// gateway relays programs it never compiles; every other mode does.
 	var prog *arm2gc.Program
-	if *role != "serve" || *registry == "" || *cFile != "" || *asmFile != "" {
+	if *role != "gateway" && (*role != "serve" || *registry == "" || *cFile != "" || *asmFile != "") {
 		var warnings []string
 		prog, warnings = load(*cFile, *asmFile, layout())
 		for _, w := range warnings {
@@ -123,6 +141,45 @@ func main() {
 	words := parseWords(*input)
 
 	switch *role {
+	case "gateway":
+		if *listen == "" {
+			log.Fatal("-role gateway needs -listen")
+		}
+		tlsCfg, err := tlsOpts.ServerConfig()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg, err := gwOpts.Config(tlsCfg, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := gateway.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		stopOps := serveOps(ctx, *metricsAddr, func(mux *http.ServeMux) {
+			mux.Handle("/metrics", g.MetricsHandler())
+			mux.Handle("/admin/", http.StripPrefix("/admin", g.AdminHandler(gwOpts.AdminToken())))
+		})
+		mode := "plaintext"
+		if tlsCfg != nil {
+			mode = "TLS"
+		}
+		log.Printf("gateway fronting %d backends on %s (%s)", len(cfg.Backends), ln.Addr(), mode)
+		if err := g.Serve(ctx, ln); err != nil {
+			log.Fatal(err)
+		}
+		stopOps()
+		m := g.Metrics()
+		log.Printf("gateway shut down: %d proposals (%d shed, %d no-backend), %d ejections, %d re-admissions",
+			m.Proposals, m.ShedRateLimit, m.ShedNoBackend, m.Ejections, m.Readmissions)
+		return
+
 	case "serve":
 		if *listen == "" {
 			log.Fatal("-role serve needs -listen")
@@ -140,11 +197,13 @@ func main() {
 		}
 		if *garbleAhead > 0 {
 			srvOpts = append(srvOpts, arm2gc.WithGarbleAhead(arm2gc.PoolConfig{
-				Depth:    *garbleAhead,
-				MemBytes: *poolMem,
-				MaxBytes: *poolMax,
-				SpillDir: *poolSpill,
-				Workers:  *poolWorkers,
+				Depth:         *garbleAhead,
+				MemBytes:      *poolMem,
+				MaxBytes:      *poolMax,
+				SpillDir:      *poolSpill,
+				Workers:       *poolWorkers,
+				AdaptiveDepth: *poolAdaptive,
+				MinDepth:      *poolMinDepth,
 			}))
 		}
 		srv := arm2gc.NewServer(eng, srvOpts...)
@@ -297,11 +356,20 @@ func main() {
 // serveMetrics exposes srv's Prometheus endpoint on addr ("" disables);
 // the returned function waits for the HTTP server to stop.
 func serveMetrics(ctx context.Context, srv *arm2gc.Server, addr string) (stop func()) {
+	return serveOps(ctx, addr, func(mux *http.ServeMux) {
+		mux.Handle("/metrics", srv.MetricsHandler())
+	})
+}
+
+// serveOps runs the operator HTTP endpoint on addr ("" disables),
+// letting the caller mount its handlers; the returned function waits
+// for the HTTP server to stop.
+func serveOps(ctx context.Context, addr string, mount func(mux *http.ServeMux)) (stop func()) {
 	if addr == "" {
 		return func() {}
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", srv.MetricsHandler())
+	mount(mux)
 	hs := &http.Server{Addr: addr, Handler: mux}
 	done := make(chan struct{})
 	go func() {

@@ -122,6 +122,7 @@ type sessionConfig struct {
 	sink          StatsSink
 	authToken     string
 	authorize     func(Peer, string) error
+	retries       int
 }
 
 // Option configures a Session (functional options).
@@ -235,6 +236,19 @@ func WithAuthToken(token string) Option {
 	return func(c *sessionConfig) { c.authToken = token }
 }
 
+// WithRetry makes a Client's Evaluate re-propose a session up to n extra
+// times when the peer sheds it with a Retry-After hint (see
+// RetryableError), sleeping a jittered backoff derived from the hint
+// between attempts (default 0: surface the first shed). Only hinted
+// rejections retry — a plain policy rejection (unknown program, bad
+// token) is permanent and retrying it is pointless. Retries happen
+// strictly at the negotiation stage, before any cryptographic material
+// has flowed; a session that failed mid-run is never replayed. Garbling
+// sessions and the in-process Run ignore the option.
+func WithRetry(n int) Option {
+	return func(c *sessionConfig) { c.retries = n }
+}
+
 // WithAuthorize sets a per-program admission callback on a Server
 // registration: during negotiation fn is called with the proposing peer
 // (its address, bearer token if any, and TLS state including verified
@@ -307,6 +321,9 @@ func newSessionConfig(opts []Option) (sessionConfig, error) {
 	}
 	if cfg.garbleAhead < -1 {
 		return cfg, fmt.Errorf("arm2gc: WithGarbleAheadDepth(%d): depth must be positive", cfg.garbleAhead)
+	}
+	if cfg.retries < 0 {
+		return cfg, fmt.Errorf("arm2gc: WithRetry(%d): retry count cannot be negative", cfg.retries)
 	}
 	return cfg, nil
 }

@@ -1,0 +1,235 @@
+// The fleet in one process: two TLS backend garblers behind one TLS
+// gateway. A client dials the gateway exactly as it would a single
+// server; the gateway consistent-hashes the program name so every "add"
+// session lands on the same backend's warm garble-ahead pool. Then the
+// demo turns the screws: the affinity backend is killed and the next
+// session fails over to the survivor transparently (the failure happens
+// before any session bytes reach the client, so the gateway just retries
+// on the next ring node); the dead backend restarts and the health
+// prober re-admits it; and the admin endpoint retires the program live —
+// rejected at the gateway without costing a backend round trip — then
+// re-registers it.
+//
+// A real deployment runs the same topology as three processes:
+//
+//	arm2gc -role serve   -listen :9001 -c add.c -program add ...
+//	arm2gc -role serve   -listen :9002 -c add.c -program add ...
+//	arm2gc -role gateway -listen :9000 -backends localhost:9001,localhost:9002 \
+//	       -metrics :9090 -admin-token sesame
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"arm2gc"
+	"arm2gc/internal/devcert"
+	"arm2gc/internal/gateway"
+)
+
+const addSrc = `
+void gc_main(const int *a, const int *b, int *c) {
+	c[0] = a[0] + b[0];
+	c[1] = a[0] > b[0] ? a[0] : b[0];
+}
+`
+
+// backendProc is one fleet member, restartable on its address the way a
+// supervised process would be.
+type backendProc struct {
+	addr string
+	srv  *arm2gc.Server
+	stop func()
+}
+
+func main() {
+	layout := arm2gc.Layout{IMemWords: 64, AliceWords: 1, BobWords: 1, OutWords: 2, ScratchWords: 16}
+	prog, warnings, err := arm2gc.CompileC("add.c", addSrc, layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(warnings) > 0 {
+		log.Fatal(warnings)
+	}
+
+	// Throwaway TLS material for both hops: client→gateway and
+	// gateway→backend. One CA signs everything.
+	ca, err := devcert.NewCA("fleet CA")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng := arm2gc.NewEngine()
+	start := func(addr string) backendProc {
+		srvTLS, err := devcert.ServerConfig(ca, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := arm2gc.NewServer(eng,
+			arm2gc.WithTLSConfig(srvTLS),
+			arm2gc.WithDrainTimeout(0), // the chaos step kills hard
+			arm2gc.WithGarbleAhead(arm2gc.PoolConfig{}))
+		if err := srv.Register("add", prog,
+			arm2gc.WithMaxCycles(10_000),
+			arm2gc.WithGarblerInput([]uint32{1000})); err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if err := srv.Serve(ctx, ln); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		return backendProc{addr: ln.Addr().String(), srv: srv, stop: func() { cancel(); <-done }}
+	}
+	b1 := start("127.0.0.1:0")
+	b2 := start("127.0.0.1:0")
+	fmt.Printf("backends up: %s, %s (TLS)\n", b1.addr, b2.addr)
+
+	// The gateway: TLS on both hops, fast probes so the demo's eject and
+	// re-admit are visible in seconds, and an allowlist restricted to the
+	// one deployed program.
+	gwTLS, err := devcert.ServerConfig(ca, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	backendTLS, err := devcert.ClientConfig(ca, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := gateway.New(gateway.Config{
+		Backends:      []string{b1.addr, b2.addr},
+		Programs:      []string{"add"},
+		ProbeInterval: 100 * time.Millisecond,
+		TLS:           gwTLS,
+		BackendTLS:    backendTLS,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gctx, gcancel := context.WithCancel(context.Background())
+	gdone := make(chan error, 1)
+	go func() { gdone <- g.Serve(gctx, gln) }()
+	fmt.Printf("gateway up: %s fronting 2 backends\n", gln.Addr())
+
+	// The client sees one address and one TLS identity — the fleet behind
+	// it is invisible.
+	clTLS, err := devcert.ClientConfig(ca, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := arm2gc.DialTLS(context.Background(), gln.Addr().String(), clTLS,
+		arm2gc.WithClientEngine(eng))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("add", prog); err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		info, err := cl.Evaluate(context.Background(), "add", []uint32{uint32(i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("session %d through the gateway: sum=%d max=%d\n", i+1, info.Outputs[0], info.Outputs[1])
+	}
+	// A session's tail (the outputs frame) is still crossing the relay
+	// when Evaluate returns; wait for the backends to account all three
+	// before reading the split — and before killing anything, so the kill
+	// lands between sessions, not under one's tail.
+	for served(b1.srv)+served(b2.srv) < 3 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	victim := &b1
+	if served(b2.srv) > 0 {
+		victim = &b2
+	}
+	fmt.Printf("consistent hashing pinned all %d sessions to %s\n", served(victim.srv), victim.addr)
+
+	// Chaos: kill the affinity backend while idle. The next session's
+	// relay fails before any bytes reach the client, so the gateway ejects
+	// the corpse and retries on the survivor — the client never notices.
+	victim.stop()
+	info, err := cl.Evaluate(context.Background(), "add", []uint32{7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("backend %s killed; session failed over transparently: sum=%d (ejections=%d)\n",
+		victim.addr, info.Outputs[0], g.Metrics().Ejections)
+
+	// The backend restarts on its address; the prober re-admits it.
+	*victim = start(victim.addr)
+	for g.Metrics().Readmissions == 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("backend %s restarted and re-admitted by the health prober\n", victim.addr)
+
+	// Live ops: retire the program through the admin endpoint (the same
+	// handler `-admin-token` mounts under /admin on the -metrics mux),
+	// watch the gateway reject it locally, then re-register it.
+	admin := g.AdminHandler("sesame")
+	post := func(path string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, path, nil)
+		req.Header.Set("Authorization", "Bearer sesame")
+		rec := httptest.NewRecorder()
+		admin.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := post("/programs?op=retire&name=add"); rec.Code != http.StatusOK {
+		log.Fatalf("retire: %d %s", rec.Code, rec.Body)
+	}
+	var rej *arm2gc.RejectedError
+	if _, err := cl.Evaluate(context.Background(), "add", []uint32{1}); !errors.As(err, &rej) {
+		log.Fatalf("retired program: got %v, want a rejection", err)
+	}
+	fmt.Printf("program retired live: %q (connection kept)\n", rej.Reason)
+	if rec := post("/programs?op=register&name=add"); rec.Code != http.StatusOK {
+		log.Fatalf("re-register: %d %s", rec.Code, rec.Body)
+	}
+	if _, err := cl.Evaluate(context.Background(), "add", []uint32{1}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("program re-registered live: sessions flow again")
+	// Let the final session's tail land before shutting down, so the
+	// closing metrics read clean.
+	for served(victim.srv) < 1 {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cl.Close()
+	gcancel()
+	if err := <-gdone; err != nil {
+		log.Fatal(err)
+	}
+	b1.stop()
+	b2.stop()
+
+	m := g.Metrics()
+	fmt.Printf("gateway metrics: proposals=%d rejected_local=%d ejections=%d readmissions=%d ring_moves=%d\n",
+		m.Proposals, m.RejectedLocal, m.Ejections, m.Readmissions, m.RingMoves)
+	for _, b := range m.Backends {
+		fmt.Printf("  backend %s: healthy=%v routed=%d failed=%d\n", b.Addr, b.Healthy, b.Routed, b.Failed)
+	}
+}
+
+// served reads one backend's session counter.
+func served(srv *arm2gc.Server) int64 { return srv.Metrics().SessionsServed }

@@ -1,0 +1,154 @@
+// Package certwatch reloads a TLS certificate/key pair from disk while
+// the process serves — cert rotation without a restart. There is no
+// watcher goroutine and no inotify dependency: the Reloader stats the
+// files lazily from inside tls.Config.GetCertificate, at most once per
+// poll interval, and swaps the parsed certificate in when either file's
+// mtime (or size) changes. A handshake is already milliseconds of
+// asymmetric crypto; an occasional pair of stat calls is noise, and the
+// lazy shape means an idle listener does no work at all.
+package certwatch
+
+import (
+	"crypto/tls"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// DefaultPoll is how often the Reloader is willing to stat the files
+// when handshakes arrive continuously.
+const DefaultPoll = 5 * time.Second
+
+type fileState struct {
+	mod  time.Time
+	size int64
+}
+
+func statFile(path string) (fileState, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fileState{}, err
+	}
+	return fileState{mod: fi.ModTime(), size: fi.Size()}, nil
+}
+
+// Reloader serves a certificate pair from disk, re-reading it when the
+// files change. Safe for concurrent use by many handshakes.
+type Reloader struct {
+	certFile, keyFile string
+	poll              time.Duration
+	logf              func(string, ...any)
+	now               func() time.Time // injectable for tests
+
+	mu        sync.Mutex
+	cert      *tls.Certificate
+	certStat  fileState
+	keyStat   fileState
+	lastCheck time.Time
+	reloads   uint64
+	lastErr   error
+}
+
+// Option configures a Reloader.
+type Option func(*Reloader)
+
+// WithPoll sets the minimum interval between file stats (default
+// DefaultPoll). Zero or negative means stat on every handshake — the
+// right setting for tests, not for production listeners.
+func WithPoll(d time.Duration) Option {
+	return func(r *Reloader) { r.poll = d }
+}
+
+// WithLogf routes reload notices and failed-reload warnings somewhere
+// visible; the default discards them.
+func WithLogf(logf func(string, ...any)) Option {
+	return func(r *Reloader) { r.logf = logf }
+}
+
+// withNow overrides the clock (tests).
+func withNow(now func() time.Time) Option {
+	return func(r *Reloader) { r.now = now }
+}
+
+// New loads the pair once, eagerly — a broken certificate is a startup
+// error, not a mystery at first handshake.
+func New(certFile, keyFile string, opts ...Option) (*Reloader, error) {
+	r := &Reloader{
+		certFile: certFile,
+		keyFile:  keyFile,
+		poll:     DefaultPoll,
+		logf:     func(string, ...any) {},
+		now:      time.Now,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("certwatch: %w", err)
+	}
+	r.cert = &cert
+	r.certStat, _ = statFile(certFile)
+	r.keyStat, _ = statFile(keyFile)
+	r.lastCheck = r.now()
+	return r, nil
+}
+
+// GetCertificate is the tls.Config callback: it returns the current
+// certificate, first re-reading the files if the poll interval has
+// elapsed and they changed on disk. A reload that fails (half-written
+// files mid-rotation, mismatched pair) keeps serving the previous
+// certificate and is retried next interval — rotation must never take
+// a working listener down.
+func (r *Reloader) GetCertificate(*tls.ClientHelloInfo) (*tls.Certificate, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if now := r.now(); now.Sub(r.lastCheck) >= r.poll {
+		r.lastCheck = now
+		r.maybeReloadLocked()
+	}
+	return r.cert, nil
+}
+
+func (r *Reloader) maybeReloadLocked() {
+	cs, cerr := statFile(r.certFile)
+	ks, kerr := statFile(r.keyFile)
+	if cerr != nil || kerr != nil {
+		// Mid-rotation a file may briefly be missing (rename dance);
+		// keep the loaded certificate and look again next interval.
+		return
+	}
+	if cs == r.certStat && ks == r.keyStat {
+		return
+	}
+	cert, err := tls.LoadX509KeyPair(r.certFile, r.keyFile)
+	if err != nil {
+		r.lastErr = err
+		r.logf("certwatch: reload %s: %v (still serving previous certificate)", r.certFile, err)
+		// Remember the failed state so an unchanged broken pair is not
+		// re-parsed on every interval; any further change retries.
+		r.certStat, r.keyStat = cs, ks
+		return
+	}
+	r.cert = &cert
+	r.certStat, r.keyStat = cs, ks
+	r.reloads++
+	r.lastErr = nil
+	r.logf("certwatch: rotated certificate from %s", r.certFile)
+}
+
+// Reloads reports how many successful rotations have happened since New.
+func (r *Reloader) Reloads() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reloads
+}
+
+// LastError reports the most recent failed reload, nil after a
+// successful one.
+func (r *Reloader) LastError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}

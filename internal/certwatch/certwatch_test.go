@@ -1,0 +1,215 @@
+package certwatch
+
+import (
+	"crypto/tls"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"arm2gc/internal/devcert"
+)
+
+// writePair writes a freshly minted leaf under dir and backdates the
+// files' mtimes by age so successive writes are distinguishable without
+// sleeping through filesystem timestamp granularity.
+func writePair(t *testing.T, dir string, ca *devcert.CA, cn string, serial int64, age time.Duration) (string, string) {
+	t.Helper()
+	leaf, err := ca.Issue(cn, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyPEM, err := devcert.KeyPEM(leaf.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certFile := filepath.Join(dir, "server.pem")
+	keyFile := filepath.Join(dir, "server-key.pem")
+	if err := os.WriteFile(certFile, devcert.CertPEM(leaf.DER), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyFile, keyPEM, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	mod := time.Now().Add(-age)
+	for _, f := range []string{certFile, keyFile} {
+		if err := os.Chtimes(f, mod, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return certFile, keyFile
+}
+
+func TestReloaderRotates(t *testing.T) {
+	dir := t.TempDir()
+	ca, err := devcert.NewCA("rotation test CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	certFile, keyFile := writePair(t, dir, ca, "gen-1", 10, time.Hour)
+
+	clock := time.Now()
+	now := func() time.Time { return clock }
+	r, err := New(certFile, keyFile, WithPoll(time.Minute), withNow(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.GetCertificate(nil)
+	if err != nil || first == nil {
+		t.Fatalf("initial certificate: %v", err)
+	}
+
+	// Rotate the files on disk. Inside the poll interval nothing moves.
+	writePair(t, dir, ca, "gen-2", 11, time.Minute)
+	clock = clock.Add(30 * time.Second)
+	got, _ := r.GetCertificate(nil)
+	if got != first {
+		t.Fatal("certificate swapped inside the poll interval")
+	}
+
+	// Past the interval the new pair is picked up.
+	clock = clock.Add(31 * time.Second)
+	got, err = r.GetCertificate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == first {
+		t.Fatal("certificate not rotated after files changed")
+	}
+	if n := r.Reloads(); n != 1 {
+		t.Fatalf("reloads = %d, want 1", n)
+	}
+}
+
+// TestReloaderSurvivesBrokenRotation: a half-written or mismatched pair
+// must not take the listener down — the previous certificate keeps
+// serving, and a subsequent good pair is picked up.
+func TestReloaderSurvivesBrokenRotation(t *testing.T) {
+	dir := t.TempDir()
+	ca, err := devcert.NewCA("rotation test CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	certFile, keyFile := writePair(t, dir, ca, "gen-1", 10, time.Hour)
+
+	clock := time.Now()
+	r, err := New(certFile, keyFile, WithPoll(0), withNow(func() time.Time { return clock }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := r.GetCertificate(nil)
+
+	// Corrupt the cert file (rotation caught mid-write).
+	if err := os.WriteFile(certFile, []byte("not a certificate"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod := time.Now().Add(-30 * time.Minute)
+	if err := os.Chtimes(certFile, mod, mod); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(time.Second)
+	got, err := r.GetCertificate(nil)
+	if err != nil || got != first {
+		t.Fatalf("broken rotation changed the served certificate: %v", err)
+	}
+	if r.LastError() == nil {
+		t.Fatal("failed reload not recorded")
+	}
+
+	// A good pair afterwards rotates normally.
+	writePair(t, dir, ca, "gen-2", 11, time.Minute)
+	clock = clock.Add(time.Second)
+	got, err = r.GetCertificate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == first {
+		t.Fatal("recovery pair not picked up")
+	}
+	if r.LastError() != nil {
+		t.Fatalf("lastErr not cleared after recovery: %v", r.LastError())
+	}
+}
+
+// TestReloaderMissingFileKeepsServing: a file vanishing mid-rotation
+// (rename dance) keeps the loaded pair.
+func TestReloaderMissingFileKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	ca, err := devcert.NewCA("rotation test CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	certFile, keyFile := writePair(t, dir, ca, "gen-1", 10, time.Hour)
+	clock := time.Now()
+	r, err := New(certFile, keyFile, WithPoll(0), withNow(func() time.Time { return clock }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := r.GetCertificate(nil)
+	if err := os.Remove(keyFile); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(time.Second)
+	got, err := r.GetCertificate(nil)
+	if err != nil || got != first {
+		t.Fatalf("missing key file changed the served certificate: %v", err)
+	}
+}
+
+// TestReloaderEndToEnd drives a real TLS handshake through a listener
+// whose config uses GetCertificate, rotates the pair, and checks the
+// next handshake serves the new leaf — the no-restart property itself.
+func TestReloaderEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ca, err := devcert.NewCA("rotation e2e CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	certFile, keyFile := writePair(t, dir, ca, "gen-1", 10, time.Hour)
+	r, err := New(certFile, keyFile, WithPoll(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg := &tls.Config{GetCertificate: r.GetCertificate, MinVersion: tls.VersionTLS13}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", srvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c interface {
+				Read([]byte) (int, error)
+				Close() error
+			}) {
+				defer c.Close()
+				var b [1]byte
+				c.Read(b[:]) // drive the handshake; client closes after
+			}(c)
+		}
+	}()
+
+	cliCfg := &tls.Config{RootCAs: ca.Pool(), MinVersion: tls.VersionTLS13}
+	handshakeCN := func() string {
+		conn, err := tls.Dial("tcp", ln.Addr().String(), cliCfg)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer conn.Close()
+		return conn.ConnectionState().PeerCertificates[0].Subject.CommonName
+	}
+	if cn := handshakeCN(); cn != "gen-1" {
+		t.Fatalf("first handshake served %q, want gen-1", cn)
+	}
+	writePair(t, dir, ca, "gen-2", 11, time.Minute)
+	if cn := handshakeCN(); cn != "gen-2" {
+		t.Fatalf("post-rotation handshake served %q, want gen-2", cn)
+	}
+	if n := r.Reloads(); n != 1 {
+		t.Fatalf("reloads = %d, want 1", n)
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"arm2gc"
+	"arm2gc/internal/certwatch"
 )
 
 // LayoutFlags registers the five processor-layout flags on the process
@@ -99,6 +101,7 @@ type TLSOpts struct {
 	ca         *string
 	serverName *string
 	insecure   *bool
+	rotate     *time.Duration
 }
 
 // TLSFlags registers the TLS flags the two-party tools share: -tls,
@@ -115,20 +118,13 @@ func TLSFlags() *TLSOpts {
 		ca:         flag.String("tls-ca", "", "PEM CA bundle: server: require+verify client certs (mutual TLS); client: trust this CA instead of the system roots"),
 		serverName: flag.String("tls-server-name", "", "client: expected server certificate name (default: the dialed host)"),
 		insecure:   flag.Bool("tls-insecure", false, "client: skip server certificate verification (dev only)"),
+		rotate:     flag.Duration("tls-rotate", 0, "server: re-read -tls-cert/-tls-key when they change on disk, checking at most this often (0 = load once; rotation without restart)"),
 	}
 }
 
 // caPool loads the -tls-ca bundle.
 func (o *TLSOpts) caPool() (*x509.CertPool, error) {
-	pem, err := os.ReadFile(*o.ca)
-	if err != nil {
-		return nil, err
-	}
-	pool := x509.NewCertPool()
-	if !pool.AppendCertsFromPEM(pem) {
-		return nil, fmt.Errorf("no certificates found in %s", *o.ca)
-	}
-	return pool, nil
+	return loadCAPool(*o.ca)
 }
 
 // ServerConfig assembles the serving TLS config, nil when the TLS flags
@@ -138,7 +134,7 @@ func (o *TLSOpts) caPool() (*x509.CertPool, error) {
 // plaintext server.
 func (o *TLSOpts) ServerConfig() (*tls.Config, error) {
 	if *o.cert == "" && *o.key == "" {
-		if *o.enable || *o.ca != "" || *o.insecure || *o.serverName != "" {
+		if *o.enable || *o.ca != "" || *o.insecure || *o.serverName != "" || *o.rotate > 0 {
 			return nil, fmt.Errorf("server TLS needs -tls-cert and -tls-key; the other -tls flags alone do not enable it")
 		}
 		return nil, nil
@@ -146,11 +142,24 @@ func (o *TLSOpts) ServerConfig() (*tls.Config, error) {
 	if *o.cert == "" || *o.key == "" {
 		return nil, fmt.Errorf("-tls-cert and -tls-key must be passed together")
 	}
-	cert, err := tls.LoadX509KeyPair(*o.cert, *o.key)
-	if err != nil {
-		return nil, err
+	cfg := &tls.Config{MinVersion: tls.VersionTLS12}
+	if *o.rotate > 0 {
+		reloader, err := certwatch.New(*o.cert, *o.key,
+			certwatch.WithPoll(*o.rotate),
+			certwatch.WithLogf(func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}))
+		if err != nil {
+			return nil, err
+		}
+		cfg.GetCertificate = reloader.GetCertificate
+	} else {
+		cert, err := tls.LoadX509KeyPair(*o.cert, *o.key)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Certificates = []tls.Certificate{cert}
 	}
-	cfg := &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
 	if *o.ca != "" {
 		pool, err := o.caPool()
 		if err != nil {

@@ -5,13 +5,15 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"arm2gc/internal/devcert"
 )
 
 func tlsOpts(enable bool, cert, key, ca, serverName string, insecure bool) *TLSOpts {
+	rotate := time.Duration(0)
 	return &TLSOpts{enable: &enable, cert: &cert, key: &key, ca: &ca,
-		serverName: &serverName, insecure: &insecure}
+		serverName: &serverName, insecure: &insecure, rotate: &rotate}
 }
 
 func TestTLSOptsConfigs(t *testing.T) {
@@ -78,6 +80,30 @@ func TestTLSOptsConfigs(t *testing.T) {
 		if err != nil || cfg == nil || cfg.RootCAs == nil || len(cfg.Certificates) != 1 ||
 			cfg.ServerName != "srv.example" {
 			t.Fatalf("ClientConfig = %+v, %v", cfg, err)
+		}
+	})
+	t.Run("-tls-rotate serves via GetCertificate", func(t *testing.T) {
+		o := tlsOpts(false, cert, key, "", "", false)
+		rotate := time.Second
+		o.rotate = &rotate
+		cfg, err := o.ServerConfig()
+		if err != nil || cfg == nil || cfg.GetCertificate == nil {
+			t.Fatalf("rotating ServerConfig = %+v, %v", cfg, err)
+		}
+		if len(cfg.Certificates) != 0 {
+			t.Fatal("rotating config pins a static certificate alongside GetCertificate")
+		}
+		got, err := cfg.GetCertificate(nil)
+		if err != nil || got == nil {
+			t.Fatalf("GetCertificate = %v, %v", got, err)
+		}
+	})
+	t.Run("-tls-rotate alone on a server errors", func(t *testing.T) {
+		o := tlsOpts(false, "", "", "", "", false)
+		rotate := time.Second
+		o.rotate = &rotate
+		if _, err := o.ServerConfig(); err == nil {
+			t.Fatal("ServerConfig accepted -tls-rotate without a cert pair")
 		}
 	})
 	t.Run("bad ca bundle errors", func(t *testing.T) {

@@ -1,0 +1,89 @@
+package gateway
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"net/http"
+)
+
+// AdminHandler returns the gateway's live-ops endpoint, meant to be
+// mounted beside MetricsHandler on the operator mux:
+//
+//	mux.Handle("/metrics", g.MetricsHandler())
+//	mux.Handle("/admin/", http.StripPrefix("/admin", g.AdminHandler(token)))
+//
+// Every request must carry "Authorization: Bearer <token>"; an empty
+// configured token disables the endpoint entirely. Operations:
+//
+//	GET  /backends                      list the fleet with health/counters
+//	POST /backends?op=add&addr=H:P      add a backend live
+//	POST /backends?op=remove&addr=H:P   retire a backend live
+//	POST /programs?op=register&name=N   (re-)admit a program for routing
+//	POST /programs?op=retire&name=N     take a program out of service
+func (g *Gateway) AdminHandler(token string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /backends", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(g.Backends())
+	})
+	mux.HandleFunc("POST /backends", func(w http.ResponseWriter, r *http.Request) {
+		addr := r.FormValue("addr")
+		var err error
+		switch op := r.FormValue("op"); op {
+		case "add":
+			err = g.AddBackend(addr)
+		case "remove":
+			err = g.RemoveBackend(addr)
+		default:
+			http.Error(w, "op must be add or remove", http.StatusBadRequest)
+			return
+		}
+		adminResult(w, err)
+	})
+	mux.HandleFunc("POST /programs", func(w http.ResponseWriter, r *http.Request) {
+		name := r.FormValue("name")
+		var err error
+		switch op := r.FormValue("op"); op {
+		case "register":
+			err = g.RegisterProgram(name)
+		case "retire":
+			err = g.RetireProgram(name)
+		default:
+			http.Error(w, "op must be register or retire", http.StatusBadRequest)
+			return
+		}
+		adminResult(w, err)
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !adminAuthorized(r, token) {
+			http.Error(w, "unauthorized", http.StatusForbidden)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// adminAuthorized checks the bearer token in constant time; no
+// configured token means no admin access at all (fail closed).
+func adminAuthorized(r *http.Request, token string) bool {
+	if token == "" {
+		return false
+	}
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) <= len(prefix) || auth[:len(prefix)] != prefix {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(token)) == 1
+}
+
+func adminResult(w http.ResponseWriter, err error) {
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,67 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// peerLimiter is a per-peer token bucket: each peer (keyed by client IP)
+// accrues rate tokens per second up to burst, and a proposal spends one.
+// A dry bucket is the load-shedding verdict — the caller rejects the
+// proposal with a Retry-After hint of how long until the next token
+// accrues, so well-behaved clients back off instead of hammering.
+type peerLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newPeerLimiter(rate, burst float64) *peerLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &peerLimiter{
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token from peer's bucket. When the bucket is dry it
+// reports false plus the time until one token will have accrued — the
+// Retry-After hint for the shed rejection.
+func (l *peerLimiter) allow(peer string) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[peer]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[peer] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if l.rate <= 0 {
+		return false, time.Second // unfillable bucket; still hint something sane
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}

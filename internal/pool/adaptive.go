@@ -1,0 +1,116 @@
+package pool
+
+import (
+	"math"
+	"time"
+)
+
+// Adaptive depth. A static per-key depth forces a choice at registration
+// time: deep pools burn garbling work (and byte budget) on idle
+// programs, shallow ones miss under load spikes. The controller instead
+// tracks, per key, an EWMA of the demand inter-arrival time, the
+// producer's refill latency, and the hit rate, and sets the target depth
+// to the number of entries demand will consume in the time one refill
+// takes — the classic Little's-law buffer size — nudged one deeper while
+// misses are still happening, clamped between a floor and the registered
+// depth (which becomes the per-key cap). An idle program's pool drains
+// to the floor; a hot one grows until hits are flat or the cap is hit.
+const (
+	// ewmaAlpha weighs new observations; ~0.2 remembers the last ~10.
+	ewmaAlpha = 0.2
+
+	// missBoostBelow: while the hit-rate EWMA is under this, demand is
+	// outrunning supply and the Little's-law estimate is biased low
+	// (misses don't consume entries), so the target gets one extra.
+	missBoostBelow = 0.9
+
+	// minInterArrival floors the inter-arrival estimate; bursts arriving
+	// within the same scheduler tick must not divide by ~zero.
+	minInterArrival = 100 * time.Microsecond
+)
+
+// depthController adapts one slot's target depth. All methods are called
+// under the pool lock.
+type depthController struct {
+	floor, cap int
+
+	iat     float64 // EWMA inter-arrival time, seconds
+	refill  float64 // EWMA producer latency, seconds
+	hitRate float64 // EWMA of hit (1) / miss (0) per Get
+	lastGet time.Time
+	depth   int
+}
+
+func newDepthController(floor, cap int, init time.Duration) *depthController {
+	if floor < 1 {
+		floor = 1
+	}
+	if cap < floor {
+		cap = floor
+	}
+	return &depthController{
+		floor:   floor,
+		cap:     cap,
+		hitRate: 1, // optimistic start: no evidence of misses yet
+		depth:   floor,
+		refill:  init.Seconds(),
+	}
+}
+
+func ewma(old, sample float64) float64 {
+	return old + ewmaAlpha*(sample-old)
+}
+
+// observeGet folds one demand event (hit or miss) into the estimates and
+// recomputes the target.
+func (c *depthController) observeGet(now time.Time, hit bool) {
+	if !c.lastGet.IsZero() {
+		dt := now.Sub(c.lastGet).Seconds()
+		if min := minInterArrival.Seconds(); dt < min {
+			dt = min
+		}
+		if c.iat == 0 {
+			c.iat = dt
+		} else {
+			c.iat = ewma(c.iat, dt)
+		}
+	}
+	c.lastGet = now
+	sample := 0.0
+	if hit {
+		sample = 1.0
+	}
+	c.hitRate = ewma(c.hitRate, sample)
+	c.retarget()
+}
+
+// observeRefill folds one producer run into the latency estimate.
+func (c *depthController) observeRefill(took time.Duration) {
+	if c.refill == 0 {
+		c.refill = took.Seconds()
+	} else {
+		c.refill = ewma(c.refill, took.Seconds())
+	}
+	c.retarget()
+}
+
+func (c *depthController) retarget() {
+	need := c.floor
+	if c.iat > 0 && c.refill > 0 {
+		// Entries consumed while one refill is in flight.
+		need = int(math.Ceil(c.refill / c.iat))
+	}
+	if c.hitRate < missBoostBelow {
+		need++
+	}
+	if need < c.floor {
+		need = c.floor
+	}
+	if need > c.cap {
+		need = c.cap
+	}
+	c.depth = need
+}
+
+// target is the current depth the refill workers aim for.
+func (c *depthController) target() int { return c.depth }

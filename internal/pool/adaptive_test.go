@@ -1,0 +1,157 @@
+package pool
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"arm2gc/internal/proto"
+)
+
+// TestDepthControllerScriptedArrivals drives the controller through a
+// deterministic load profile and checks the target tracks it: shallow
+// while demand is slower than refills, deep under a burst, one extra
+// while misses persist, clamped at the cap, and back to the floor when
+// the burst ends.
+func TestDepthControllerScriptedArrivals(t *testing.T) {
+	c := newDepthController(1, 6, 0)
+	if c.target() != 1 {
+		t.Fatalf("initial target = %d, want the floor", c.target())
+	}
+
+	clock := time.Unix(1000, 0)
+	step := func(d time.Duration, hit bool) {
+		clock = clock.Add(d)
+		c.observeGet(clock, hit)
+	}
+
+	// Refills take ~100ms (stable across the script).
+	for i := 0; i < 10; i++ {
+		c.observeRefill(100 * time.Millisecond)
+	}
+
+	// Phase 1 — trickle: one Get per second, always hitting. One entry
+	// covers a 100ms refill easily; the target stays at the floor.
+	for i := 0; i < 20; i++ {
+		step(time.Second, true)
+	}
+	if c.target() != 1 {
+		t.Fatalf("trickle target = %d, want 1", c.target())
+	}
+
+	// Phase 2 — burst: a Get every 25ms, initially missing (the shallow
+	// pool was sized for the trickle). Little's law wants
+	// ceil(100ms/25ms) = 4, plus one while the hit EWMA is depressed.
+	for i := 0; i < 30; i++ {
+		step(25*time.Millisecond, i >= 10)
+	}
+	if got := c.target(); got < 4 || got > 6 {
+		t.Fatalf("burst target = %d, want 4..6", got)
+	}
+
+	// Phase 3 — sustained hits at burst rate: the miss boost decays and
+	// the target settles on the Little's-law answer.
+	for i := 0; i < 40; i++ {
+		step(25*time.Millisecond, true)
+	}
+	if got := c.target(); got != 4 {
+		t.Fatalf("settled burst target = %d, want 4", got)
+	}
+
+	// Phase 4 — a frenzy beyond the cap: 1ms arrivals want 100 entries;
+	// the registered depth caps it.
+	for i := 0; i < 60; i++ {
+		step(time.Millisecond, i%2 == 0)
+	}
+	if got := c.target(); got != 6 {
+		t.Fatalf("frenzy target = %d, want the cap (6)", got)
+	}
+
+	// Phase 5 — back to the trickle: the EWMA forgets the burst and the
+	// target drains to the floor. No misses — the deep pool covers the
+	// transition, which is exactly the point.
+	for i := 0; i < 40; i++ {
+		step(time.Second, true)
+	}
+	if got := c.target(); got != 1 {
+		t.Fatalf("post-burst target = %d, want 1", got)
+	}
+}
+
+// TestDepthControllerBounds: floor/cap degeneracies and the same-instant
+// burst guard.
+func TestDepthControllerBounds(t *testing.T) {
+	c := newDepthController(0, 0, 0) // silly inputs clamp to 1/1
+	if c.floor != 1 || c.cap != 1 {
+		t.Fatalf("degenerate bounds = %d/%d, want 1/1", c.floor, c.cap)
+	}
+	c = newDepthController(2, 8, 50*time.Millisecond)
+	if c.target() != 2 {
+		t.Fatalf("initial target = %d, want floor 2", c.target())
+	}
+	// Two observations at the same instant must not divide by zero.
+	now := time.Unix(5, 0)
+	c.observeGet(now, true)
+	c.observeGet(now, true)
+	c.observeRefill(time.Second)
+	if got := c.target(); got != 8 {
+		t.Fatalf("same-instant burst target = %d, want cap 8", got)
+	}
+}
+
+// TestPoolAdaptiveDepth exercises the controller through the Pool API
+// with an injected clock: a registered key starts filling only to the
+// floor, grows its target under scripted demand, and Stats reports the
+// live target.
+func TestPoolAdaptiveDepth(t *testing.T) {
+	p, err := New(Config{AdaptiveDepth: true, MinDepth: 1, Depth: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	clock := time.Unix(0, 0)
+	p.now = func() time.Time { return clock }
+
+	var key Key
+	key[0] = 7
+	rec := &proto.Recorded{}
+	if err := p.Register(key, "prog", 4, func(context.Context) (*proto.Recorded, error) {
+		return rec, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Synchronous fill tops up to the adaptive target — the floor, not
+	// the registered cap of 4.
+	if err := p.Fill(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Ready != 1 || st.Programs["prog"].Depth != 1 {
+		t.Fatalf("after floor fill: ready=%d depth=%d, want 1/1", st.Ready, st.Programs["prog"].Depth)
+	}
+
+	// Teach the controller an expensive refill, then script fast
+	// demand: the target must climb toward the cap.
+	p.mu.Lock()
+	s := p.slots[key]
+	for i := 0; i < 5; i++ {
+		s.ctrl.observeRefill(400 * time.Millisecond)
+	}
+	p.mu.Unlock()
+	for i := 0; i < 30; i++ {
+		clock = clock.Add(150 * time.Millisecond)
+		p.Get(key) // mostly misses; demand signal is what matters
+	}
+	st := p.Stats()
+	if d := st.Programs["prog"].Depth; d < 3 || d > 4 {
+		t.Fatalf("hot depth = %d, want 3..4 (cap 4)", d)
+	}
+
+	// The refill workers honor the moving target.
+	if err := p.Fill(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Ready < 3 {
+		t.Fatalf("ready after hot fill = %d, want >= 3", st.Ready)
+	}
+}

@@ -79,6 +79,17 @@ type Config struct {
 	// Workers is how many refill goroutines Start launches (default
 	// DefaultWorkers).
 	Workers int
+
+	// AdaptiveDepth turns each key's registered depth into a cap instead
+	// of a fixed target: a per-key controller tracks demand
+	// inter-arrival, refill latency and hit-rate EWMAs and moves the
+	// target between MinDepth and the cap (see adaptive.go). Idle
+	// programs drain to the floor; hot ones grow until misses stop.
+	AdaptiveDepth bool
+
+	// MinDepth floors the adaptive target (default 1). Ignored unless
+	// AdaptiveDepth is set.
+	MinDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -113,7 +124,8 @@ type entry struct {
 type slot struct {
 	key     Key
 	name    string // for stats; the registered program name
-	depth   int
+	depth   int    // fixed target, or the cap when ctrl is set
+	ctrl    *depthController
 	produce Producer
 
 	entries []entry // FIFO: oldest first
@@ -130,11 +142,20 @@ type slot struct {
 	refillTime                                 time.Duration
 }
 
+// target is the depth refill workers aim for: the adaptive controller's
+// moving target when one is attached, the registered depth otherwise.
+func (s *slot) target() int {
+	if s.ctrl != nil {
+		return s.ctrl.target()
+	}
+	return s.depth
+}
+
 func (s *slot) deficit() int {
 	if s.parked {
 		return 0
 	}
-	return s.depth - len(s.entries) - s.filling
+	return s.target() - len(s.entries) - s.filling
 }
 
 // Pool is the garble-ahead store. All methods are safe for concurrent
@@ -157,6 +178,8 @@ type Pool struct {
 	started bool
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
+
+	now func() time.Time // injectable clock for the adaptive controller
 }
 
 const spillExt = ".gcpool"
@@ -183,6 +206,7 @@ func New(cfg Config) (*Pool, error) {
 		cfg:   cfg,
 		slots: make(map[Key]*slot),
 		wake:  make(chan struct{}, 1),
+		now:   time.Now,
 	}, nil
 }
 
@@ -204,6 +228,9 @@ func (p *Pool) Register(key Key, name string, depth int, produce Producer) error
 		return fmt.Errorf("pool: Register(%q): key already registered", name)
 	}
 	s := &slot{key: key, name: name, depth: depth, produce: produce}
+	if p.cfg.AdaptiveDepth {
+		s.ctrl = newDepthController(p.cfg.MinDepth, depth, 0)
+	}
 	p.slots[key] = s
 	p.order = append(p.order, s)
 	p.kick()
@@ -225,7 +252,11 @@ func (p *Pool) Get(key Key) *proto.Recorded {
 	p.getSeq++
 	s.lastGet = p.getSeq
 	p.unparkLocked()
-	if len(s.entries) == 0 {
+	hit := len(s.entries) > 0
+	if s.ctrl != nil {
+		s.ctrl.observeGet(p.now(), hit)
+	}
+	if !hit {
 		s.misses++
 		p.mu.Unlock()
 		p.kick()
@@ -360,8 +391,11 @@ func (p *Pool) fillOne(ctx context.Context, s *slot) error {
 	}
 	s.refills++
 	s.refillTime += took
-	if p.closed {
-		return nil // produced after Close: drop
+	if s.ctrl != nil {
+		s.ctrl.observeRefill(took)
+	}
+	if p.closed || p.slots[s.key] != s {
+		return nil // produced after Close or Retire: drop
 	}
 	p.insertLocked(s, rec)
 	return nil
@@ -506,6 +540,47 @@ func (p *Pool) Invalidate(key Key) bool {
 	return true
 }
 
+// Retire removes a key entirely: its ready entries are dropped like
+// Invalidate, and the registration itself goes away, so the key can be
+// registered afresh (a retired program coming back with a new producer).
+// It reports whether the key was known.
+func (p *Pool) Retire(key Key) bool {
+	p.mu.Lock()
+	s := p.slots[key]
+	if s == nil {
+		p.mu.Unlock()
+		return false
+	}
+	for _, e := range s.entries {
+		if e.rec != nil {
+			p.memBytes -= e.size
+		} else {
+			p.spillBytes -= e.size
+			os.Remove(e.path)
+		}
+	}
+	s.entries = nil
+	// A produce in flight for this slot may still insert one last entry
+	// into the orphaned slot; that entry is unreachable but its bytes
+	// must not count, so park the slot to stop further refills and let
+	// insertLocked's budget checks see a slot that wants nothing.
+	s.parked = true
+	delete(p.slots, key)
+	for i, o := range p.order {
+		if o == s {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			if p.next > i {
+				p.next--
+			}
+			break
+		}
+	}
+	p.unparkLocked() // bytes freed; parked keys may fit now
+	p.mu.Unlock()
+	p.kick()
+	return true
+}
+
 // Close stops the refill workers, waits for any in-flight produce, and
 // deletes every spill file. The pool refuses further work after.
 func (p *Pool) Close() {
@@ -557,7 +632,7 @@ type Stats struct {
 // several keys were registered under one name their counters sum.
 type ProgramStats struct {
 	Ready   int // entries ready right now
-	Depth   int // target depth
+	Depth   int // target depth (the live adaptive target when enabled)
 	Hits    int64
 	Misses  int64
 	Refills int64
@@ -583,7 +658,7 @@ func (p *Pool) Stats() Stats {
 		st.Ready += len(s.entries)
 		ps := st.Programs[s.name]
 		ps.Ready += len(s.entries)
-		ps.Depth += s.depth
+		ps.Depth += s.target()
 		ps.Hits += s.hits
 		ps.Misses += s.misses
 		ps.Refills += s.refills

@@ -478,3 +478,57 @@ func TestPoolProducerFailure(t *testing.T) {
 		t.Fatal("healthy key missed")
 	}
 }
+
+// TestPoolRetire: retiring a key drops its entries and spill files,
+// removes the registration (its deficit no longer drives refill), and
+// frees the key for a fresh registration.
+func TestPoolRetire(t *testing.T) {
+	cfg, alice := adderConfig(t, 0)
+	size := oneEntrySize(t, cfg, alice)
+	dir := t.TempDir()
+	p, err := New(Config{Depth: 3, MemBytes: size + size/2, MaxBytes: 10 * size, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	key := keyOf(t, cfg)
+	if err := p.Register(key, "adder", 0, recordProducer(cfg, alice)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fill(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Retire(key) {
+		t.Fatal("known key reported unknown")
+	}
+	if p.Retire(key) {
+		t.Fatal("retired key reported known twice")
+	}
+	st := p.Stats()
+	if st.Ready != 0 || st.MemBytes != 0 || st.SpillBytes != 0 {
+		t.Fatalf("after Retire: ready %d mem %d spill %d", st.Ready, st.MemBytes, st.SpillBytes)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*"+spillExt)); len(files) != 0 {
+		t.Fatalf("%d spill files survive Retire", len(files))
+	}
+	if rec := p.Get(key); rec != nil {
+		t.Fatal("retired key still serves entries")
+	}
+	// Unlike Invalidate, the registration is gone: Fill finds no deficit.
+	if err := p.Fill(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Ready; got != 0 {
+		t.Fatalf("retired key refilled to %d, want 0", got)
+	}
+	// The key can be registered afresh.
+	if err := p.Register(key, "adder", 0, recordProducer(cfg, alice)); err != nil {
+		t.Fatalf("re-register after Retire: %v", err)
+	}
+	if err := p.Fill(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Ready; got != 3 {
+		t.Fatalf("re-registered key refilled to %d, want 3", got)
+	}
+}

@@ -1,0 +1,79 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Raw-frame access for the fleet gateway. A gateway relays sessions
+// between a client and a backend garbler without running the protocol
+// itself, but it must stay frame-aware on the client→backend direction to
+// know where one session ends and the next proposal begins (and to peek
+// the proposed program name for routing). These helpers expose the
+// framing layer — type byte + u32 LE length + payload — without exposing
+// the protocol internals.
+const (
+	// FrameHello opens a session after a grant (both directions).
+	FrameHello = msgHello
+	// FrameAliceLabels carries the garbler-input labels (backend→client).
+	FrameAliceLabels = msgAliceLabels
+	// FrameTables carries garbled tables (backend→client).
+	FrameTables = msgTables
+	// FrameDecode carries output-decode material (backend→client).
+	FrameDecode = msgDecode
+	// FrameOutputs carries decoded outputs back to the garbler
+	// (client→backend); it is the client's terminal frame of a session
+	// whose output mode includes the garbler.
+	FrameOutputs = msgOutputs
+	// FramePropose proposes a session (client→backend).
+	FramePropose = msgPropose
+	// FrameGrant accepts a proposal (backend→client).
+	FrameGrant = msgGrant
+	// FrameReject declines a proposal (backend→client).
+	FrameReject = msgReject
+)
+
+// ReadRawFrame reads one frame of any type, returning its type byte and
+// payload. It shares readAnyFrame's 1 GiB refusal, so a relay built on it
+// cannot be ballooned by a hostile length prefix.
+func ReadRawFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	return readAnyFrame(r)
+}
+
+// WriteRawFrame writes one frame verbatim.
+func WriteRawFrame(w io.Writer, typ byte, payload []byte) error {
+	return writeFrame(w, typ, payload)
+}
+
+// ProgramOfProposal extracts the proposed program name from a
+// FramePropose payload without validating the rest — the routing key a
+// gateway shards on. Unknown future flag bits do not matter here; the
+// name field precedes the flags byte and its encoding is fixed.
+func ProgramOfProposal(payload []byte) (string, error) {
+	if len(payload) < 2 {
+		return "", fmt.Errorf("proto: short proposal payload")
+	}
+	n := int(binary.LittleEndian.Uint16(payload))
+	if n == 0 || n > MaxProgramName || len(payload) < 2+n {
+		return "", fmt.Errorf("proto: malformed proposal payload")
+	}
+	return string(payload[2 : 2+n]), nil
+}
+
+// OutputsOfGrant extracts the resolved output mode from a FrameGrant
+// payload. A relay needs it to know the session's terminal frame: modes
+// that include the garbler end with the client's FrameOutputs; an
+// evaluator-only session ends silently and the next client frame is a
+// new proposal.
+func OutputsOfGrant(payload []byte) (OutputMode, error) {
+	if len(payload) != 1+4+8+4+32 {
+		return 0, fmt.Errorf("proto: malformed grant payload of %d bytes", len(payload))
+	}
+	m := OutputMode(payload[0])
+	switch m {
+	case OutputBoth, OutputGarblerOnly, OutputEvaluatorOnly:
+		return m, nil
+	}
+	return 0, fmt.Errorf("proto: grant with unknown output mode %d", m)
+}

@@ -1,10 +1,12 @@
 package proto
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Negotiation message types: the multi-session framing layered above the
@@ -104,10 +106,17 @@ type Grant struct {
 
 // Rejected is the error a proposal comes back with when the server
 // declines it: unknown program, an option the registration does not
-// offer, or an over-budget cycle count.
+// offer, an over-budget cycle count — or, from a fleet gateway, load
+// shedding, in which case RetryAfter carries the peer's hint.
 type Rejected struct {
 	Program string
 	Reason  string
+
+	// RetryAfter is the rejecting peer's Retry-After hint: how long the
+	// proposer should back off before proposing again. Zero on plain
+	// policy rejections (retrying those is pointless); positive on load
+	// sheds, where the condition is transient.
+	RetryAfter time.Duration
 }
 
 func (e *Rejected) Error() string {
@@ -224,10 +233,95 @@ func parseGrant(b []byte) (Grant, error) {
 	return g, nil
 }
 
+// Rejection-frame extension. The PR 5 wire format carries the reason
+// text as the whole payload, so — unlike the proposal — there is no flags
+// byte to grow behind. The extension therefore rides after a NUL
+// separator: reasons are human-readable text that never contains NUL
+// (WriteReject strips one defensively), so
+//
+//	payload := reason                                  (no extension)
+//	payload := reason 0x00 flags [field...]            (extended)
+//
+// is unambiguous. Each extension field is announced by its own flag bit
+// and length-prefixed, mirroring the proposal's Auth field: a reader
+// skips fields it has no bit for, and the absent extension is
+// byte-identical to the PR 5 format (pinned by a golden-bytes test). A
+// pre-extension client parses the whole payload as the reason — it still
+// sees a plain rejection (typed error, connection kept) whose text
+// merely carries a short opaque suffix.
+const rejectExtSep byte = 0x00
+
+const (
+	flagRejectRetryAfter byte = 1 << iota
+)
+
+// MaxRetryAfter bounds a rejection's Retry-After hint; anything longer
+// is clamped on write and refused on read (a shed is a transient verdict,
+// not a multi-day ban).
+const MaxRetryAfter = time.Hour
+
 // WriteReject declines a proposal with a reason (server side); the
 // connection stays usable for further proposals.
 func WriteReject(w io.Writer, reason string) error {
-	return writeFrame(w, msgReject, []byte(reason))
+	return WriteRejectRetry(w, reason, 0)
+}
+
+// WriteRejectRetry declines a proposal with a reason and, when after is
+// positive, a Retry-After hint telling the peer how long to back off
+// before proposing again — the load-shedding verdict of a fleet gateway.
+// With after <= 0 the frame is byte-identical to WriteReject's.
+func WriteRejectRetry(w io.Writer, reason string, after time.Duration) error {
+	if i := bytes.IndexByte([]byte(reason), rejectExtSep); i >= 0 {
+		reason = reason[:i] // NUL is the extension separator; reasons are text
+	}
+	payload := []byte(reason)
+	if after > 0 {
+		if after > MaxRetryAfter {
+			after = MaxRetryAfter
+		}
+		payload = append(payload, rejectExtSep, flagRejectRetryAfter, 8, 0)
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(after/time.Millisecond))
+	}
+	return writeFrame(w, msgReject, payload)
+}
+
+// parseReject decodes a rejection payload into its reason and optional
+// Retry-After hint. Unknown flag bits and malformed extensions degrade to
+// a plain rejection with the parsed reason — a rejection is already the
+// failure path; there is nothing safer to fall back to.
+func parseReject(payload []byte) (reason string, after time.Duration) {
+	i := bytes.IndexByte(payload, rejectExtSep)
+	if i < 0 {
+		return string(payload), 0
+	}
+	reason, b := string(payload[:i]), payload[i+1:]
+	if len(b) < 1 {
+		return reason, 0
+	}
+	flags := b[0]
+	b = b[1:]
+	for bit := byte(1); bit != 0; bit <<= 1 {
+		if flags&bit == 0 {
+			continue
+		}
+		if len(b) < 2 {
+			return reason, after
+		}
+		n := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < n {
+			return reason, after
+		}
+		field := b[:n]
+		b = b[n:]
+		if bit == flagRejectRetryAfter && n == 8 {
+			ms := binary.LittleEndian.Uint64(field)
+			if d := time.Duration(ms) * time.Millisecond; d > 0 && d <= MaxRetryAfter {
+				after = d
+			}
+		}
+	}
+	return reason, after
 }
 
 // Negotiate proposes a session and waits for the server's verdict (client
@@ -255,7 +349,8 @@ func negotiate(conn io.ReadWriter, p Proposal) (Grant, error) {
 	case msgGrant:
 		return parseGrant(payload)
 	case msgReject:
-		return Grant{}, &Rejected{Program: p.Program, Reason: string(payload)}
+		reason, after := parseReject(payload)
+		return Grant{}, &Rejected{Program: p.Program, Reason: reason, RetryAfter: after}
 	}
 	return Grant{}, fmt.Errorf("proto: negotiation got message type %d", typ)
 }

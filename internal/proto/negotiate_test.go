@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"arm2gc/internal/build"
 	"arm2gc/internal/circuit"
@@ -184,6 +185,171 @@ func TestNegotiateGrant(t *testing.T) {
 	}
 	if got != want {
 		t.Errorf("negotiated %+v, want %+v", got, want)
+	}
+}
+
+// TestRejectWireCompat pins the rejection encodings. A plain rejection
+// must stay byte-identical to the PR 5 format (reason text as the whole
+// payload), and the Retry-After form is pinned so the extension cannot
+// drift: reason, NUL, flags byte, u16 LE field length, u64 LE
+// milliseconds.
+func TestRejectWireCompat(t *testing.T) {
+	var plain bytes.Buffer
+	if err := WriteReject(&plain, "unknown program"); err != nil {
+		t.Fatal(err)
+	}
+	legacy := append([]byte{msgReject, 15, 0, 0, 0}, "unknown program"...)
+	if !bytes.Equal(plain.Bytes(), legacy) {
+		t.Fatalf("plain reject encodes to % x, PR 5 wire format is % x", plain.Bytes(), legacy)
+	}
+
+	var hinted bytes.Buffer
+	if err := WriteRejectRetry(&hinted, "shed", 1500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte{msgReject, 16, 0, 0, 0}, "shed"...)
+	want = append(want, 0x00, flagRejectRetryAfter, 8, 0, 0xDC, 0x05, 0, 0, 0, 0, 0, 0)
+	if !bytes.Equal(hinted.Bytes(), want) {
+		t.Fatalf("hinted reject encodes to % x, pinned format is % x", hinted.Bytes(), want)
+	}
+}
+
+// TestRejectRetryAfterRoundTrip: the hint survives negotiation as
+// Rejected.RetryAfter, is clamped to MaxRetryAfter, and a reason
+// containing the NUL separator is truncated rather than corrupting the
+// frame.
+func TestRejectRetryAfterRoundTrip(t *testing.T) {
+	cases := []struct {
+		reason     string
+		after      time.Duration
+		wantReason string
+		wantAfter  time.Duration
+	}{
+		{"unknown program", 0, "unknown program", 0},
+		{"shed: backend saturated", 2 * time.Second, "shed: backend saturated", 2 * time.Second},
+		{"shed", 500 * time.Microsecond, "shed", 0}, // sub-millisecond truncates to zero
+		{"shed", 48 * time.Hour, "shed", MaxRetryAfter},
+		{"evil\x00tail", time.Second, "evil", time.Second},
+	}
+	for _, tc := range cases {
+		ca, cb := net.Pipe()
+		go func() {
+			defer cb.Close()
+			if _, err := ReadProposal(cb); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := WriteRejectRetry(cb, tc.reason, tc.after); err != nil {
+				t.Error(err)
+			}
+		}()
+		_, err := Negotiate(context.Background(), ca, Proposal{Program: "p"})
+		ca.Close()
+		var rej *Rejected
+		if !errors.As(err, &rej) {
+			t.Fatalf("%q/%v: got %v, want *Rejected", tc.reason, tc.after, err)
+		}
+		if rej.Reason != tc.wantReason || rej.RetryAfter != tc.wantAfter {
+			t.Errorf("%q/%v: carried reason %q after %v, want %q / %v",
+				tc.reason, tc.after, rej.Reason, rej.RetryAfter, tc.wantReason, tc.wantAfter)
+		}
+	}
+}
+
+// TestRejectOldClientCompat: a pre-extension client parses the whole
+// payload as the reason. It must still see a plain rejection — reason
+// text with an opaque suffix, zero RetryAfter semantics — and the stream
+// must stay aligned for the next round. The old parse is simulated
+// byte-for-byte (string(payload), as PR 5's negotiate did).
+func TestRejectOldClientCompat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRejectRetry(&buf, "shed", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGrant(&buf, Grant{Outputs: OutputBoth, CycleBatch: 1, MaxCycles: 1, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readAnyFrame(&buf)
+	if err != nil || typ != msgReject {
+		t.Fatalf("frame type %d err %v", typ, err)
+	}
+	oldReason := string(payload) // the PR 5 parse
+	if !strings.HasPrefix(oldReason, "shed\x00") {
+		t.Errorf("old parse lost the reason prefix: %q", oldReason)
+	}
+	// The extension is length-delimited inside the frame, so the next
+	// frame is untouched.
+	if typ, _, err = readAnyFrame(&buf); err != nil || typ != msgGrant {
+		t.Fatalf("stream misaligned after hinted reject: type %d err %v", typ, err)
+	}
+}
+
+// TestRejectMalformedExtensions: truncated or unknown-bit extensions
+// degrade to a plain rejection, never an error or a misparse.
+func TestRejectMalformedExtensions(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		after   time.Duration
+	}{
+		{"bare separator", []byte("r\x00"), 0},
+		{"flags only", []byte("r\x00\x01"), 0},
+		{"short length", []byte("r\x00\x01\x08"), 0},
+		{"truncated field", []byte("r\x00\x01\x08\x00\x01\x02"), 0},
+		{"unknown bit skipped", append([]byte("r\x00\x03\x08\x00"),
+			0xE8, 0x03, 0, 0, 0, 0, 0, 0, 0x02, 0x00, 0xAB, 0xCD), time.Second},
+		{"wrong hint size", []byte("r\x00\x01\x04\x00\x01\x02\x03\x04"), 0},
+		{"oversized hint refused", append([]byte("r\x00\x01\x08\x00"),
+			0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F), 0},
+	}
+	for _, tc := range cases {
+		reason, after := parseReject(tc.payload)
+		if reason != "r" || after != tc.after {
+			t.Errorf("%s: parsed (%q, %v), want (%q, %v)", tc.name, reason, after, "r", tc.after)
+		}
+	}
+}
+
+// TestProposalFramePeek covers the gateway's raw-frame helpers:
+// ProgramOfProposal recovers the routing key from a proposal payload
+// (including one carrying future flag bits), and OutputsOfGrant the
+// session-terminal mode from a grant.
+func TestProposalFramePeek(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProposal(&buf, Proposal{Program: "hamming", Auth: "tok"}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadRawFrame(&buf)
+	if err != nil || typ != FramePropose {
+		t.Fatalf("frame type %d err %v", typ, err)
+	}
+	name, err := ProgramOfProposal(payload)
+	if err != nil || name != "hamming" {
+		t.Fatalf("peeked %q, %v", name, err)
+	}
+	// Future flag bits must not break the peek: the name precedes them.
+	payload[2+len("hamming")] |= 0x80
+	if name, err = ProgramOfProposal(payload); err != nil || name != "hamming" {
+		t.Fatalf("peek with future flags: %q, %v", name, err)
+	}
+	if _, err := ProgramOfProposal([]byte{7, 0, 'x'}); err == nil {
+		t.Error("truncated proposal payload accepted")
+	}
+
+	g := Grant{Outputs: OutputGarblerOnly, CycleBatch: 1, MaxCycles: 1, Workers: 1}
+	buf.Reset()
+	if err := WriteGrant(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if typ, payload, err = ReadRawFrame(&buf); err != nil || typ != FrameGrant {
+		t.Fatalf("frame type %d err %v", typ, err)
+	}
+	mode, err := OutputsOfGrant(payload)
+	if err != nil || mode != OutputGarblerOnly {
+		t.Fatalf("peeked mode %v, %v", mode, err)
+	}
+	if _, err := OutputsOfGrant(payload[:4]); err == nil {
+		t.Error("truncated grant payload accepted")
 	}
 }
 

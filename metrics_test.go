@@ -2,9 +2,13 @@ package arm2gc
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -158,5 +162,162 @@ func TestServerActiveGaugeStageFailures(t *testing.T) {
 	}
 	if m = srv.Metrics(); m.SessionsServed != 1 || m.SessionsFailed != 1 || m.SessionsRejected != 3 {
 		t.Fatalf("final counters: %+v", m)
+	}
+}
+
+// TestServerMetricsHandlerNegotiatesFormat pins the scrape endpoint's
+// content negotiation: one snapshot renders as Prometheus text by
+// default and as JSON with ?format=json, and the two views report the
+// same numbers.
+func TestServerMetricsHandlerNegotiatesFormat(t *testing.T) {
+	prog := compileAdd(t)
+	eng := NewEngine()
+	srv := NewServer(eng)
+	if err := srv.Register("add", prog,
+		WithMaxCycles(10_000),
+		WithGarblerInput([]uint32{100}),
+		WithAuthToken("secret")); err != nil {
+		t.Fatal(err)
+	}
+	addr, shutdown := startServer(t, srv)
+	defer shutdown()
+	cl, err := Dial(context.Background(), addr, WithClientEngine(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("add", prog); err != nil {
+		t.Fatal(err)
+	}
+	// One rejected session (wrong token) and one served, so both
+	// per-program counters are non-zero in the scrape.
+	var rej *RejectedError
+	if _, err := cl.Evaluate(context.Background(), "add", []uint32{1},
+		WithAuthToken("wrong")); !errors.As(err, &rej) {
+		t.Fatalf("got %v, want a rejection", err)
+	}
+	if _, err := cl.Evaluate(context.Background(), "add", []uint32{1},
+		WithAuthToken("secret")); err != nil {
+		t.Fatal(err)
+	}
+	// The session's tail (the outputs frame) is still in flight when
+	// Evaluate returns; wait for the server to account it.
+	for deadline := time.Now().Add(10 * time.Second); srv.Metrics().SessionsServed < 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("session never accounted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	h := srv.MetricsHandler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("default Content-Type = %q, want the Prometheus text format", ct)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"arm2gc_sessions_served_total 1",
+		"arm2gc_sessions_rejected_total 1",
+		`arm2gc_program_sessions_served_total{program="add"} 1`,
+		`arm2gc_program_sessions_rejected_total{program="add"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text scrape missing %q:\n%s", want, text)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("?format=json Content-Type = %q", ct)
+	}
+	var m ServerMetrics
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("JSON scrape does not parse: %v", err)
+	}
+	if m.SessionsServed != 1 || m.SessionsRejected != 1 {
+		t.Fatalf("JSON view served=%d rejected=%d, want 1/1", m.SessionsServed, m.SessionsRejected)
+	}
+	if p := m.Programs["add"]; p.Served != 1 || p.Rejected != 1 {
+		t.Fatalf("JSON per-program view %+v, want served 1 rejected 1", p)
+	}
+}
+
+// TestServerMetricsSurviveFailedNegotiation: a frame-layer negotiation
+// failure (unassigned feature flag) is counted without disturbing the
+// per-program counters, and both scrape formats keep rendering.
+func TestServerMetricsSurviveFailedNegotiation(t *testing.T) {
+	prog := compileAdd(t)
+	eng := NewEngine()
+	srv := NewServer(eng)
+	if err := srv.Register("add", prog,
+		WithMaxCycles(10_000),
+		WithGarblerInput([]uint32{100})); err != nil {
+		t.Fatal(err)
+	}
+	addr, shutdown := startServer(t, srv)
+	defer shutdown()
+	cl, err := Dial(context.Background(), addr, WithClientEngine(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("add", prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Evaluate(context.Background(), "add", []uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(10 * time.Second); srv.Metrics().SessionsServed < 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("session never accounted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A hand-crafted proposal announcing flag 0x80, which no build
+	// implements — the same shape as the version-mismatch serving test.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	frame := []byte{
+		0x10, 21, 0, 0, 0,
+		1, 0, 'p',
+		0x80, 0,
+		0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0,
+	}
+	if _, err := raw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	var protoRej *proto.Rejected
+	if _, err := proto.Negotiate(context.Background(), raw, proto.Proposal{Program: "add"}); !errors.As(err, &protoRej) {
+		t.Fatalf("got %v, want the version rejection", err)
+	}
+
+	m := srv.Metrics()
+	if m.NegotiationFailures != 1 {
+		t.Fatalf("negotiation failures = %d, want 1", m.NegotiationFailures)
+	}
+	if p := m.Programs["add"]; p.Served != 1 || p.Rejected != 0 {
+		t.Fatalf("per-program counters disturbed by a failed negotiation: %+v", p)
+	}
+	rec := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if want := "arm2gc_negotiation_failures_total 1"; !strings.Contains(rec.Body.String(), want) {
+		t.Fatalf("text scrape missing %q after a failed negotiation", want)
+	}
+	rec = httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=json", nil))
+	var js ServerMetrics
+	if err := json.Unmarshal(rec.Body.Bytes(), &js); err != nil {
+		t.Fatalf("JSON scrape after a failed negotiation: %v", err)
+	}
+	if js.Programs["add"].Served != 1 {
+		t.Fatalf("JSON per-program view lost the served count: %+v", js.Programs)
 	}
 }

@@ -249,6 +249,26 @@ func (s *Server) Register(name string, p *Program, defaults ...Option) error {
 	return nil
 }
 
+// Retire removes a registered program from service live: proposals for
+// name are rejected from now on — with the same wording as an unknown
+// program, so retirement leaks nothing — while in-flight sessions finish
+// undisturbed. Any garble-ahead entries for it are dropped. The name can
+// be registered again afterwards (a new binary under the same name).
+func (s *Server) Retire(name string) error {
+	s.mu.Lock()
+	reg := s.regs[name]
+	if reg == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("arm2gc: Retire: program %q is not registered", name)
+	}
+	delete(s.regs, name)
+	s.mu.Unlock()
+	if s.pool != nil && reg.pooled {
+		s.pool.Retire(reg.poolKey)
+	}
+	return nil
+}
+
 // WarmGarbleAhead synchronously fills the garble-ahead pool to every
 // registered program's depth before serving — so the very first client
 // hits a ready stream. A no-op without WithGarbleAhead. Serve's refill

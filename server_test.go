@@ -333,3 +333,65 @@ func TestServerRegisterValidation(t *testing.T) {
 		t.Fatal("nil program accepted")
 	}
 }
+
+// TestServerRetire: a retired program rejects like an unknown one (same
+// wording, connection kept), its garble-ahead entries are dropped, and
+// the name is free for a fresh registration — the live registry op the
+// fleet admin endpoint builds on.
+func TestServerRetire(t *testing.T) {
+	prog := compileAdd(t)
+	eng := NewEngine()
+	srv := NewServer(eng, WithGarbleAhead(PoolConfig{Depth: 2}))
+	if err := srv.Register("add", prog,
+		WithMaxCycles(10_000),
+		WithGarblerInput([]uint32{100})); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WarmGarbleAhead(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	addr, shutdown := startServer(t, srv)
+	defer shutdown()
+
+	cl, err := Dial(context.Background(), addr, WithClientEngine(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("add", prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Evaluate(context.Background(), "add", []uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.Retire("add"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Retire("add"); err == nil {
+		t.Fatal("double Retire accepted")
+	}
+	if ga := srv.Metrics().GarbleAhead; ga == nil || ga.Ready != 0 {
+		t.Fatalf("garble-ahead entries survive Retire: %+v", ga)
+	}
+	var rej *RejectedError
+	if _, err := cl.Evaluate(context.Background(), "add", []uint32{1}); !errors.As(err, &rej) {
+		t.Fatalf("retired program: got %v, want *RejectedError", err)
+	} else if !strings.Contains(rej.Reason, "not available to this peer") {
+		t.Fatalf("retired rejection reads %q; must match the unknown-program wording", rej.Reason)
+	}
+
+	// The connection survived, and the name is registrable again.
+	if err := srv.Register("add", prog,
+		WithMaxCycles(10_000),
+		WithGarblerInput([]uint32{200})); err != nil {
+		t.Fatalf("re-register after Retire: %v", err)
+	}
+	info, err := cl.Evaluate(context.Background(), "add", []uint32{1})
+	if err != nil {
+		t.Fatalf("session after re-register: %v", err)
+	}
+	if info.Outputs[0] != 201 {
+		t.Fatalf("sum = %d, want 201 (new registration's input)", info.Outputs[0])
+	}
+}
