@@ -9,6 +9,14 @@ FUZZTIME ?= 10s
 # BenchmarkColdSession — the garbling work the pool moves offline).
 BENCH_SET ?= BenchmarkEngineSessionReuse|BenchmarkGarblerPipeline|BenchmarkParallelCycle|BenchmarkSchedulerCycle|BenchmarkGarbledProcessorCycle|BenchmarkTraceReplay|BenchmarkColdSession|BenchmarkPooledSession
 BENCHTIME ?= 50x
+
+# The oblivious-memory crossover pair: garbled tables per memory access
+# under the linear scan vs the square-root ORAM on the 2KB relaxation
+# workload (above the break-even, where the ORAM must win). The counts
+# are exact schedule properties, so one iteration suffices and the
+# tables/access metrics gate machine-independently in bench-compare.
+BENCH_ORAM ?= BenchmarkMemAccessScan|BenchmarkMemAccessSqrtORAM
+BENCH_ORAM_TIME ?= 1x
 BENCH_THRESHOLD ?= 1.25
 BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 
@@ -19,7 +27,7 @@ BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 NPROC ?= $(shell getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 BENCH_ENV = GOMAXPROCS=$(NPROC)
 
-.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline bench-pool bench-json bench-baseline bench-compare cover ci dev-certs serve-tls test-hardening test-trace test-pool test-gateway
+.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline bench-pool bench-oram bench-json bench-baseline bench-compare cover ci dev-certs serve-tls test-hardening test-trace test-pool test-gateway test-membackend
 
 all: build vet test
 
@@ -56,10 +64,19 @@ bench-pipeline:
 bench-pool:
 	$(BENCH_ENV) $(GO) test -run '^$$' -bench 'BenchmarkColdSession|BenchmarkPooledSession' -benchtime 5x .
 
+# Oblivious-memory crossover: scan vs square-root ORAM tables per
+# memory access, standalone (the same pair rides in bench-json's report
+# and gates in bench-compare).
+bench-oram:
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench '$(BENCH_ORAM)' -benchtime $(BENCH_ORAM_TIME) .
+
 # Machine-readable benchmark report at the repo root (BENCH_<date>.json):
-# ns/op, allocs and the engine's own counters for the core benchmark set.
+# ns/op, allocs and the engine's own counters for the core benchmark set,
+# plus the bench-oram crossover pair (at its own single-iteration count —
+# its gated metric is exact, not timed).
 bench-json:
-	$(BENCH_ENV) $(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -benchtime $(BENCHTIME) . \
+	{ $(BENCH_ENV) $(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -benchtime $(BENCHTIME) . ; \
+	  $(BENCH_ENV) $(GO) test -run '^$$' -bench '$(BENCH_ORAM)' -benchtime $(BENCH_ORAM_TIME) . ; } \
 		| $(GO) run ./cmd/bench-json -out $(BENCH_FILE)
 
 # Regenerate the committed regression baseline (run on the machine class
@@ -123,6 +140,16 @@ test-gateway:
 	$(GO) test -race -shuffle=on -count=1 \
 		-run 'TestGateway|TestRing|TestPeerLimiter|TestServerRetire|TestPoolRetire|TestClientRetry|TestClientWithRetry|TestGatewayOpts' \
 		. ./internal/gateway ./internal/pool ./internal/cli
+
+# Oblivious-memory backend correctness: the backend-equivalence grid
+# (scan vs sqrt-ORAM, identical decoded outputs across worker/pipeline/
+# batch settings), auto selection, negotiation mismatch rejection, the
+# wire extension and the obliv/cpu unit suites — shuffled and under the
+# race detector, as in CI's memory-backends job.
+test-membackend:
+	$(GO) test -race -shuffle=on -count=1 \
+		-run 'MemoryBackend|MemBackend|Sqrt|Permute|Backend' \
+		. ./internal/obliv ./internal/cpu ./internal/build ./internal/proto
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

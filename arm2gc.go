@@ -42,6 +42,7 @@ import (
 	"arm2gc/internal/emu"
 	"arm2gc/internal/isa"
 	"arm2gc/internal/minicc"
+	"arm2gc/internal/obliv"
 )
 
 // Layout is the processor memory geometry: instruction words plus the four
@@ -50,6 +51,23 @@ type Layout = isa.Layout
 
 // Program is a linked binary: the public input p of the garbled execution.
 type Program = isa.Program
+
+// MemoryConfig selects and tunes the oblivious data-memory backend of a
+// session's processor: which backend, resolved over how many words,
+// switching at what threshold (see WithMemoryBackend / WithMemoryConfig).
+// The zero value means "auto over the layout's own size at the default
+// threshold".
+type MemoryConfig = obliv.Config
+
+// Oblivious-memory backend names, re-exported at the root so callers
+// never import internal packages. MemoryAuto picks MemoryScan below
+// obliv.DefaultThreshold data words (2KB) and MemorySqrtORAM at or above
+// it — the paper's "linear scan below the ORAM break-even" rule.
+const (
+	MemoryAuto     = obliv.Auto
+	MemoryScan     = obliv.Scan
+	MemorySqrtORAM = obliv.SqrtORAM
+)
 
 // CompileC compiles MiniC source (entry point gc_main) and links it
 // against a layout. The returned warnings flag conditionals that could
@@ -114,6 +132,11 @@ func NewMachine(l Layout) (*Machine, error) { return DefaultEngine.Machine(l) }
 // Stats reports the processor's netlist composition (the per-cycle cost a
 // conventional garbler would pay).
 func (m *Machine) Stats() circuit.Stats { return m.cpu.Circuit.Stats() }
+
+// MemoryBackend reports the resolved oblivious-memory backend this
+// machine's netlist was synthesized with (MemoryScan or MemorySqrtORAM;
+// never MemoryAuto — auto resolves before synthesis).
+func (m *Machine) MemoryBackend() string { return m.cpu.Backend }
 
 // WriteNetlist serializes the processor netlist in the text format of
 // internal/circuit, for inspection or external tooling.

@@ -18,6 +18,7 @@ import (
 	"arm2gc/internal/core"
 	"arm2gc/internal/cpu"
 	"arm2gc/internal/gc"
+	"arm2gc/internal/obliv"
 	"arm2gc/internal/sim"
 )
 
@@ -73,6 +74,33 @@ func BenchmarkFigure6_SecretBranchBlowup(b *testing.B)   { benchTable(b, bencher
 func BenchmarkAblationMuxCell(b *testing.B)       { benchTable(b, bencher.AblationMuxCell) }
 func BenchmarkAblationObliviousScan(b *testing.B) { benchTable(b, bencher.AblationObliviousScan) }
 func BenchmarkAblationZFlag(b *testing.B)         { benchTable(b, bencher.AblationZFlag) }
+
+// --- Oblivious-memory crossover (make bench-oram) ---
+
+// memAccessBench counts garbled tables per data-memory access for one
+// backend on the 512-word (2KB) relaxation workload — above the
+// scan/ORAM break-even, where the square-root ORAM must come in under
+// the scan. The count is an exact property of the schedule (no crypto,
+// no jitter), so the tables/access metric gates machine-independently
+// in bench-compare; regressing either backend past the threshold — or
+// losing the ORAM's win — fails the gate.
+func memAccessBench(b *testing.B, backend string) {
+	// 256 gather loads + 16 scatter stores + 1 readback load.
+	const accesses = 273
+	w := bencher.RelaxWorkload(512)
+	var perAccess float64
+	for i := 0; i < b.N; i++ {
+		res, err := bencher.RunOnCPUMem(w, obliv.Config{Backend: backend})
+		if err != nil {
+			b.Fatal(err)
+		}
+		perAccess = float64(res.Garbled()) / accesses
+	}
+	b.ReportMetric(perAccess, "tables/access")
+}
+
+func BenchmarkMemAccessScan(b *testing.B)     { memAccessBench(b, obliv.Scan) }
+func BenchmarkMemAccessSqrtORAM(b *testing.B) { memAccessBench(b, obliv.SqrtORAM) }
 
 // --- Primitive throughput ---
 

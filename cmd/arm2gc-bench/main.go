@@ -49,6 +49,7 @@ func main() {
 		"ablation-mux":   bencher.AblationMuxCell,
 		"ablation-scan":  bencher.AblationObliviousScan,
 		"ablation-zflag": bencher.AblationZFlag,
+		"ablation-mem":   func() (*bencher.Table, error) { return bencher.AblationMemoryBackend(*big) },
 	}
 
 	run := func(key string) {
@@ -72,7 +73,7 @@ func main() {
 		run("f" + *figure)
 	default:
 		fmt.Fprintln(os.Stderr, "regenerating the full evaluation (use -big for the paper's largest parameters)...")
-		for _, key := range []string{"1", "2", "3", "4", "5", "6", "mips", "f1", "f2", "f3", "f5", "f6", "ablation-mux", "ablation-scan", "ablation-zflag"} {
+		for _, key := range []string{"1", "2", "3", "4", "5", "6", "mips", "f1", "f2", "f3", "f5", "f6", "ablation-mux", "ablation-scan", "ablation-zflag", "ablation-mem"} {
 			run(key)
 		}
 	}

@@ -69,7 +69,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`
 // machineIndependent lists the metrics that stay comparable across hosts.
 func machineIndependent(name string) bool {
 	switch name {
-	case "allocs/op", "tables/cycle", "gates/cycle", "bytes/cycle":
+	case "allocs/op", "tables/cycle", "gates/cycle", "bytes/cycle", "tables/access":
 		return true
 	}
 	return false

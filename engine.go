@@ -8,6 +8,7 @@ import (
 	"arm2gc/internal/circuit"
 	"arm2gc/internal/core"
 	"arm2gc/internal/cpu"
+	"arm2gc/internal/obliv"
 	"arm2gc/internal/proto"
 	"arm2gc/internal/sim"
 )
@@ -115,6 +116,8 @@ type sessionConfig struct {
 	workers       int
 	workersSet    bool
 	traceReuse    bool
+	memory        MemoryConfig
+	memorySet     bool
 	readAhead     int
 	garbleAhead   int // 0: server default; -1: off; >0: explicit depth
 	garblerInput  []uint32
@@ -191,6 +194,30 @@ func WithWorkers(n int) Option {
 // Engine, evicting the least recently replayed. Observe effectiveness
 // via Engine.TraceRecordings and Engine.TraceReplays.
 func WithTraceReuse() Option { return func(c *sessionConfig) { c.traceReuse = true } }
+
+// WithMemoryBackend selects the oblivious data-memory backend the
+// session's processor is synthesized with: MemoryAuto (the default; scan
+// below the 2KB break-even, square-root ORAM at or above it), MemoryScan
+// (the mux-tree linear scan), or MemorySqrtORAM. The backend changes the
+// processor netlist and therefore the garbled stream, so both parties
+// must agree: it is part of the session id, a Client proposing a backend
+// sends it by name during negotiation, and a Server rejects a proposal
+// whose backend differs from the registration's resolved one — cleanly,
+// before any cryptography, keeping the connection alive. Sessions over
+// one Engine cache one machine per (layout, backend) pair. The deprecated
+// NewMachine/Engine.Machine path stays layout-only and always scans.
+func WithMemoryBackend(name string) Option {
+	return func(c *sessionConfig) { c.memory.Backend = name; c.memorySet = true }
+}
+
+// WithMemoryConfig sets the full oblivious-memory configuration —
+// backend plus tuning knobs (auto-selection threshold, ORAM stash
+// window). Most callers want WithMemoryBackend; this is the escape hatch
+// for non-default thresholds and windows. Like the backend name, the
+// whole configuration shapes the netlist and is part of the session id.
+func WithMemoryConfig(mc MemoryConfig) Option {
+	return func(c *sessionConfig) { c.memory = mc; c.memorySet = true }
+}
 
 // WithReadAhead makes an evaluating session pull up to depth frames off
 // the connection in a reader goroutine ahead of its cycle loop (default
@@ -285,15 +312,15 @@ type Session struct {
 // layout cache (the first session for a Layout pays the netlist build;
 // every later one finds it for free).
 func (e *Engine) Session(p *Program, opts ...Option) (*Session, error) {
-	m, err := e.Machine(p.Layout)
-	if err != nil {
-		return nil, err
-	}
 	cfg, err := newSessionConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{m: m, prog: p, cfg: cfg, eng: e}, nil
+	c, err := e.cache.GetMem(p.Layout, cfg.memory)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{m: &Machine{cpu: c}, prog: p, cfg: cfg, eng: e}, nil
 }
 
 // newSessionConfig applies opts over the defaults and validates — the one
@@ -318,6 +345,11 @@ func newSessionConfig(opts []Option) (sessionConfig, error) {
 	}
 	if cfg.readAhead < 0 {
 		return cfg, fmt.Errorf("arm2gc: WithReadAhead(%d): depth cannot be negative", cfg.readAhead)
+	}
+	if cfg.memorySet {
+		if _, err := obliv.ParseBackend(cfg.memory.Backend); err != nil {
+			return cfg, fmt.Errorf("arm2gc: WithMemoryBackend: %w", err)
+		}
 	}
 	if cfg.garbleAhead < -1 {
 		return cfg, fmt.Errorf("arm2gc: WithGarbleAheadDepth(%d): depth must be positive", cfg.garbleAhead)

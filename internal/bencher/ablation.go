@@ -8,6 +8,7 @@ import (
 	"arm2gc/internal/circuit"
 	"arm2gc/internal/core"
 	"arm2gc/internal/isa"
+	"arm2gc/internal/obliv"
 )
 
 // Ablations for the design decisions DESIGN.md calls out: the atomic MUX
@@ -129,6 +130,47 @@ void gc_main(const int *a, const int *b, int *c) {
 	t.Notes = append(t.Notes,
 		"cost grows linearly in the scanned region (≈32 tables per word: a 32-bit MUX per candidate), the paper's linear-scan regime; ORAM break-evens cited in §4.4 start at 2-8KB",
 		"the whole data memory scales with the array here; with mixed regions only the aligned enclosing region is scanned (see the merge-sort workload)")
+	return t, nil
+}
+
+// AblationMemoryBackend measures the oblivious-memory backend decision:
+// garbled tables per secret-address memory access on the relaxation
+// kernel (RelaxWorkload) under the linear scan vs the square-root ORAM,
+// as the array grows through the break-even. The scan pays ~32-34 tables
+// per array word on every access; the ORAM elides the store write-backs
+// (linear in n) against a stash overlay tax on loads (√n), so the ratio
+// crosses 1 around 1KB of data memory and the 2KB default threshold sits
+// safely inside the win region.
+func AblationMemoryBackend(big bool) (*Table, error) {
+	t := &Table{
+		Title:  "Ablation — oblivious memory backend (relaxation kernel: 256 gather loads, 16 scatter stores at secret addresses)",
+		Header: []string{"Array words", "Data memory", "Scan tables/access", "Sqrt-ORAM tables/access", "Ratio"},
+	}
+	sizes := []int{64, 128, 256}
+	if big {
+		sizes = append(sizes, 512, 1024)
+	}
+	for _, n := range sizes {
+		w := RelaxWorkload(n)
+		scan, err := RunOnCPUMem(w, obliv.Config{Backend: obliv.Scan})
+		if err != nil {
+			return nil, err
+		}
+		sqrt, err := RunOnCPUMem(w, obliv.Config{Backend: obliv.SqrtORAM})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d B", w.Layout.DataWords()*4),
+			num(int64(scan.Garbled() / RelaxAccesses)),
+			num(int64(sqrt.Garbled() / RelaxAccesses)),
+			fmt.Sprintf("%.4f", float64(sqrt.Garbled())/float64(scan.Garbled())),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the ORAM's win is the elided store write-backs: each of the 16 scatter stores saves ~34 tables/word while its deferred value rides the √window stash; loads pay ~40 tables per occupied slot of overlay",
+		"below ~1KB the overlay tax outweighs the elision and the scan wins — the auto backend switches at 2KB (obliv.DefaultThreshold), the low end of the paper's cited ORAM break-even range")
 	return t, nil
 }
 

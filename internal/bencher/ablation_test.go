@@ -1,6 +1,9 @@
 package bencher
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestAblationMuxCell(t *testing.T) {
 	tab, err := AblationMuxCell()
@@ -57,6 +60,33 @@ func TestAblationZFlag(t *testing.T) {
 	adds := parseNumT(t, tab.Rows[1][1])
 	if adds <= add || adds-add < 25 || adds-add > 45 {
 		t.Errorf("adds (%d) should cost ≈33 more than add (%d)", adds, add)
+	}
+}
+
+func TestAblationMemoryBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six full garbling-cost runs (~90s)")
+	}
+	tab, err := AblationMemoryBackend(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab.Render())
+	// The ratio column must fall monotonically with size: the ORAM's
+	// saving is linear in n, its tax ~√n.
+	prev := 2.0
+	for _, r := range tab.Rows {
+		var ratio float64
+		if _, err := fmt.Sscanf(r[4], "%f", &ratio); err != nil {
+			t.Fatalf("ratio cell %q: %v", r[4], err)
+		}
+		if ratio >= prev {
+			t.Errorf("ratio not falling with size: %s at %s words (prev %.4f)", r[4], r[0], prev)
+		}
+		prev = ratio
+	}
+	if prev >= 1 {
+		t.Errorf("largest size ratio %.4f, want < 1 (ORAM must win by 256 words)", prev)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"arm2gc/internal/core"
 	"arm2gc/internal/cpu"
 	"arm2gc/internal/emu"
+	"arm2gc/internal/obliv"
 	"arm2gc/internal/sim"
 )
 
@@ -15,6 +16,7 @@ import (
 // processor with SkipGate.
 type CPUResult struct {
 	Name     string
+	Backend  string // resolved data-memory backend the run used
 	Cycles   int
 	Stats    core.Stats
 	PerCycle int // processor non-XOR gates per cycle (conventional cost)
@@ -30,8 +32,15 @@ func (r *CPUResult) Garbled() int { return r.Stats.Total.Garbled }
 
 // RunOnCPU compiles the workload, validates it on the emulator against its
 // reference function, builds the processor for its memory layout, and runs
-// the SkipGate scheduler to measure garbled-table counts.
+// the SkipGate scheduler to measure garbled-table counts. The data memory
+// is the historical linear scan; RunOnCPUMem selects a backend.
 func RunOnCPU(w *Workload) (*CPUResult, error) {
+	return RunOnCPUMem(w, obliv.Config{Backend: obliv.Scan})
+}
+
+// RunOnCPUMem is RunOnCPU with an oblivious-memory backend selection, the
+// measurement arm of the backend ablation and the bench-oram gate.
+func RunOnCPUMem(w *Workload, mc obliv.Config) (*CPUResult, error) {
 	p, warnings, err := w.Program()
 	if err != nil {
 		return nil, err
@@ -54,7 +63,7 @@ func RunOnCPU(w *Workload) (*CPUResult, error) {
 		}
 	}
 
-	c, err := cpu.Shared(p.Layout)
+	c, err := cpu.SharedMem(p.Layout, mc)
 	if err != nil {
 		return nil, err
 	}
@@ -69,6 +78,7 @@ func RunOnCPU(w *Workload) (*CPUResult, error) {
 	perCycle := c.Circuit.Stats().NonXOR
 	return &CPUResult{
 		Name:         w.Name,
+		Backend:      c.Backend,
 		Cycles:       cycles,
 		Stats:        st,
 		PerCycle:     perCycle,

@@ -1,0 +1,110 @@
+package build
+
+// Permutation and shuffle-network primitives, the circuit substrate of
+// oblivious-memory constructions (a square-root ORAM's offline shuffle is
+// a Benes/Waksman network over the memory words). Everything here is
+// pinned to the free-XOR cost model: a conditional swap of two k-bit
+// buses costs exactly k garbled tables — d = c ∧ (x⊕y), x' = x⊕d,
+// y' = y⊕d — because the XORs are free and only the AND per bit is a
+// table. A Waksman network over n buses therefore costs exactly
+// k·(n·log2(n) − n + 1) tables: a log factor above one linear scan per
+// element, but amortizable over the whole memory at once, which is the
+// asymptotic argument for ORAM above the break-even.
+
+// CondSwapBit conditionally swaps two wires: (x, y) when c=0, (y, x)
+// when c=1, for one garbled table (the AND; both XORs are free). With a
+// public c, SkipGate pays nothing at all.
+func (b *Builder) CondSwapBit(c, x, y W) (W, W) {
+	d := b.And(c, b.Xor(x, y))
+	return b.Xor(x, d), b.Xor(y, d)
+}
+
+// CondSwap conditionally swaps two equal-width buses for len(x) garbled
+// tables — one AND per bit, the free-XOR-optimal conditional swap. (The
+// naive pair of muxes costs 2·len(x).)
+func (b *Builder) CondSwap(c W, x, y Bus) (Bus, Bus) {
+	b.checkSameWidth("CondSwap", x, y)
+	nx := make(Bus, len(x))
+	ny := make(Bus, len(y))
+	for i := range x {
+		nx[i], ny[i] = b.CondSwapBit(c, x[i], y[i])
+	}
+	return nx, ny
+}
+
+// PermuteNetworkControls is the number of control bits Permute consumes
+// for n items (n a power of two ≥ 1): the conditional-swap count of the
+// Waksman network, n·log2(n) − n + 1.
+func PermuteNetworkControls(n int) int {
+	if n < 1 || n&(n-1) != 0 {
+		panic("build: PermuteNetworkControls needs a power-of-two item count")
+	}
+	if n == 1 {
+		return 0
+	}
+	if n == 2 {
+		return 1
+	}
+	return (n - 1) + 2*PermuteNetworkControls(n/2)
+}
+
+// Permute routes n equal-width buses (n a power of two) through a
+// Waksman network driven by ctl, which must hold exactly
+// PermuteNetworkControls(n) wires. Every permutation of the items is
+// reachable by some control setting; with secret controls the network
+// costs width·len(ctl) garbled tables and hides the permutation, with
+// public controls it is free under SkipGate. Control order matches the
+// recursion: input column top-down, then the even (top) subnetwork, then
+// the odd (bottom) subnetwork, then the output column top-down — with
+// the first output switch of each level fixed straight-through (the
+// Waksman saving; it is redundant for rearrangeability).
+func (b *Builder) Permute(ctl Bus, items []Bus) []Bus {
+	if n := len(items); n < 1 || n&(n-1) != 0 {
+		panic("build: Permute needs a power-of-two item count")
+	}
+	if len(ctl) != PermuteNetworkControls(len(items)) {
+		panic("build: Permute control-bus width does not match PermuteNetworkControls(len(items))")
+	}
+	out, rest := b.permute(ctl, items)
+	if len(rest) != 0 {
+		panic("build: Permute control accounting is broken")
+	}
+	return out
+}
+
+// permute consumes controls from the front of ctl and returns the
+// unconsumed remainder, so the recursive halves split one bus.
+func (b *Builder) permute(ctl Bus, items []Bus) ([]Bus, Bus) {
+	n := len(items)
+	if n == 1 {
+		return items, ctl
+	}
+	if n == 2 {
+		x, y := b.CondSwap(ctl[0], items[0], items[1])
+		return []Bus{x, y}, ctl[1:]
+	}
+	half := n / 2
+
+	// Input column: switch i pairs items (2i, 2i+1), feeding the top and
+	// bottom half-size subnetworks.
+	top := make([]Bus, half)
+	bot := make([]Bus, half)
+	for i := 0; i < half; i++ {
+		top[i], bot[i] = b.CondSwap(ctl[0], items[2*i], items[2*i+1])
+		ctl = ctl[1:]
+	}
+
+	top, ctl = b.permute(ctl, top)
+	bot, ctl = b.permute(ctl, bot)
+
+	// Output column: switch i merges top[i], bot[i] into outputs
+	// (2i, 2i+1). The first switch is fixed straight-through.
+	out := make([]Bus, 0, n)
+	out = append(out, top[0], bot[0])
+	for i := 1; i < half; i++ {
+		x, y := b.CondSwap(ctl[0], top[i], bot[i])
+		ctl = ctl[1:]
+		out = append(out, x, y)
+	}
+	return out, ctl
+}

@@ -1,0 +1,165 @@
+package build
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/sim"
+)
+
+// refPermute mirrors the circuit recursion over plain indices, consuming
+// controls in the same order, so the test pins the wiring and not just
+// "some permutation happened".
+func refPermute(ctl []bool, items []int) ([]int, []bool) {
+	n := len(items)
+	if n == 1 {
+		return items, ctl
+	}
+	swap := func(c bool, x, y int) (int, int) {
+		if c {
+			return y, x
+		}
+		return x, y
+	}
+	if n == 2 {
+		x, y := swap(ctl[0], items[0], items[1])
+		return []int{x, y}, ctl[1:]
+	}
+	half := n / 2
+	top := make([]int, half)
+	bot := make([]int, half)
+	for i := 0; i < half; i++ {
+		top[i], bot[i] = swap(ctl[0], items[2*i], items[2*i+1])
+		ctl = ctl[1:]
+	}
+	top, ctl = refPermute(ctl, top)
+	bot, ctl = refPermute(ctl, bot)
+	out := []int{top[0], bot[0]}
+	for i := 1; i < half; i++ {
+		x, y := swap(ctl[0], top[i], bot[i])
+		ctl = ctl[1:]
+		out = append(out, x, y)
+	}
+	return out, ctl
+}
+
+// permuteCircuit builds a Permute over n w-bit items with secret controls
+// (Bob) and secret items (Alice), so nothing folds at construction.
+func permuteCircuit(t *testing.T, n, w int) *circuit.Circuit {
+	t.Helper()
+	b := New(fmt.Sprintf("permute-%d", n))
+	ctl := b.Input(circuit.Bob, "ctl", PermuteNetworkControls(n))
+	items := make([]Bus, n)
+	for i := range items {
+		items[i] = b.Input(circuit.Alice, fmt.Sprintf("x%d", i), w)
+	}
+	out := b.Permute(ctl, items)
+	flat := Bus{}
+	for _, o := range out {
+		flat = append(flat, o...)
+	}
+	b.Output("out", flat)
+	return b.MustCompile()
+}
+
+func runPermute(c *circuit.Circuit, n, w int, ctlBits []bool) []uint64 {
+	alice := make([]bool, 0, n*w)
+	for i := 0; i < n; i++ {
+		alice = append(alice, sim.UnpackUint(uint64(i), w)...)
+	}
+	out := sim.Run(c, sim.Inputs{Alice: alice, Bob: ctlBits}, 1)
+	got := make([]uint64, n)
+	for i := range got {
+		got[i] = sim.PackUint(out[i*w : (i+1)*w])
+	}
+	return got
+}
+
+func TestPermuteControlCount(t *testing.T) {
+	// n·log2(n) − n + 1, the Waksman switch count.
+	for _, tc := range []struct{ n, want int }{
+		{1, 0}, {2, 1}, {4, 5}, {8, 17}, {16, 49}, {32, 129},
+	} {
+		if got := PermuteNetworkControls(tc.n); got != tc.want {
+			t.Errorf("PermuteNetworkControls(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestPermuteCostModel pins the free-XOR cost: exactly width tables per
+// conditional swap (the per-bit AND), nothing else non-XOR.
+func TestPermuteCostModel(t *testing.T) {
+	for _, tc := range []struct{ n, w int }{{2, 1}, {4, 4}, {8, 32}, {16, 8}} {
+		c := permuteCircuit(t, tc.n, tc.w)
+		want := tc.w * PermuteNetworkControls(tc.n)
+		if got := c.Stats().NonXOR; got != want {
+			t.Errorf("Permute(n=%d, w=%d): %d non-XOR gates, want exactly %d (one AND per bus bit per switch)",
+				tc.n, tc.w, got, want)
+		}
+	}
+}
+
+// TestPermuteMatchesReference drives random control settings through the
+// circuit and the index-level reference recursion.
+func TestPermuteMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 8, 16} {
+		w := 8
+		c := permuteCircuit(t, n, w)
+		nc := PermuteNetworkControls(n)
+		for trial := 0; trial < 25; trial++ {
+			ctl := make([]bool, nc)
+			for i := range ctl {
+				ctl[i] = rng.Intn(2) == 1
+			}
+			items := make([]int, n)
+			for i := range items {
+				items[i] = i
+			}
+			want, rest := refPermute(ctl, items)
+			if len(rest) != 0 {
+				t.Fatalf("reference recursion left %d controls", len(rest))
+			}
+			got := runPermute(c, n, w, ctl)
+			for i := range got {
+				if got[i] != uint64(want[i]) {
+					t.Fatalf("n=%d ctl=%v: out[%d] = %d, want %d (full: got %v want %v)",
+						n, ctl, i, got[i], want[i], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPermuteRearrangeable enumerates every control setting at n=4 (2^5)
+// and checks all 4! = 24 permutations are reachable — the Waksman
+// guarantee that dropping one output switch per level loses nothing.
+func TestPermuteRearrangeable(t *testing.T) {
+	const n, w = 4, 4
+	c := permuteCircuit(t, n, w)
+	nc := PermuteNetworkControls(n)
+	seen := map[[n]uint64]bool{}
+	for v := 0; v < 1<<nc; v++ {
+		ctl := make([]bool, nc)
+		for i := range ctl {
+			ctl[i] = v>>i&1 == 1
+		}
+		got := runPermute(c, n, w, ctl)
+		var key [n]uint64
+		copy(key[:], got)
+		// Every output must be a permutation of 0..n-1.
+		var mask uint64
+		for _, x := range got {
+			mask |= 1 << x
+		}
+		if mask != 1<<n-1 {
+			t.Fatalf("ctl %0*b: output %v is not a permutation", nc, v, got)
+		}
+		seen[key] = true
+	}
+	if len(seen) != 24 {
+		t.Errorf("n=4 network reaches %d permutations, want all 24", len(seen))
+	}
+}

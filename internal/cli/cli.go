@@ -43,11 +43,13 @@ type SessionOpts struct {
 	pipeline   *int
 	workers    *int
 	readAhead  *int
+	memBackend *string
 }
 
 // SessionFlags registers the session-option flags the two-party tools
-// share: -max-cycles, -cycle-batch, -output-mode, -pipeline, -workers and
-// -read-ahead. Call Options after flag.Parse to assemble the option list.
+// share: -max-cycles, -cycle-batch, -output-mode, -pipeline, -workers,
+// -read-ahead and -mem-backend. Call Options after flag.Parse to assemble
+// the option list.
 func SessionFlags() *SessionOpts {
 	return &SessionOpts{
 		maxCycles:  flag.Int("max-cycles", 1_000_000, "cycle budget"),
@@ -56,6 +58,7 @@ func SessionFlags() *SessionOpts {
 		pipeline:   flag.Int("pipeline", 0, "garbler-side lookahead: frames garbled ahead of the network writer (0 = serial)"),
 		workers:    flag.Int("workers", 1, "per-cycle classify/garble worker goroutines (1 = serial; a client proposal is capped by the server's registered count)"),
 		readAhead:  flag.Int("read-ahead", 0, "evaluator-side lookahead: frames buffered off the socket ahead of the cycle loop (0 = synchronous)"),
+		memBackend: flag.String("mem-backend", "auto", "oblivious data-memory backend: auto | scan | sqrt-oram (both parties must agree; auto picks by memory size)"),
 	}
 }
 
@@ -89,6 +92,9 @@ func (o *SessionOpts) Options(onlySet bool) ([]arm2gc.Option, error) {
 	}
 	if include("read-ahead") {
 		opts = append(opts, arm2gc.WithReadAhead(*o.readAhead))
+	}
+	if include("mem-backend") {
+		opts = append(opts, arm2gc.WithMemoryBackend(*o.memBackend))
 	}
 	return opts, nil
 }

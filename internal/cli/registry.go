@@ -22,8 +22,8 @@ import (
 //	    {"name": "addmax", "c": "addmax.c",
 //	     "garbler_input": [1000], "max_cycles": 10000,
 //	     "cycle_batch": 8, "pipeline": 2, "workers": 4,
-//	     "output_mode": "both", "auth_token": "team-a-secret",
-//	     "garble_ahead": 4},
+//	     "output_mode": "both", "memory_backend": "auto",
+//	     "auth_token": "team-a-secret", "garble_ahead": 4},
 //	    {"name": "hamming", "asm": "hamming.s",
 //	     "layout": {"alice_words": 4, "bob_words": 4, "out_words": 1}}
 //	  ]
@@ -63,6 +63,7 @@ type RegistryProgram struct {
 	Pipeline     int             `json:"pipeline"`
 	Workers      int             `json:"workers"`
 	OutputMode   string          `json:"output_mode"`
+	MemBackend   string          `json:"memory_backend"`
 	AuthToken    string          `json:"auth_token"`
 	GarbleAhead  *int            `json:"garble_ahead,omitempty"`
 	Layout       *RegistryLayout `json:"layout"`
@@ -188,6 +189,9 @@ func loadProgram(dir string, rp RegistryProgram, defLayout arm2gc.Layout) (Regis
 			return e, err
 		}
 		opts = append(opts, arm2gc.WithOutputMode(mode))
+	}
+	if rp.MemBackend != "" {
+		opts = append(opts, arm2gc.WithMemoryBackend(rp.MemBackend))
 	}
 	if rp.AuthToken != "" {
 		opts = append(opts, arm2gc.WithAuthToken(rp.AuthToken))

@@ -19,25 +19,52 @@ import (
 	"arm2gc/internal/build"
 	"arm2gc/internal/circuit"
 	"arm2gc/internal/isa"
+	"arm2gc/internal/obliv"
 	"arm2gc/internal/sim"
 )
 
-// CPU is a frozen processor instance for one memory layout.
+// CPU is a frozen processor instance for one memory layout and one
+// resolved data-memory backend.
 type CPU struct {
 	Circuit *circuit.Circuit
 	Layout  isa.Layout
+
+	// Backend is the resolved obliv backend name the data memory was
+	// built with (obliv.Scan or obliv.SqrtORAM, never obliv.Auto).
+	Backend string
 }
 
-// Build generates the processor circuit for a memory layout.
+// Build generates the processor circuit for a memory layout with the
+// linear-scan data memory — the historical netlist, bit-for-bit. New code
+// that wants backend selection should use BuildMem.
 func Build(l isa.Layout) (*CPU, error) {
+	return BuildMem(l, obliv.Config{Backend: obliv.Scan})
+}
+
+// BuildMem generates the processor circuit for a memory layout with the
+// data-memory backend chosen by mc (obliv.Auto resolves against the
+// layout's DataWords()).
+func BuildMem(l isa.Layout, mc obliv.Config) (*CPU, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
 	if l.IMemWords&(l.IMemWords-1) != 0 {
 		return nil, fmt.Errorf("cpu: IMemWords %d must be a power of two", l.IMemWords)
 	}
+	// The data-memory word count gets the same up-front validation as
+	// IMemWords: both the scan and the ORAM bank synthesize netlists
+	// linear in it, so a corrupt layout must fail here with a clear
+	// error, not deep inside the builder.
+	if dw := l.DataWords(); dw <= 0 || dw > obliv.MaxDataWords {
+		return nil, fmt.Errorf("cpu: data memory of %d words is outside the buildable range [1, %d]",
+			dw, obliv.MaxDataWords)
+	}
+	backend, err := mc.Resolve(l.DataWords())
+	if err != nil {
+		return nil, err
+	}
 
-	b := build.New(fmt.Sprintf("arm2gc-cpu-i%d-d%d", l.IMemWords, l.DataWords()))
+	b := build.New(fmt.Sprintf("arm2gc-cpu-i%d-d%d-%s", l.IMemWords, l.DataWords(), backend))
 
 	// Input bit-vector reservations: the program image is the public input
 	// p; the parties' arrays initialize their data-memory regions.
@@ -74,24 +101,12 @@ func Build(l isa.Layout) (*CPU, error) {
 	}
 	closeScope()
 
-	// Data memory: one RAM, regions set initialization.
+	// Data memory: one RAM behind the selected oblivious backend; regions
+	// set initialization.
 	closeScope = b.Scope("dmem")
-	dmem := make([]*build.Reg, l.DataWords())
-	dmemQ := make([]build.Bus, len(dmem))
-	for w := range dmem {
-		inits := make([]circuit.Init, 32)
-		for bit := range inits {
-			switch {
-			case w < l.AliceWords:
-				inits[bit] = circuit.Init{Kind: circuit.InitAlice, Idx: aliceOff + w*32 + bit}
-			case w < l.AliceWords+l.BobWords:
-				inits[bit] = circuit.Init{Kind: circuit.InitBob, Idx: bobOff + (w-l.AliceWords)*32 + bit}
-			default:
-				inits[bit] = circuit.Init{Kind: circuit.InitZero}
-			}
-		}
-		dmem[w] = b.RegInit(fmt.Sprintf("dmem%d", w), inits)
-		dmemQ[w] = dmem[w].Q()
+	mem, err := obliv.Instantiate(b, backend, mc, l, aliceOff, bobOff)
+	if err != nil {
+		return nil, err
 	}
 	closeScope()
 
@@ -217,15 +232,7 @@ func Build(l isa.Layout) (*CPU, error) {
 	closeScope()
 
 	closeScope = b.Scope("dmem.read")
-	padded := make([]build.Bus, 1<<dbits)
-	for i := range padded {
-		if i < len(dmemQ) {
-			padded[i] = dmemQ[i]
-		} else {
-			padded[i] = build.ZeroBus(32)
-		}
-	}
-	memRead := b.MuxTree(wordAddr, padded)
+	memRead := mem.Read(wordAddr)
 	closeScope()
 
 	// Writeback value and destination.
@@ -266,14 +273,15 @@ func Build(l isa.Layout) (*CPU, error) {
 	flagV.SetNext(build.Bus{b.Mux(setCV, ovf, v)})
 	closeScope()
 
-	// Memory write port.
+	// Memory write port. The backend gets the architectural store decode
+	// (public with the instruction stream) separately from the fully
+	// gated enable: a deferring backend keys its bookkeeping off the
+	// full enable, which stays public for public instruction streams
+	// with public store predicates.
 	closeScope = b.Scope("dmem.write")
 	isStore := b.And(isMem, b.Not(instr[20]))
 	stEn := b.AndTree([]build.W{isStore, condPass, running})
-	weOnehot := b.Decoder(wordAddr, stEn)
-	for i, r := range dmem {
-		r.SetNext(b.MuxBus(weOnehot[i], rdVal, r.Q()))
-	}
+	mem.Write(wordAddr, rdVal, stEn)
 	closeScope()
 
 	// Next PC.
@@ -282,19 +290,19 @@ func Build(l isa.Layout) (*CPU, error) {
 	brTarget := b.Add(pcPlus8, append(build.Bus{build.F, build.F}, brOff...))
 	takeBranch := b.AndTree([]build.W{isBranch, condPass, running})
 	doHalt := b.AndTree([]build.W{isSWI, condPass, running})
+	haltNow := b.Or(halted, doHalt)
 	pcNext := b.MuxBus(rdOnehot[15], wbData, pcPlus4)
 	pcNext = b.MuxBus(takeBranch, brTarget, pcNext)
-	pcNext = b.MuxBus(b.Or(halted, doHalt), pc, pcNext)
+	pcNext = b.MuxBus(haltNow, pc, pcNext)
 	pcReg.SetNext(pcNext)
-	haltedReg.SetNext(build.Bus{b.Or(halted, doHalt)})
+	haltedReg.SetNext(build.Bus{haltNow})
 	closeScope()
 
-	// Outputs: the output memory region and the halt flag.
-	var outWires build.Bus
-	base := int(l.OutBase() / 4)
-	for w := base; w < base+l.OutWords; w++ {
-		outWires = append(outWires, dmemQ[w]...)
-	}
+	// Outputs: the output memory region as the backend reconciles it at
+	// the halting cycle, and the halt flag.
+	closeScope = b.Scope("dmem.out")
+	outWires := mem.Outputs(haltNow)
+	closeScope()
 	b.Output("out", outWires)
 	b.Output("halted", haltedReg.Q())
 
@@ -306,7 +314,7 @@ func Build(l isa.Layout) (*CPU, error) {
 	// carries it: parallel sessions (WithWorkers) then find it for free
 	// instead of each first scheduler paying the O(gates) computation.
 	c.Levels()
-	return &CPU{Circuit: c, Layout: l}, nil
+	return &CPU{Circuit: c, Layout: l, Backend: mem.Name()}, nil
 }
 
 // muxtreeBits selects a per-opcode control bit from a 16-character table

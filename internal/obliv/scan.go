@@ -1,0 +1,83 @@
+package obliv
+
+import (
+	"fmt"
+
+	"arm2gc/internal/build"
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/isa"
+)
+
+// scanMem is the paper's linear-scan data memory, extracted verbatim from
+// the original dmem scopes of the CPU generator: one flip-flop word array,
+// a zero-padded MUX tree on the load port, a full decoder + per-word
+// write mux on the store port. The extraction is gate-for-gate identical
+// to the pre-backend netlist — the gate-count golden tests pin it — so
+// machine caches, traces and recorded streams for scan machines carry
+// over unchanged.
+type scanMem struct {
+	b     *build.Builder
+	l     isa.Layout
+	dmem  []*build.Reg
+	dmemQ []build.Bus
+}
+
+// bankRegs builds the shared word array with its region initialization:
+// Alice's words from her input bits, Bob's from his, the rest zero. Both
+// backends use it, so input wiring never depends on the backend.
+func bankRegs(b *build.Builder, l isa.Layout, aliceOff, bobOff int) ([]*build.Reg, []build.Bus) {
+	dmem := make([]*build.Reg, l.DataWords())
+	dmemQ := make([]build.Bus, len(dmem))
+	for w := range dmem {
+		inits := make([]circuit.Init, 32)
+		for bit := range inits {
+			switch {
+			case w < l.AliceWords:
+				inits[bit] = circuit.Init{Kind: circuit.InitAlice, Idx: aliceOff + w*32 + bit}
+			case w < l.AliceWords+l.BobWords:
+				inits[bit] = circuit.Init{Kind: circuit.InitBob, Idx: bobOff + (w-l.AliceWords)*32 + bit}
+			default:
+				inits[bit] = circuit.Init{Kind: circuit.InitZero}
+			}
+		}
+		dmem[w] = b.RegInit(fmt.Sprintf("dmem%d", w), inits)
+		dmemQ[w] = dmem[w].Q()
+	}
+	return dmem, dmemQ
+}
+
+func newScan(b *build.Builder, l isa.Layout, aliceOff, bobOff int) *scanMem {
+	m := &scanMem{b: b, l: l}
+	m.dmem, m.dmemQ = bankRegs(b, l, aliceOff, bobOff)
+	return m
+}
+
+func (m *scanMem) Name() string { return Scan }
+
+func (m *scanMem) Read(addr build.Bus) build.Bus {
+	padded := make([]build.Bus, 1<<len(addr))
+	for i := range padded {
+		if i < len(m.dmemQ) {
+			padded[i] = m.dmemQ[i]
+		} else {
+			padded[i] = build.ZeroBus(32)
+		}
+	}
+	return m.b.MuxTree(addr, padded)
+}
+
+func (m *scanMem) Write(addr build.Bus, data build.Bus, en build.W) {
+	weOnehot := m.b.Decoder(addr, en)
+	for i, r := range m.dmem {
+		r.SetNext(m.b.MuxBus(weOnehot[i], data, r.Q()))
+	}
+}
+
+func (m *scanMem) Outputs(halt build.W) build.Bus {
+	var out build.Bus
+	base := int(m.l.OutBase() / 4)
+	for w := base; w < base+m.l.OutWords; w++ {
+		out = append(out, m.dmemQ[w]...)
+	}
+	return out
+}

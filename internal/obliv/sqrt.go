@@ -1,0 +1,250 @@
+package obliv
+
+import (
+	"fmt"
+
+	"arm2gc/internal/build"
+	"arm2gc/internal/circuit"
+	"arm2gc/internal/isa"
+)
+
+// sqrtMem is the square-root ORAM backend: the same word bank as the
+// linear scan, plus a stash ring of ⌈√window⌉ {tag, data, valid} slots
+// that absorbs stores into the low `window` words at *public* ring
+// positions.
+//
+// The window is the load-bearing design point. A compiled program's store
+// stream is dominated by stack spills at public addresses (MiniC spills
+// every local), and those cost the scan nothing once SkipGate sees the
+// public one-hot decoder. If they entered the stash they would advance
+// the ring ~√n times per loop iteration and evict the deferred array
+// stores almost immediately — turning the elision into a ~100-cycle
+// deferral worth 0.1%. So only stores below the window (the aligned
+// low-address prefix where the parties' arrays live) use the stash;
+// everything above writes the bank directly through its own decoder,
+// which is free exactly when the address is public. The split wire is a
+// zero-test of the address bits above the window, public whenever those
+// bits are.
+//
+// Cost model under SkipGate (public instruction stream):
+//
+//   - In-window store: the append slot is chosen by a public ring
+//     counter, so the tag/data muxes fold to free copies; only the
+//     duplicate-invalidation pass pays (~(dbits+2) tables per occupied
+//     slot). The scan pays ~34n tables per store (decoder + write muxes)
+//     — this is the win.
+//   - Above-window store: direct bank write; free for public addresses,
+//     ~34n for secret ones (same as the scan).
+//   - Wrap: once the ring is full, each in-window store first evicts the
+//     oldest slot back to the bank through a decoder + write-mux pass
+//     (~34·window, the deferred store cost). The final ≤√window
+//     in-window stores of a run never wrap and never pay it.
+//   - Load: the bank scan (~32n) plus a stash overlay (~(dbits+33)
+//     tables per occupied slot) — the per-load tax the break-even
+//     threshold balances against the store savings. Loads above the
+//     window skip the overlay for free: an in-window tag cannot equal an
+//     above-window address, and the comparison is public when the
+//     address's high bits are.
+//   - Halt: the output region is reconciled by an overlay gated on the
+//     halt wire: free every running cycle (the public-false select
+//     releases the whole overlay cone), paid once at halt.
+//
+// Duplicate invalidation keeps the invariant that at most one valid slot
+// matches any address, so the overlay is order-free; the eviction decoder
+// then writes back the unique surviving copy. If an address's high bits
+// are secret the window split itself goes secret — the circuit stays
+// correct through the complementary write enables, it just pays like the
+// scan plus the stash tax from then on.
+type sqrtMem struct {
+	b      *build.Builder
+	l      isa.Layout
+	bank   []*build.Reg
+	bankQ  []build.Bus
+	dbits  int
+	window int
+
+	slots []stashSlot
+	tail  *build.Reg // next append position: public ring counter
+	full  *build.Reg // the ring has wrapped at least once
+}
+
+type stashSlot struct {
+	tag   *build.Reg // word address, dbits wide
+	data  *build.Reg // 32-bit stored value
+	valid *build.Reg // slot holds a live (not yet evicted) store
+}
+
+func newSqrt(b *build.Builder, l isa.Layout, window, aliceOff, bobOff int) *sqrtMem {
+	m := &sqrtMem{b: b, l: l, dbits: log2ceil(l.DataWords()), window: window}
+	m.bank, m.bankQ = bankRegs(b, l, aliceOff, bobOff)
+	n := StashSlots(window)
+	m.slots = make([]stashSlot, n)
+	zero := func(bits int) []circuit.Init {
+		inits := make([]circuit.Init, bits)
+		for i := range inits {
+			inits[i] = circuit.Init{Kind: circuit.InitZero}
+		}
+		return inits
+	}
+	for j := range m.slots {
+		m.slots[j] = stashSlot{
+			tag:   b.RegInit(fmt.Sprintf("stash%d.tag", j), zero(m.dbits)),
+			data:  b.RegInit(fmt.Sprintf("stash%d.data", j), zero(32)),
+			valid: b.RegInit(fmt.Sprintf("stash%d.valid", j), zero(1)),
+		}
+	}
+	m.tail = b.RegInit("stash.tail", zero(log2ceil(n)))
+	m.full = b.RegInit("stash.full", zero(1))
+	return m
+}
+
+func (m *sqrtMem) Name() string { return SqrtORAM }
+
+// bankRead is the scan's load port over the bank alone.
+func (m *sqrtMem) bankRead(addr build.Bus) build.Bus {
+	padded := make([]build.Bus, 1<<len(addr))
+	for i := range padded {
+		if i < len(m.bankQ) {
+			padded[i] = m.bankQ[i]
+		} else {
+			padded[i] = build.ZeroBus(32)
+		}
+	}
+	return m.b.MuxTree(addr, padded)
+}
+
+// hit is the slot-matches-address wire, gated by the address's own
+// window test. The gate is not an optimization nicety — it is what keeps
+// above-window traffic free: stash tags are secret once a secret store
+// lands, so Eq(tag, addr) is secret even against a public stack address,
+// and without the public-false inWin conjunct every stack load of the
+// run would pay the overlay muxes for every occupied slot. The Eq node
+// is shared (by structural hashing) with the invalidation pass of Write,
+// so a cycle doing both pays it once.
+func (m *sqrtMem) hit(j int, addr build.Bus, inWin build.W) build.W {
+	b := m.b
+	return b.And(m.slots[j].valid.Q()[0], b.And(b.Eq(m.slots[j].tag.Q(), addr), inWin))
+}
+
+// inWindow tests addr < window: a zero-test of the address bits above the
+// window boundary, public whenever they are. Window is a power of two ≤
+// DataWords, so every in-window address is also in range of the bank.
+func (m *sqrtMem) inWindow(addr build.Bus) build.W {
+	wbits := log2ceil(m.window)
+	if wbits >= len(addr) {
+		return build.T
+	}
+	high := make([]build.W, 0, len(addr)-wbits)
+	for _, w := range addr[wbits:] {
+		high = append(high, w)
+	}
+	return m.b.Not(m.b.OrTree(high))
+}
+
+func (m *sqrtMem) Read(addr build.Bus) build.Bus {
+	acc := m.bankRead(addr)
+	inWin := m.inWindow(addr)
+	// ≤1 slot can be valid for addr, so overlay order is irrelevant.
+	for j := range m.slots {
+		acc = m.b.MuxBus(m.hit(j, addr, inWin), m.slots[j].data.Q(), acc)
+	}
+	return acc
+}
+
+func (m *sqrtMem) Write(addr build.Bus, data build.Bus, en build.W) {
+	b := m.b
+	n := len(m.slots)
+	tailQ := m.tail.Q()
+
+	// The window split. stash gates the ring; its complement gates the
+	// direct bank port. At runtime at most one path is enabled per cycle,
+	// for any address — secret high bits (or a secret store predicate)
+	// just make the split, and everything downstream of the ring, cost
+	// like the scan instead of being free. stash conjoins the *full*
+	// store enable, not the decode-level store bit: MiniC predicates
+	// conditional stores rather than branching around them, so an
+	// untaken store still executes the instruction — and if it advanced
+	// the ring it would wrap it once per √window untaken iterations,
+	// evicting the live entries early (a full secret write-back each)
+	// exactly like the stack-spill flooding the window exists to stop.
+	inWin := m.inWindow(addr)
+	stash := b.And(en, inWin)
+
+	// Ring control: all-public arithmetic whenever the split is public.
+	tailIs := make([]build.W, n)
+	for j := range tailIs {
+		tailIs[j] = b.Eq(tailQ, build.ConstBus(uint64(j), len(tailQ)))
+	}
+	inc, _ := b.Inc(tailQ)
+	atEnd := tailIs[n-1]
+	tailNext := b.MuxBus(atEnd, build.ZeroBus(len(tailQ)), inc)
+	m.tail.SetNext(b.MuxBus(stash, tailNext, tailQ))
+	fullQ := m.full.Q()[0]
+	m.full.SetNext(build.Bus{b.Or(fullQ, b.And(stash, atEnd))})
+
+	// Direct port: stores above the window write the bank immediately,
+	// exactly like the scan — a free public one-hot for stack spills and
+	// output writes, which is what keeps them out of the ring.
+	weDirect := b.Decoder(addr, b.And(en, b.Not(inWin)))
+
+	// Wrap eviction: with the ring full, the append position still holds
+	// the oldest live in-window store — write it back to the bank first.
+	// The decoder enable is public-false until the first wrap, so runs
+	// with ≤√window array stores never garble a single write-back.
+	wrapping := b.And(stash, fullQ)
+	tagQs := make([]build.Bus, n)
+	dataQs := make([]build.Bus, n)
+	validQs := make([]build.Bus, n)
+	for j, s := range m.slots {
+		tagQs[j], dataQs[j], validQs[j] = s.tag.Q(), s.data.Q(), s.valid.Q()
+	}
+	victimTag := b.MuxTree(tailQ, tagQs)
+	victimData := b.MuxTree(tailQ, dataQs)
+	victimValid := b.MuxTree(tailQ, validQs)[0]
+	weEvict := b.Decoder(victimTag, b.And(victimValid, wrapping))
+
+	// The two bank ports are runtime-exclusive (complementary enables),
+	// so the merge order is arbitrary; an inactive port's public-false
+	// select folds its mux away.
+	for i, r := range m.bank {
+		r.SetNext(b.MuxBus(weEvict[i], victimData, b.MuxBus(weDirect[i], data, r.Q())))
+	}
+
+	// Append + duplicate invalidation. The append slot is public, so its
+	// tag/data muxes are free copies; every other slot pays only the
+	// invalidation AND. Invalidation keeps the ≤1-match invariant that
+	// makes Read's overlay order-free — and it must see the same
+	// windowed, gated enable: an untaken conditional store invalidates
+	// nothing, and an above-window store (which can never match an
+	// in-window tag) must leave the valid bits publicly untouched —
+	// against a secret tag even a public stack address yields a secret
+	// Eq, and conjoining the raw enable instead would turn every valid
+	// bit secret at the first stack spill.
+	for j, s := range m.slots {
+		appendHere := b.And(tailIs[j], stash)
+		match := b.Eq(s.tag.Q(), addr)
+		keepValid := b.And(s.valid.Q()[0], b.Not(b.And(match, stash)))
+		s.tag.SetNext(b.MuxBus(appendHere, addr, s.tag.Q()))
+		s.data.SetNext(b.MuxBus(appendHere, data, s.data.Q()))
+		s.valid.SetNext(build.Bus{b.Mux(appendHere, build.T, keepValid)})
+	}
+}
+
+func (m *sqrtMem) Outputs(halt build.W) build.Bus {
+	b := m.b
+	out := make(build.Bus, 0, m.l.OutWords*32)
+	base := int(m.l.OutBase() / 4)
+	for w := base; w < base+m.l.OutWords; w++ {
+		ov := m.bankQ[w]
+		waddr := build.ConstBus(uint64(w), m.dbits)
+		inWin := m.inWindow(waddr) // constant: folds the overlay away for out regions above the window
+		for j := range m.slots {
+			ov = b.MuxBus(m.hit(j, waddr, inWin), m.slots[j].data.Q(), ov)
+		}
+		// halt is public-false on every running cycle: the mux folds to
+		// the bank word and releases the whole overlay cone, so the
+		// reconciliation is garbled exactly once, on the halting cycle.
+		out = append(out, b.MuxBus(halt, ov, m.bankQ[w])...)
+	}
+	return out
+}

@@ -27,8 +27,9 @@ const (
 const (
 	flagHasOutputs byte = 1 << iota
 	flagHasAuth
+	flagHasMemBackend
 
-	knownProposalFlags = flagHasOutputs | flagHasAuth
+	knownProposalFlags = flagHasOutputs | flagHasAuth | flagHasMemBackend
 )
 
 // Negotiation bounds; proposals outside them are refused before any
@@ -39,6 +40,9 @@ const (
 
 	// MaxAuthToken bounds a proposal's bearer token, in bytes.
 	MaxAuthToken = 4096
+
+	// MaxMemBackend bounds a proposal's memory-backend name, in bytes.
+	MaxMemBackend = 64
 
 	// MaxCycleBatch is the largest cycle batch a client may propose. The
 	// garbler buffers a whole batch of tables before flushing, so the
@@ -76,6 +80,16 @@ type Proposal struct {
 	// to exactly the pre-auth wire bytes, so clients without one remain
 	// byte-identical to older builds.
 	Auth string
+
+	// MemBackend optionally names the oblivious-memory backend the
+	// client resolved for the session ("scan", "sqrt-oram"). The server
+	// rejects — cleanly, keeping the connection — when it differs from
+	// the registration's own resolved backend: the two sides would
+	// synthesize different netlists, and the explicit field turns what
+	// would otherwise be an opaque session-id mismatch into a readable
+	// reason. Empty means "accept the server's registered backend" and
+	// encodes to exactly the pre-backend wire bytes.
+	MemBackend string
 }
 
 // VersionError reports a proposal that announced a feature bit this side
@@ -137,7 +151,10 @@ func WriteProposal(w io.Writer, p Proposal) error {
 	if len(p.Auth) > MaxAuthToken {
 		return fmt.Errorf("proto: auth token of %d bytes exceeds %d", len(p.Auth), MaxAuthToken)
 	}
-	payload := make([]byte, 0, 2+len(p.Program)+2+4+8+4+2+len(p.Auth))
+	if len(p.MemBackend) > MaxMemBackend {
+		return fmt.Errorf("proto: memory-backend name of %d bytes exceeds %d", len(p.MemBackend), MaxMemBackend)
+	}
+	payload := make([]byte, 0, 2+len(p.Program)+2+4+8+4+2+len(p.Auth)+2+len(p.MemBackend))
 	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(p.Program)))
 	payload = append(payload, p.Program...)
 	var flags byte
@@ -147,6 +164,9 @@ func WriteProposal(w io.Writer, p Proposal) error {
 	if p.Auth != "" {
 		flags |= flagHasAuth
 	}
+	if p.MemBackend != "" {
+		flags |= flagHasMemBackend
+	}
 	payload = append(payload, flags, byte(p.Outputs))
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(p.CycleBatch))
 	payload = binary.LittleEndian.AppendUint64(payload, uint64(p.MaxCycles))
@@ -154,6 +174,10 @@ func WriteProposal(w io.Writer, p Proposal) error {
 	if p.Auth != "" {
 		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(p.Auth)))
 		payload = append(payload, p.Auth...)
+	}
+	if p.MemBackend != "" {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(p.MemBackend)))
+		payload = append(payload, p.MemBackend...)
 	}
 	return writeFrame(w, msgPropose, payload)
 }
@@ -202,6 +226,18 @@ func ReadProposal(r io.Reader) (Proposal, error) {
 			return p, fmt.Errorf("proto: malformed proposal auth")
 		}
 		p.Auth = string(b[:an])
+		b = b[an:]
+	}
+	if flags&flagHasMemBackend != 0 {
+		if len(b) < 2 {
+			return p, fmt.Errorf("proto: malformed proposal memory backend")
+		}
+		mn := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if mn == 0 || mn > MaxMemBackend || len(b) < mn {
+			return p, fmt.Errorf("proto: malformed proposal memory backend")
+		}
+		p.MemBackend = string(b[:mn])
 	}
 	return p, nil
 }

@@ -21,7 +21,8 @@ func TestProposalRoundTrip(t *testing.T) {
 		{Program: "x", HasOutputs: true, Outputs: OutputBoth},
 		{Program: "par", CycleBatch: 2, MaxCycles: 64, Workers: 8},
 		{Program: "sec", Auth: "bearer-1"},
-		{Program: "all", HasOutputs: true, Outputs: OutputGarblerOnly, CycleBatch: 4, MaxCycles: 9, Workers: 2, Auth: "k"},
+		{Program: "mem", MemBackend: "sqrt-oram"},
+		{Program: "all", HasOutputs: true, Outputs: OutputGarblerOnly, CycleBatch: 4, MaxCycles: 9, Workers: 2, Auth: "k", MemBackend: "scan"},
 	}
 	for _, want := range cases {
 		var buf bytes.Buffer
@@ -102,6 +103,58 @@ func TestProposalVersionMismatch(t *testing.T) {
 	next, err := ReadProposal(r)
 	if err != nil || next.Program != "now" {
 		t.Fatalf("stream misaligned after a version mismatch: %+v, %v", next, err)
+	}
+}
+
+// TestProposalMemBackendWire pins the memory-backend extension's
+// encoding: the flag bit, the length-prefixed name after the (absent)
+// auth field, and the malformed-truncation refusals. Backend-less
+// proposals stay byte-identical to the pre-backend format — that is
+// TestProposalWireCompat's legacy-bytes assertion.
+func TestProposalMemBackendWire(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProposal(&buf, Proposal{Program: "m", MemBackend: "scan"}); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		msgPropose, 27, 0, 0, 0, // frame header: type + length
+		1, 0, 'm', // name
+		0x04, 0, // flags (mem-backend bit), mode
+		0, 0, 0, 0, // cycle batch
+		0, 0, 0, 0, 0, 0, 0, 0, // max cycles
+		0, 0, 0, 0, // workers
+		4, 0, 's', 'c', 'a', 'n', // backend name
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("proposal encodes to % x, want % x", buf.Bytes(), want)
+	}
+	got, err := ReadProposal(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MemBackend != "scan" || got.Program != "m" {
+		t.Fatalf("parsed %+v", got)
+	}
+
+	if err := WriteProposal(&bytes.Buffer{}, Proposal{
+		Program: "p", MemBackend: strings.Repeat("x", MaxMemBackend+1)}); err == nil {
+		t.Error("over-long memory-backend name accepted")
+	}
+
+	// Truncations inside the backend field must be refused, not read past.
+	for cut := len(want) - 1; cut > len(want)-6; cut-- {
+		raw := append([]byte(nil), want[:cut]...)
+		raw[1] = byte(cut - 5) // fix the frame length to match
+		if _, err := ReadProposal(bytes.NewReader(raw)); err == nil {
+			t.Errorf("truncated backend field (cut at %d) accepted", cut)
+		}
+	}
+	// A zero-length name under a set flag is malformed too.
+	raw := append([]byte(nil), want[:len(want)-4]...)
+	raw[1] = byte(len(raw) - 5)
+	raw[len(raw)-2], raw[len(raw)-1] = 0, 0
+	if _, err := ReadProposal(bytes.NewReader(raw)); err == nil {
+		t.Error("zero-length backend name under a set flag accepted")
 	}
 }
 

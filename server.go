@@ -620,6 +620,21 @@ func (r *registration) resolve(prop proto.Proposal) ([]Option, proto.Grant, erro
 		}
 		grant.MaxCycles = prop.MaxCycles
 	}
+	if prop.MemBackend != "" {
+		// The memory backend shapes the netlist itself, so there is no
+		// capping or splitting the difference: the client's resolved
+		// backend either matches the registration's resolved one or the
+		// proposal is rejected — cleanly, before any cryptography, with
+		// the connection staying open for further proposals.
+		registered, err := r.cfg.memory.Resolve(r.prog.Layout.DataWords())
+		if err != nil {
+			return nil, grant, &rejection{program: prop.Program, reason: fmt.Sprintf("memory backend: %v", err)}
+		}
+		if prop.MemBackend != registered {
+			return nil, grant, &rejection{program: prop.Program, reason: fmt.Sprintf(
+				"memory backend %q not offered (registered backend %q)", prop.MemBackend, registered)}
+		}
+	}
 	if prop.Workers != 0 {
 		if prop.Workers > proto.MaxWorkers {
 			return nil, grant, &rejection{program: prop.Program, reason: fmt.Sprintf("worker count %d out of range", prop.Workers)}
