@@ -27,7 +27,7 @@ BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 NPROC ?= $(shell getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 BENCH_ENV = GOMAXPROCS=$(NPROC)
 
-.PHONY: all build vet test race fuzz-smoke bench-engine bench-pipeline bench-pool bench-oram bench-json bench-baseline bench-compare cover ci dev-certs serve-tls test-hardening test-trace test-pool test-gateway test-membackend
+.PHONY: all build vet analyze test race fuzz-smoke bench-engine bench-pipeline bench-pool bench-oram bench-json bench-baseline bench-compare cover ci dev-certs serve-tls test-hardening test-trace test-pool test-gateway test-membackend
 
 all: build vet test
 
@@ -37,11 +37,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The repository's own static-analysis suite (cmd/arm2gc-vet): wire
+# determinism, crypto hygiene, context threading, lock discipline, the
+# typed-frame wire contract and error-discard checking over every module
+# package — then the netlist structural linter over the example registry
+# programs on both oblivious-memory backends. staticcheck rides along
+# when installed (CI installs it pinned; the offline dev loop skips it).
+STATICCHECK_VERSION ?= 2025.1.1
+analyze:
+	$(GO) run ./cmd/arm2gc-vet
+	$(GO) run ./cmd/arm2gc-vet -netlist examples/registry/addmax.c -alice-words 1 -bob-words 1 -out-words 2 -scratch 16
+	$(GO) run ./cmd/arm2gc-vet -netlist examples/registry/relax.c -mem-backend sqrt-oram
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; fi
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Short differential-fuzzing smoke run: random instruction streams on the
 # processor circuit vs the emulator (see internal/cpu FuzzInstructionStream).
@@ -155,4 +169,4 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-ci: build vet race fuzz-smoke bench-engine bench-pipeline bench-compare
+ci: build vet analyze race fuzz-smoke bench-engine bench-pipeline bench-compare

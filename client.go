@@ -43,6 +43,7 @@ func (e *RetryableError) Unwrap() error { return e.Err }
 // the hint, at most 1.5× — spreading a thundering herd of shed clients
 // without ignoring the peer's ask.
 func retryDelay(after time.Duration) time.Duration {
+	//lint:ignore cryptohygiene backoff jitter is not secret material; math/rand spreads the herd fine
 	return after/2 + rand.N(after)
 }
 
@@ -149,7 +150,7 @@ func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, erro
 		}
 		tconn := tls.Client(conn, cfg)
 		if err := tconn.HandshakeContext(ctx); err != nil {
-			conn.Close()
+			_ = conn.Close()
 			return nil, fmt.Errorf("arm2gc: TLS handshake with %s: %w", addr, err)
 		}
 		conn = tconn
@@ -322,7 +323,7 @@ func (c *Client) fail(err error) error {
 	c.broken = err
 	c.mu.Unlock()
 	if cl, ok := c.conn.(io.Closer); ok {
-		cl.Close()
+		_ = cl.Close() // the conn is already condemned; its close error adds nothing
 	}
 	return err
 }

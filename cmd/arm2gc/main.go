@@ -380,7 +380,7 @@ func serveOps(ctx context.Context, addr string, mount func(mux *http.ServeMux)) 
 	}()
 	go func() {
 		<-ctx.Done()
-		hs.Close()
+		_ = hs.Close() // shutdown teardown; the server's exit error is reported elsewhere
 	}()
 	log.Printf("metrics on http://%s/metrics", addr)
 	return func() { <-done }
@@ -433,7 +433,7 @@ func acceptCtx(ctx context.Context, ln net.Listener) (net.Conn, error) {
 	go func() {
 		select {
 		case <-ctx.Done():
-			ln.Close()
+			_ = ln.Close() // unblocks Accept; the accept loop reports the real error
 		case <-done:
 		}
 	}()

@@ -270,5 +270,8 @@ func main() {
 		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
 		return
 	}
-	os.Stdout.Write(enc)
+	if _, err := os.Stdout.Write(enc); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-json: writing report: %v\n", err)
+		os.Exit(2)
+	}
 }

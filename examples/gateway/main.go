@@ -215,7 +215,7 @@ func main() {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	cl.Close()
+	_ = cl.Close()
 	gcancel()
 	if err := <-gdone; err != nil {
 		log.Fatal(err)

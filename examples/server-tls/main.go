@@ -114,7 +114,7 @@ func main() {
 	}
 	fmt.Printf("xorshare(240, 15) over TLS: %#x\n", info.Outputs[0])
 
-	cl.Close()
+	_ = cl.Close()
 	cancel()
 	if err := <-served; err != nil {
 		log.Fatal(err)

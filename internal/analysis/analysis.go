@@ -1,0 +1,296 @@
+// Package analysis is the repository's static-analysis suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// model (this module builds offline, so it cannot vendor x/tools) plus
+// the domain-specific analyzers that enforce the invariants no stock
+// linter knows about — byte-identical wire streams, constant-time secret
+// handling, context threading through the serving stack, lock discipline
+// on the hot paths, and the typed-frame wire contract.
+//
+// The suite is exposed as the cmd/arm2gc-vet multichecker and runs in CI
+// via `make analyze`. Analyzers report through Pass.Reportf; findings can
+// be suppressed line-by-line with a justification:
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <justification>
+//
+// placed on the offending line or the line above it. A suppression with
+// no justification is itself a finding — the annotation contract is that
+// every silenced true positive explains why it is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked package
+// and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string // import path of the package under analysis
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Dep returns a previously loaded dependency package (stdlib or
+	// module) by import path, loading it on demand, or nil when it cannot
+	// be loaded. Analyzers use it to fetch reference types (net.Conn,
+	// hash.Hash) for types.Implements checks.
+	Dep func(path string) *types.Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suite returns the full analyzer set in stable order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		CryptoHygieneAnalyzer,
+		CtxFlowAnalyzer,
+		LockDisciplineAnalyzer,
+		FrameProtoAnalyzer,
+		ErrCheckAnalyzer,
+	}
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics (suppressions applied), sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Dep:      pkg.dep,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = applySuppressions(pkg, diags)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	file      string
+	line      int // the line the comment sits on
+	analyzers []string
+	justified bool
+	pos       token.Pos
+	used      bool
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s*(.*)$`)
+
+// applySuppressions removes diagnostics covered by a lint:ignore comment
+// on the same line or the line above, and reports unjustified or unused
+// suppressions as findings of the meta-analyzer "lint".
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	var sups []*suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				sups = append(sups, &suppression{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(m[1], ","),
+					justified: strings.TrimSpace(m[2]) != "",
+					pos:       c.Pos(),
+				})
+			}
+		}
+	}
+	if len(sups) == 0 {
+		return diags
+	}
+	match := func(d Diagnostic) *suppression {
+		for _, s := range sups {
+			if s.file != d.Pos.Filename || (s.line != d.Pos.Line && s.line != d.Pos.Line-1) {
+				continue
+			}
+			for _, a := range s.analyzers {
+				if a == d.Analyzer || a == "*" {
+					return s
+				}
+			}
+		}
+		return nil
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if s := match(d); s != nil {
+			s.used = true
+			if !s.justified {
+				kept = append(kept, Diagnostic{
+					Pos:      pkg.Fset.Position(s.pos),
+					Analyzer: "lint",
+					Message:  "lint:ignore without justification: state why the finding is safe to silence",
+				})
+			}
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// --- shared helpers used by several analyzers ---
+
+// Deterministic is the package annotation marking wire-stream-critical
+// code; the determinism analyzer only fires inside annotated packages.
+const Deterministic = "//arm2gc:deterministic"
+
+// isDeterministic reports whether any file of the package carries the
+// //arm2gc:deterministic directive. Directive comments are invisible in
+// godoc output, so the annotation rides in the package doc comment.
+func isDeterministic(files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == Deterministic {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// pkgFunc matches a call to a package-level function, returning true for
+// e.g. pkgFunc(info, call, "time", "Now").
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath
+}
+
+// pkgCall resolves a call of the form pkgname.Func(...) to its package
+// path and function name; ok is false for method calls and locals.
+func pkgCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// implementsIface reports whether t (or *t) implements the named
+// interface from package path; the interface is resolved through dep.
+func implementsIface(dep func(string) *types.Package, t types.Type, pkgPath, name string) bool {
+	p := dep(pkgPath)
+	if p == nil {
+		return false
+	}
+	obj := p.Scope().Lookup(name)
+	if obj == nil {
+		return false
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// exprString renders the mutex/conn expressions the analyzers key state
+// on ("p.mu", "s.met.mu") without importing go/printer.
+func exprString(e ast.Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e)
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		sb.WriteString(x.Name)
+	case *ast.SelectorExpr:
+		writeExpr(sb, x.X)
+		sb.WriteString(".")
+		sb.WriteString(x.Sel.Name)
+	case *ast.ParenExpr:
+		writeExpr(sb, x.X)
+	case *ast.StarExpr:
+		writeExpr(sb, x.X)
+	case *ast.IndexExpr:
+		writeExpr(sb, x.X)
+		sb.WriteString("[…]")
+	default:
+		sb.WriteString("?")
+	}
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// CryptoHygieneAnalyzer enforces constant-time handling of secret
+// material: bearer tokens and other secrets must be compared with
+// crypto/subtle, secret randomness must come from crypto/rand, and
+// PRNG seeds must not be hard-coded.
+var CryptoHygieneAnalyzer = &Analyzer{
+	Name: "cryptohygiene",
+	Doc: "flag ==/bytes.Equal on secret-named values (use subtle.ConstantTimeCompare), " +
+		"math/rand where crypto randomness is required, and hard-coded seeds",
+	Run: runCryptoHygiene,
+}
+
+// secretNameRe matches identifiers that, by this codebase's naming
+// conventions, hold secret material. Deliberately narrow: session ids,
+// wire labels, and cache keys are public or party-local values whose
+// comparison timing leaks nothing to the other party.
+var secretNameRe = regexp.MustCompile(`(?i)(token|secret|passw|bearer|apikey|privkey|hmac)`)
+
+// secretish reports whether e plausibly holds secret material: some
+// identifier in it matches the secret naming convention, or its type is
+// a secret-named string/byte carrier. Three classes of name hits are
+// deliberately NOT secrets: package qualifiers (the go/token package),
+// constants (classification enums like stSecret — a comparison against
+// a compile-time constant enum is control flow, not secret equality),
+// and types whose underlying kind can't carry key material (token.Token
+// is an int).
+func secretish(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		// Don't descend into calls: the timing of f(secret) is f's
+		// concern, and subtle.ConstantTimeCompare(...) == 1 is exactly
+		// the idiom this analyzer demands (so is len(token) == 0).
+		if _, isCall := n.(*ast.CallExpr); isCall {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch info.Uses[id].(type) {
+		case *types.PkgName, *types.Const, nil:
+			return true
+		}
+		if secretNameRe.MatchString(id.Name) {
+			found = true
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(interface{ Obj() *types.TypeName })
+	if !ok || !secretNameRe.MatchString(named.Obj().Name()) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.String
+	case *types.Slice:
+		return isByte(u.Elem())
+	case *types.Array:
+		return isByte(u.Elem())
+	}
+	return false
+}
+
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func runCryptoHygiene(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				// token != "" is a presence check: it reveals only
+				// emptiness, the standard is-auth-configured idiom.
+				if isEmptyString(x.X) || isEmptyString(x.Y) {
+					return true
+				}
+				if secretish(p.Info, x.X) || secretish(p.Info, x.Y) {
+					p.Reportf(x.OpPos, "%s on a secret value is not constant-time: use subtle.ConstantTimeCompare", x.Op)
+				}
+			case *ast.CallExpr:
+				path, name, ok := pkgCall(p.Info, x)
+				if !ok {
+					return true
+				}
+				switch {
+				case path == "bytes" && name == "Equal":
+					for _, arg := range x.Args {
+						if secretish(p.Info, arg) {
+							p.Reportf(x.Pos(), "bytes.Equal on a secret value is not constant-time: use subtle.ConstantTimeCompare")
+							break
+						}
+					}
+				case path == "math/rand" || path == "math/rand/v2":
+					if !isRandConstructor(name) {
+						p.Reportf(x.Pos(), "%s.%s is not a CSPRNG: secret material must come from crypto/rand (suppress with justification for non-secret uses such as retry jitter)", path, name)
+					}
+					if constantSeedArg(x, name) {
+						p.Reportf(x.Pos(), "hard-coded %s seed yields a predictable stream: derive the seed per session", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isEmptyString reports the literal empty string (interpreted or raw).
+func isEmptyString(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING && (lit.Value == `""` || lit.Value == "``")
+}
+
+// constantSeedArg reports a seeded-source constructor called with a
+// literal seed (NewSource(42), NewChaCha8([32]byte{...})).
+func constantSeedArg(call *ast.CallExpr, name string) bool {
+	if !strings.HasPrefix(name, "New") || name == "New" || len(call.Args) == 0 {
+		return false
+	}
+	switch call.Args[0].(type) {
+	case *ast.BasicLit, *ast.CompositeLit:
+		return true
+	}
+	return false
+}

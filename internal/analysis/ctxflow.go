@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlowAnalyzer keeps cancellation flowing through the serving stack.
+// Two rules:
+//
+//  1. Everywhere: a function that already receives a context.Context must
+//     not mint context.Background()/TODO() — that launders away the
+//     caller's deadline and cancellation. (Deliberate lifetime
+//     decoupling takes a justified lint:ignore.)
+//  2. In the serving packages (the module root, proto, gateway, pool): a
+//     function without a ctx parameter must not call Background()/TODO()
+//     either — blocking APIs below the root must accept and thread a
+//     context instead of starting a fresh tree mid-stack.
+//
+// The `if ctx == nil { ctx = context.Background() }` defaulting idiom is
+// allowed, as are main packages (the root of every call tree) and
+// functions documented "Deprecated:" (frozen compat shims).
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context.Background()/TODO() laundering below the root of the call tree",
+	Run:  runCtxFlow,
+}
+
+// ctxflowPkgs are the path segments naming the serving packages where
+// rule 2 applies.
+var ctxflowPkgs = map[string]bool{"proto": true, "gateway": true, "pool": true}
+
+// ctxflowCovered: the module root package (a bare path with no "/" —
+// the top of the serving stack) and the serving packages. Only segments
+// after the first count, so the module path prefix ("arm2gc/...") never
+// puts an unrelated package like internal/bencher in scope.
+func ctxflowCovered(path string) bool {
+	segs := strings.Split(path, "/")
+	if len(segs) == 1 {
+		return true
+	}
+	for _, seg := range segs[1:] {
+		if ctxflowPkgs[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxFlow(p *Pass) error {
+	if p.Pkg.Name() == "main" {
+		return nil
+	}
+	covered := ctxflowCovered(p.Path)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "Deprecated:") {
+				continue
+			}
+			hasCtx := funcHasCtxParam(p.Info, fd)
+			allowed := nilGuardCalls(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				path, name, ok := pkgCall(p.Info, call)
+				if !ok || path != "context" || (name != "Background" && name != "TODO") {
+					return true
+				}
+				if allowed[call.Pos()] {
+					return true
+				}
+				switch {
+				case hasCtx:
+					p.Reportf(call.Pos(), "context.%s inside a function that already receives a context: thread the caller's context (deliberate lifetime decoupling needs a justified lint:ignore)", name)
+				case covered:
+					p.Reportf(call.Pos(), "%s mints context.%s mid-stack: accept a context.Context parameter and thread it from the caller", fd.Name.Name, name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// funcHasCtxParam reports whether fd takes a context.Context parameter.
+func funcHasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if named, ok := t.(interface{ Obj() *types.TypeName }); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nilGuardCalls collects the positions of context.Background()/TODO()
+// calls that implement the defaulting idiom
+//
+//	if ctx == nil { ctx = context.Background() }
+//
+// which re-roots a nil context rather than discarding a live one.
+func nilGuardCalls(body *ast.BlockStmt) map[token.Pos]bool {
+	allowed := map[token.Pos]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return true
+		}
+		guarded := ""
+		if id, ok := cond.X.(*ast.Ident); ok && isNilIdent(cond.Y) {
+			guarded = id.Name
+		} else if id, ok := cond.Y.(*ast.Ident); ok && isNilIdent(cond.X) {
+			guarded = id.Name
+		}
+		if guarded == "" {
+			return true
+		}
+		for _, st := range ifs.Body.List {
+			as, ok := st.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || lhs.Name != guarded {
+				continue
+			}
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+				allowed[call.Pos()] = true
+			}
+		}
+		return true
+	})
+	return allowed
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

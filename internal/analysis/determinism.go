@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the wire-stream contract inside packages
+// annotated //arm2gc:deterministic (core, proto, obliv, build, gc): both
+// parties must derive byte-identical public circuit state, so nothing on
+// those paths may depend on map iteration order, wall clocks, global
+// randomness, or goroutine scheduling observed through select-default.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "flag nondeterminism sources (map range, time.Now, global math/rand, " +
+		"select-with-default) in //arm2gc:deterministic packages",
+	Run: runDeterminism,
+}
+
+func runDeterminism(p *Pass) error {
+	if !isDeterministic(p.Files) {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				t := p.Info.TypeOf(x.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					p.Reportf(x.For, "map iteration order is nondeterministic in a wire-stream-critical package: sort the keys or iterate a pinned slice")
+				}
+			case *ast.CallExpr:
+				path, name, ok := pkgCall(p.Info, x)
+				if !ok {
+					return true
+				}
+				switch {
+				case path == "time" && (name == "Now" || name == "Since" || name == "Until"):
+					p.Reportf(x.Pos(), "time.%s in a wire-stream-critical package: wall-clock values diverge between parties", name)
+				case (path == "math/rand" || path == "math/rand/v2") && !isRandConstructor(name):
+					p.Reportf(x.Pos(), "%s.%s draws from the global math/rand source: wire-critical randomness must come from an explicit per-session seed", path, name)
+				}
+			case *ast.SelectStmt:
+				// Anchor the report on the select keyword, not the default
+				// clause buried inside: that is where a reader (and a
+				// lint:ignore) naturally points.
+				for _, cl := range x.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+						p.Reportf(x.Pos(), "select with default observes goroutine scheduling: a wire-stream-critical decision must not depend on channel readiness")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRandConstructor reports math/rand functions that build an explicitly
+// seeded local source — deterministic by construction, so allowed.
+func isRandConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewChaCha8", "NewPCG", "NewZipf":
+		return true
+	}
+	return false
+}

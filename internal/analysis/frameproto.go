@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// FrameProtoAnalyzer guards the wire contract: every byte written to a
+// connection must go through the typed frame layer in internal/proto, so
+// the first byte of anything on the wire stays frame-type-disambiguable
+// (the gateway relay Peeks one byte to route OT points vs frames — a raw
+// write anywhere else could collide with that namespace).
+//
+// Allowed writers: internal/proto itself, internal/ot (its point
+// encoding owns the 0x04/0x41 leading-byte space by design), the gateway
+// relay (it forwards already-framed bytes), and methods on types that
+// themselves implement net.Conn (conn middleware like counting or
+// recording wrappers is transparent by construction).
+var FrameProtoAnalyzer = &Analyzer{
+	Name: "frameproto",
+	Doc:  "flag raw conn.Write outside internal/proto: wire bytes must go through the typed frame layer",
+	Run:  runFrameProto,
+}
+
+var frameProtoAllowed = map[string]bool{"proto": true, "ot": true, "gateway": true}
+
+func runFrameProto(p *Pass) error {
+	for _, seg := range strings.Split(p.Path, "/") {
+		if frameProtoAllowed[seg] {
+			return nil
+		}
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if recvImplementsConn(p, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Write" {
+					return true
+				}
+				t := p.Info.TypeOf(sel.X)
+				if t != nil && implementsIface(p.Dep, t, "net", "Conn") {
+					p.Reportf(call.Pos(), "raw %s.Write bypasses the typed frame layer: wire bytes outside internal/proto break Peek disambiguation at the gateway", exprString(sel.X))
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// recvImplementsConn reports whether fd is a method on a type that is
+// itself a net.Conn (wrapping middleware forwards bytes verbatim).
+func recvImplementsConn(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := p.Info.TypeOf(fd.Recv.List[0].Type)
+	return t != nil && implementsIface(p.Dep, t, "net", "Conn")
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// LockDisciplineAnalyzer checks mutex usage on the hot paths: a mutex
+// must not be held across a channel send or network I/O (both block for
+// unbounded time, turning a micro-critical-section into a convoy or a
+// deadlock), and every Lock must be paired with an Unlock in the same
+// function (defer or explicit).
+//
+// The walk is a linear over-approximation: statements are visited in
+// source order regardless of branch structure, and a mutex locked under
+// one branch is considered held until its textually-next unlock. That
+// errs toward reporting; genuinely branch-dependent locking that the
+// walk misreads takes a justified lint:ignore.
+var LockDisciplineAnalyzer = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flag mutexes held across channel sends or network I/O, and Lock calls with no paired Unlock",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(p *Pass) error {
+	for _, f := range p.Files {
+		// Each function literal is its own frame: a closure's locks are
+		// checked against the closure's body, not the enclosing function.
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					checkLockFrame(p, x.Body)
+				}
+				return true // descend: nested FuncLits get their own frame
+			case *ast.FuncLit:
+				checkLockFrame(p, x.Body)
+				return true
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+	return nil
+}
+
+// lockState tracks, for one function frame, which mutex expressions are
+// currently held ("p.mu" rendering → position of the Lock call).
+type lockState struct {
+	held     map[string]token.Pos
+	deferred map[string]bool // defer e.Unlock() seen
+}
+
+// checkLockFrame walks one function body in source order.
+func checkLockFrame(p *Pass, body *ast.BlockStmt) {
+	st := &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+	walkLockStmts(p, body.List, st)
+	for e, pos := range st.held {
+		if !st.deferred[e] {
+			p.Reportf(pos, "%s.Lock() has no paired Unlock in this function: add defer %s.Unlock() or an explicit unlock on every path", e, e)
+		}
+	}
+}
+
+func walkLockStmts(p *Pass, stmts []ast.Stmt, st *lockState) {
+	for _, s := range stmts {
+		walkLockStmt(p, s, st)
+	}
+}
+
+func walkLockStmt(p *Pass, s ast.Stmt, st *lockState) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			lockCall(p, call, st, false)
+		}
+	case *ast.DeferStmt:
+		lockCall(p, x.Call, st, true)
+	case *ast.SendStmt:
+		reportHeld(p, x.Pos(), st, "channel send")
+	case *ast.GoStmt:
+		// The spawned goroutine is its own frame (handled by the FuncLit
+		// visitor); evaluating its arguments does not block.
+	case *ast.BlockStmt:
+		walkLockStmts(p, x.List, st)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			walkLockStmt(p, x.Init, st)
+		}
+		checkLockExpr(p, x.Cond, st)
+		walkLockStmts(p, x.Body.List, st)
+		if x.Else != nil {
+			walkLockStmt(p, x.Else, st)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			walkLockStmt(p, x.Init, st)
+		}
+		walkLockStmts(p, x.Body.List, st)
+	case *ast.RangeStmt:
+		walkLockStmts(p, x.Body.List, st)
+	case *ast.SwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkLockStmts(p, cc.Body, st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkLockStmts(p, cc.Body, st)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					reportHeld(p, send.Pos(), st, "channel send")
+				}
+				walkLockStmts(p, cc.Body, st)
+			}
+		}
+	case *ast.AssignStmt, *ast.ReturnStmt, *ast.DeclStmt, *ast.IncDecStmt:
+		for _, e := range exprsOf(s) {
+			checkLockExpr(p, e, st)
+		}
+	case *ast.LabeledStmt:
+		walkLockStmt(p, x.Stmt, st)
+	}
+}
+
+// exprsOf returns the expressions of simple statements, so blocking
+// calls in assignments and returns are seen while held.
+func exprsOf(s ast.Stmt) []ast.Expr {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		return x.Rhs
+	case *ast.ReturnStmt:
+		return x.Results
+	}
+	return nil
+}
+
+// lockCall classifies a call statement: Lock/Unlock bookkeeping on
+// sync primitives, otherwise a blocking-I/O check.
+func lockCall(p *Pass, call *ast.CallExpr, st *lockState, deferred bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		checkLockExpr(p, call, st)
+		return
+	}
+	key := exprString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		if !deferred {
+			st.held[key] = call.Pos()
+		}
+		return
+	case "Unlock", "RUnlock":
+		if deferred {
+			st.deferred[key] = true
+		} else {
+			delete(st.held, key)
+		}
+		return
+	}
+	if deferred {
+		return
+	}
+	checkLockExpr(p, call, st)
+}
+
+// checkLockExpr flags network I/O performed anywhere inside e while a
+// mutex is held.
+func checkLockExpr(p *Pass, e ast.Expr, st *lockState) {
+	if e == nil || len(st.held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate frame
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, name, ok := pkgCall(p.Info, call); ok && path == "net" && (name == "Dial" || name == "DialTimeout" || name == "Listen") {
+			reportHeld(p, call.Pos(), st, "net."+name)
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Write", "Read", "ReadFrom", "WriteTo", "Flush", "Handshake", "HandshakeContext":
+		default:
+			return true
+		}
+		t := p.Info.TypeOf(sel.X)
+		if t != nil && implementsIface(p.Dep, t, "net", "Conn") {
+			reportHeld(p, call.Pos(), st, "network I/O")
+		}
+		return true
+	})
+}
+
+func reportHeld(p *Pass, pos token.Pos, st *lockState, what string) {
+	keys := make([]string, 0, len(st.held))
+	for k := range st.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, e := range keys {
+		p.Reportf(pos, "%s while holding %s: a blocked %s keeps every other %s user waiting — snapshot under the lock, then release before blocking", what, e, what, e)
+	}
+}

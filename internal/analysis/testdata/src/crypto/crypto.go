@@ -1,0 +1,57 @@
+// Package crypto is the cryptohygiene fixture: secret-named values must
+// be compared in constant time, secret randomness must be crypto-grade,
+// and seeds must not be hard-coded.
+package crypto
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"math/rand"
+)
+
+type apiKey []byte
+
+func eq(token, want string) bool {
+	return token == want // want "== on a secret value is not constant-time"
+}
+
+func neq(secret, want string) bool {
+	return secret != want // want "!= on a secret value is not constant-time"
+}
+
+func eqBytes(sig, want []byte) bool {
+	hmacTag := sig
+	return bytes.Equal(hmacTag, want) // want "bytes.Equal on a secret value is not constant-time"
+}
+
+func eqTyped(a, b apiKey) bool {
+	return bytes.Equal(a, b) // want "bytes.Equal on a secret value is not constant-time"
+}
+
+func constTime(token, want []byte) bool {
+	return subtle.ConstantTimeCompare(token, want) == 1 // the demanded idiom: never flagged
+}
+
+func present(authToken string) bool {
+	return authToken != "" // presence check reveals only emptiness
+}
+
+func lenCheck(token string) bool {
+	return len(token) == 0 // calls are opaque: len(token) is not a secret compare
+}
+
+func publicEq(sessionID, want string) bool {
+	return sessionID == want // no secret-named operand
+}
+
+func weakNonce() int {
+	return rand.Int() // want "not a CSPRNG"
+}
+
+func fixedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "hard-coded NewSource seed"
+}
+
+func derivedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructor with a computed seed: fine
+}

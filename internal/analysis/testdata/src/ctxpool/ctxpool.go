@@ -1,0 +1,41 @@
+// Package ctxpool is the ctxflow positive fixture. Its synthetic import
+// path (fixture/pool) puts it in the covered serving set, so both rules
+// apply: no laundering past a received context, and no minting
+// Background()/TODO() mid-stack.
+package ctxpool
+
+import "context"
+
+func launder(ctx context.Context) error {
+	return dial(context.Background()) // want "inside a function that already receives a context"
+}
+
+func todoLaunder(ctx context.Context) error {
+	return dial(context.TODO()) // want "inside a function that already receives a context"
+}
+
+func mint() error {
+	return dial(context.Background()) // want "mints context.Background mid-stack"
+}
+
+func threaded(ctx context.Context) error {
+	return dial(ctx) // the right shape: never flagged
+}
+
+func guard(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background() // defaulting idiom: allowed
+	}
+	return dial(ctx)
+}
+
+// Deprecated: frozen compat shim kept for old callers; the analyzer
+// skips functions documented deprecated.
+func legacy() error {
+	return dial(context.Background())
+}
+
+func dial(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package ctxutil is the ctxflow negative fixture: its synthetic import
+// path (fixture/util) is outside the covered serving set, so a ctx-less
+// function may root its own context tree. Rule 1 (no laundering past a
+// received context) still applies everywhere, so this fixture only
+// exercises ctx-less functions.
+package ctxutil
+
+import "context"
+
+func rootHere() error {
+	return run(context.Background()) // uncovered package, no ctx param: fine
+}
+
+func run(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,54 @@
+// Package det is a determinism fixture: annotated wire-stream-critical,
+// so every nondeterminism source below must be flagged.
+//
+//arm2gc:deterministic
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func sum(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		s += v
+	}
+	return s
+}
+
+func sumSorted(keys []string, m map[string]int) int {
+	s := 0
+	for _, k := range keys { // slice range: fine
+		s += m[k]
+	}
+	return s
+}
+
+func stamp() int64 {
+	return time.Now().Unix() // want "wall-clock values diverge between parties"
+}
+
+func roll() int {
+	return rand.Intn(6) // want "draws from the global math/rand source"
+}
+
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // constructors are determinism-fine (seeding is cryptohygiene's beat)
+}
+
+func drain(ch chan int) int {
+	select { // want "select with default observes goroutine scheduling"
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func recv(ch chan int) int {
+	select { // no default: blocking select is deterministic enough
+	case v := <-ch:
+		return v
+	}
+}

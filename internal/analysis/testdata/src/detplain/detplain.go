@@ -1,0 +1,34 @@
+// Package detplain is the determinism negative fixture: the same
+// nondeterminism sources as the det fixture, but with no
+// arm2gc:deterministic annotation — the analyzer must stay silent.
+package detplain
+
+import (
+	"math/rand"
+	"time"
+)
+
+func sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func stamp() int64 {
+	return time.Now().Unix()
+}
+
+func roll() int {
+	return rand.Intn(6)
+}
+
+func drain(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,48 @@
+// Package errs is the errcheck fixture: a call statement must not drop
+// a returned error on the floor; blank assignment is the explicit
+// discard.
+package errs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash"
+	"os"
+	"strings"
+)
+
+func dropped(f *os.File, p []byte) {
+	f.Close()  // want "error result of f.Close is discarded"
+	f.Write(p) // want "error result of f.Write is discarded"
+	f.Sync()   // want "error result of f.Sync is discarded"
+	fmt.Println("best-effort human output is exempt")
+}
+
+func handled(f *os.File, p []byte) error {
+	defer f.Close() // deferred: unobservable, exempt
+	go f.Close()    // spawned: exempt
+	_ = f.Close()   // blank assignment: deliberate discard
+	if _, err := f.Write(p); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func neverFail(h hash.Hash, p []byte) string {
+	var sb strings.Builder
+	var buf bytes.Buffer
+	sb.WriteString("x") // strings.Builder never fails
+	buf.Write(p)        // bytes.Buffer never fails
+	h.Write(p)          // hash.Hash documents err == nil
+	return sb.String()
+}
+
+func buffered(w *bufio.Writer, p []byte) {
+	w.Write(p) // bufio defers errors to Flush...
+	w.Flush()  // want "error result of w.Flush is discarded"
+}
+
+func noError() {
+	println("builtin, no error result")
+}

@@ -1,0 +1,34 @@
+// Package frameclient is the frameproto positive fixture: its synthetic
+// import path (fixture/client) is outside the allowed writer set, so a
+// raw Write to anything net.Conn-shaped is flagged.
+package frameclient
+
+import (
+	"bytes"
+	"net"
+)
+
+func send(c net.Conn, p []byte) {
+	_, _ = c.Write(p) // want "raw c.Write bypasses the typed frame layer"
+}
+
+func sendTCP(c *net.TCPConn, p []byte) {
+	_, _ = c.Write(p) // want "raw c.Write bypasses the typed frame layer"
+}
+
+func buffer(p []byte) {
+	var b bytes.Buffer
+	b.Write(p) // not a conn: fine
+}
+
+// countingConn wraps a conn and is itself a net.Conn: middleware
+// forwards bytes verbatim, so its methods may Write raw.
+type countingConn struct {
+	net.Conn
+	n int
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return c.Conn.Write(p) // method on a net.Conn: allowed
+}

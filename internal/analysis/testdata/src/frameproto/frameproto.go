@@ -1,0 +1,11 @@
+// Package frameproto is the frameproto negative fixture: its synthetic
+// import path (fixture/proto) is the frame layer itself, where raw conn
+// writes are the whole point.
+package frameproto
+
+import "net"
+
+func writeFrame(c net.Conn, p []byte) error {
+	_, err := c.Write(p)
+	return err
+}

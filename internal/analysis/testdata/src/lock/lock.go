@@ -1,0 +1,63 @@
+// Package lock is the lockdiscipline fixture: no channel sends or
+// network I/O while a mutex is held, and every Lock pairs with an
+// Unlock in the same function.
+package lock
+
+import (
+	"net"
+	"sync"
+)
+
+type box struct {
+	mu sync.Mutex
+	c  net.Conn
+	ch chan int
+}
+
+func (b *box) sendHeld() {
+	b.mu.Lock()
+	b.ch <- 1 // want "channel send while holding b.mu"
+	b.mu.Unlock()
+}
+
+func (b *box) writeHeld(p []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, _ = b.c.Write(p) // want "network I/O while holding b.mu"
+}
+
+func (b *box) dialHeld(addr string) {
+	b.mu.Lock()
+	nc, err := net.Dial("tcp", addr) // want "net.Dial while holding b.mu"
+	b.mu.Unlock()
+	if err == nil {
+		_ = nc.Close()
+	}
+}
+
+func (b *box) leak() { // leaks b.mu
+	b.mu.Lock() // want "no paired Unlock in this function"
+}
+
+func (b *box) snapshotThenSend() {
+	b.mu.Lock()
+	v := len(b.ch)
+	b.mu.Unlock()
+	b.ch <- v // released before blocking: fine
+}
+
+func (b *box) deferred(p []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v := len(p)
+	_ = v
+}
+
+func (b *box) closureFrame() {
+	b.mu.Lock()
+	f := func() {
+		b.ch <- 1 // its own frame: the closure does not hold b.mu at definition time
+	}
+	b.mu.Unlock()
+	f()
+}

@@ -1,0 +1,24 @@
+// Package suppress exercises the suppression contract: a justified
+// lint:ignore silences the named analyzer's finding on its line or the
+// line below; an unjustified one trades the finding for a "lint"
+// meta-finding at the comment.
+//
+//arm2gc:deterministic
+package suppress
+
+import "time"
+
+func justified() int64 {
+	//lint:ignore determinism log-only timestamp, never crosses the wire
+	return time.Now().Unix()
+}
+
+func unjustified() int64 {
+	// want "lint:ignore without justification"
+	//lint:ignore determinism
+	return time.Now().Unix()
+}
+
+func unsuppressed() int64 {
+	return time.Now().Unix() // want "wall-clock values diverge between parties"
+}

@@ -48,6 +48,14 @@
 // wires, out-of-range arguments): netlist construction is programmer
 // error territory, like indexing a slice. Compile validates the finished
 // netlist and returns any residual error; MustCompile panics instead.
+//
+// Everything here is wire-stream-critical: both parties must derive
+// byte-identical public circuit state, so code in this package must be
+// fully deterministic (no map-order, wall-clock, global-rand, or
+// scheduling dependence). The arm2gc-vet determinism analyzer enforces
+// this; the next line is its machine-readable annotation.
+//
+//arm2gc:deterministic
 package build
 
 import (

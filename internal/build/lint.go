@@ -1,0 +1,229 @@
+package build
+
+import (
+	"fmt"
+	"strings"
+
+	"arm2gc/internal/circuit"
+)
+
+// Severity ranks netlist lint findings.
+type Severity uint8
+
+const (
+	// Warning marks cost smells that don't threaten correctness:
+	// hash-consed dead cones are unreachable but still garbled.
+	Warning Severity = iota
+	// Error marks structural violations of the builder's contract:
+	// anything the fold rules guarantee can't happen, plus validation
+	// and cost-model drift. An Error means the netlist did not come out
+	// of a healthy Builder.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "ERROR"
+	}
+	return "WARNING"
+}
+
+// LintIssue is one finding about a built netlist.
+type LintIssue struct {
+	Severity Severity
+	Code     string // stable machine-readable id, e.g. "const-input"
+	Msg      string
+}
+
+func (i LintIssue) String() string {
+	return fmt.Sprintf("%s [%s] %s", i.Severity, i.Code, i.Msg)
+}
+
+// LintOpts tunes Lint.
+type LintOpts struct {
+	// CheckCost enables the cost-model drift check: the circuit's
+	// non-XOR count (garbled tables per cycle under free-XOR) must equal
+	// ExpectNonXOR, the golden recorded for the program.
+	CheckCost    bool
+	ExpectNonXOR int
+}
+
+// LintReport is the set of findings for one circuit.
+type LintReport struct {
+	Circuit string
+	Issues  []LintIssue
+}
+
+// Errors counts Error-severity issues.
+func (r *LintReport) Errors() int {
+	n := 0
+	for _, i := range r.Issues {
+		if i.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// Err returns a non-nil error when the report contains any Error.
+func (r *LintReport) Err() error {
+	if n := r.Errors(); n > 0 {
+		return fmt.Errorf("build: netlist lint: %d error(s) in %q:\n%s", n, r.Circuit, r)
+	}
+	return nil
+}
+
+func (r *LintReport) String() string {
+	var sb strings.Builder
+	for _, i := range r.Issues {
+		sb.WriteString("  ")
+		sb.WriteString(i.String())
+		sb.WriteString("\n")
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+func (r *LintReport) addf(sev Severity, code, format string, args ...any) {
+	r.Issues = append(r.Issues, LintIssue{Severity: sev, Code: code, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Lint checks a built circuit against the Builder's structural contract.
+// Compile-produced netlists must come back clean of Errors: every Error
+// below corresponds to a fold or normalization the Builder performs
+// unconditionally (gates.go), so its presence means the netlist was
+// constructed or mutated outside the Builder, corrupted in transit, or
+// the Builder itself regressed. Warnings flag garbling cost left on the
+// table (dead cones survive hash-consing when a MUX fold orphans its
+// unselected input tree; they are garbled but never consumed).
+func Lint(c *circuit.Circuit, opts LintOpts) *LintReport {
+	r := &LintReport{Circuit: c.Name}
+
+	// Structural well-formedness first: wire ranges, base partitioning
+	// (overlapping bases are how a wire ends up double-driven in this
+	// IR), topological order. If this fails the per-gate checks below
+	// could index out of range, so stop here.
+	if err := c.Validate(); err != nil {
+		r.addf(Error, "validate", "%v", err)
+		return r
+	}
+
+	isConst := func(w circuit.Wire) bool { return w == circuit.Const0 || w == circuit.Const1 }
+	notOf := func(w circuit.Wire) (circuit.Wire, bool) {
+		// The driver of w when it is a NOT gate's output.
+		if gi := c.WireGate(w); gi >= 0 && c.Gates[gi].Op == circuit.NOT {
+			return c.Gates[gi].A, true
+		}
+		return 0, false
+	}
+
+	type gateKey struct {
+		op      circuit.Op
+		a, b, s circuit.Wire
+	}
+	seen := make(map[gateKey]int, len(c.Gates))
+
+	for i, g := range c.Gates {
+		switch g.Op {
+		case circuit.NAND, circuit.NOR, circuit.XNOR, circuit.BUF:
+			r.addf(Error, "non-normal-op", "gate %d: %s survived lowering (builder emits only AND/OR/XOR/NOT/MUX)", i, g.Op)
+			continue
+		}
+
+		switch g.Op {
+		case circuit.AND, circuit.OR, circuit.XOR:
+			if isConst(g.A) || isConst(g.B) {
+				r.addf(Error, "const-input", "gate %d: %s has a constant input (A=%d B=%d); the builder folds these to a wire", i, g.Op, g.A, g.B)
+			}
+			if g.A == g.B {
+				r.addf(Error, "self-input", "gate %d: %s(%d,%d) with equal inputs folds to a wire or a constant", i, g.Op, g.A, g.B)
+			}
+			if g.A > g.B {
+				r.addf(Error, "unnormalized", "gate %d: %s inputs not in canonical a<=b order (%d,%d); defeats structural sharing", i, g.Op, g.A, g.B)
+			}
+		case circuit.NOT:
+			if isConst(g.A) {
+				r.addf(Error, "const-input", "gate %d: NOT of constant %d", i, g.A)
+			}
+			if inner, ok := notOf(g.A); ok {
+				r.addf(Error, "double-not", "gate %d: NOT(NOT(%d)) folds to wire %d", i, inner, inner)
+			}
+		case circuit.MUX:
+			switch {
+			case isConst(g.S):
+				r.addf(Error, "foldable-mux", "gate %d: MUX with constant select %d folds to one of its data inputs", i, g.S)
+			case g.A == g.B:
+				r.addf(Error, "foldable-mux", "gate %d: MUX with equal data inputs (%d) folds to that wire", i, g.A)
+			case isConst(g.A) && isConst(g.B):
+				r.addf(Error, "foldable-mux", "gate %d: MUX with constant data inputs folds to S or NOT(S)", i)
+			default:
+				if inner, ok := notOf(g.B); ok && inner == g.A {
+					r.addf(Error, "foldable-mux", "gate %d: MUX(s, a, NOT(a)) folds to XOR(s,a)", i)
+				} else if inner, ok := notOf(g.A); ok && inner == g.B {
+					r.addf(Error, "foldable-mux", "gate %d: MUX(s, NOT(a), a) folds to XOR(NOT(s),a)... the builder emits the XOR form", i)
+				}
+			}
+		}
+
+		key := gateKey{op: g.Op, a: g.A, b: g.B}
+		if g.Op == circuit.MUX {
+			key.s = g.S
+		}
+		if prev, dup := seen[key]; dup {
+			r.addf(Error, "duplicate-gate", "gate %d duplicates gate %d (%s %d,%d): hash-consing would have shared them", i, prev, g.Op, g.A, g.B)
+		} else {
+			seen[key] = i
+		}
+	}
+
+	// Reachability: a gate is live when its output feeds (transitively)
+	// a named output or a flip-flop's next state. Dead cones appear when
+	// a fold re-points a consumer and nothing else references the old
+	// tree; they cost garbling every cycle without affecting any output,
+	// so they are a cost smell, not a correctness error.
+	live := make([]bool, len(c.Gates))
+	var mark func(w circuit.Wire)
+	mark = func(w circuit.Wire) {
+		gi := c.WireGate(w)
+		if gi < 0 || live[gi] {
+			return
+		}
+		live[gi] = true
+		g := c.Gates[gi]
+		mark(g.A)
+		if !g.Op.IsUnary() {
+			mark(g.B)
+		}
+		if g.Op == circuit.MUX {
+			mark(g.S)
+		}
+	}
+	for _, o := range c.Outputs {
+		for _, w := range o.Wires {
+			mark(c.ResolveOutput(w))
+		}
+	}
+	for _, d := range c.DFFs {
+		mark(d.D)
+	}
+	dead, deadTables := 0, 0
+	for i, l := range live {
+		if l {
+			continue
+		}
+		dead++
+		switch c.Gates[i].Op {
+		case circuit.AND, circuit.OR, circuit.NAND, circuit.NOR, circuit.MUX:
+			deadTables++
+		}
+	}
+	if dead > 0 {
+		r.addf(Warning, "unreachable", "%d of %d gates unreachable from outputs/DFFs (%d garbled tables/cycle of dead cost)", dead, len(c.Gates), deadTables)
+	}
+
+	if opts.CheckCost {
+		if got := c.Stats().NonXOR; got != opts.ExpectNonXOR {
+			r.addf(Error, "cost-drift", "non-XOR count %d != golden %d: the free-XOR cost model drifted (re-bless the golden only with a benchmarked justification)", got, opts.ExpectNonXOR)
+		}
+	}
+	return r
+}

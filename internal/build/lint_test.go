@@ -1,0 +1,201 @@
+package build
+
+import (
+	"strings"
+	"testing"
+
+	"arm2gc/internal/circuit"
+)
+
+// rawCircuit hand-assembles a netlist outside the Builder — the only way
+// to produce the corruption classes Lint exists to catch, since the
+// Builder's fold rules make them unconstructible. One 4-bit Alice port
+// (wires 2..5), no DFFs, gate i driving wire 6+i.
+func rawCircuit(gates []circuit.Gate, outs []circuit.Wire) *circuit.Circuit {
+	return &circuit.Circuit{
+		Name:      "raw",
+		Ports:     []circuit.Port{{Name: "a", Owner: circuit.Alice, Base: 2, Bits: 4}},
+		PortBase:  2,
+		DFFBase:   6,
+		GateBase:  6,
+		AliceBits: 4,
+		Gates:     gates,
+		Outputs:   []circuit.Output{{Name: "out", Wires: outs}},
+	}
+}
+
+// codes extracts the issue codes of a report at the given severity.
+func codes(r *LintReport, sev Severity) []string {
+	var out []string
+	for _, i := range r.Issues {
+		if i.Severity == sev {
+			out = append(out, i.Code)
+		}
+	}
+	return out
+}
+
+func hasCode(r *LintReport, sev Severity, code string) bool {
+	for _, c := range codes(r, sev) {
+		if c == code {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLintCorruptedNetlists drives every Error class with a minimal
+// hand-corrupted netlist.
+func TestLintCorruptedNetlists(t *testing.T) {
+	w := func(n int) circuit.Wire { return circuit.Wire(n) }
+	cases := []struct {
+		name  string
+		gates []circuit.Gate
+		outs  []circuit.Wire
+		code  string
+	}{
+		{
+			name:  "dangling-wire",
+			gates: []circuit.Gate{{Op: circuit.AND, A: w(99), B: w(2)}},
+			outs:  []circuit.Wire{6},
+			code:  "validate",
+		},
+		{
+			name:  "non-normal-op",
+			gates: []circuit.Gate{{Op: circuit.NAND, A: w(2), B: w(3)}},
+			outs:  []circuit.Wire{6},
+			code:  "non-normal-op",
+		},
+		{
+			name:  "const-input",
+			gates: []circuit.Gate{{Op: circuit.AND, A: circuit.Const1, B: w(2)}},
+			outs:  []circuit.Wire{6},
+			code:  "const-input",
+		},
+		{
+			name:  "self-input",
+			gates: []circuit.Gate{{Op: circuit.OR, A: w(2), B: w(2)}},
+			outs:  []circuit.Wire{6},
+			code:  "self-input",
+		},
+		{
+			name:  "unnormalized",
+			gates: []circuit.Gate{{Op: circuit.XOR, A: w(3), B: w(2)}},
+			outs:  []circuit.Wire{6},
+			code:  "unnormalized",
+		},
+		{
+			name: "double-not",
+			gates: []circuit.Gate{
+				{Op: circuit.NOT, A: w(2)},
+				{Op: circuit.NOT, A: w(6)},
+			},
+			outs: []circuit.Wire{7},
+			code: "double-not",
+		},
+		{
+			name:  "mux-const-select",
+			gates: []circuit.Gate{{Op: circuit.MUX, A: w(2), B: w(3), S: circuit.Const1}},
+			outs:  []circuit.Wire{6},
+			code:  "foldable-mux",
+		},
+		{
+			name:  "mux-equal-data",
+			gates: []circuit.Gate{{Op: circuit.MUX, A: w(2), B: w(2), S: w(3)}},
+			outs:  []circuit.Wire{6},
+			code:  "foldable-mux",
+		},
+		{
+			name: "mux-complementary-data",
+			gates: []circuit.Gate{
+				{Op: circuit.NOT, A: w(2)},
+				{Op: circuit.MUX, A: w(2), B: w(6), S: w(3)},
+			},
+			outs: []circuit.Wire{7},
+			code: "foldable-mux",
+		},
+		{
+			name: "duplicate-gate",
+			gates: []circuit.Gate{
+				{Op: circuit.AND, A: w(2), B: w(3)},
+				{Op: circuit.AND, A: w(2), B: w(3)},
+			},
+			outs: []circuit.Wire{6, 7},
+			code: "duplicate-gate",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Lint(rawCircuit(tc.gates, tc.outs), LintOpts{})
+			if !hasCode(r, Error, tc.code) {
+				t.Fatalf("lint errors = %v, want %q\nreport:\n%s", codes(r, Error), tc.code, r)
+			}
+			if r.Err() == nil {
+				t.Fatal("Err() = nil for a report with errors")
+			}
+		})
+	}
+}
+
+// TestLintUnreachableWarning: a dead cone is a Warning (real CPU
+// netlists carry fold-orphaned cones), never an Error, and a gate whose
+// only consumer is a flip-flop's next state is live.
+func TestLintUnreachableWarning(t *testing.T) {
+	c := &circuit.Circuit{
+		Name:      "dead-cone",
+		Ports:     []circuit.Port{{Name: "a", Owner: circuit.Alice, Base: 2, Bits: 4}},
+		PortBase:  2,
+		DFFBase:   6,
+		GateBase:  7,
+		AliceBits: 4,
+		DFFs:      []circuit.DFF{{D: 7}}, // fed by gate 0: live with no named output
+		Gates: []circuit.Gate{
+			{Op: circuit.AND, A: 2, B: 3}, // wire 7: feeds the DFF
+			{Op: circuit.OR, A: 4, B: 5},  // wire 8: feeds nothing
+		},
+		Outputs: []circuit.Output{{Name: "out", Wires: []circuit.Wire{6}}},
+	}
+	r := Lint(c, LintOpts{})
+	if got := r.Errors(); got != 0 {
+		t.Fatalf("errors = %d, want 0 (dead cones are warnings)\nreport:\n%s", got, r)
+	}
+	if !hasCode(r, Warning, "unreachable") {
+		t.Fatalf("warnings = %v, want unreachable\nreport:\n%s", codes(r, Warning), r)
+	}
+	found := false
+	for _, i := range r.Issues {
+		if i.Code == "unreachable" && strings.Contains(i.Msg, "1 of 2 gates") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unreachable message should count 1 of 2 gates:\n%s", r)
+	}
+}
+
+// TestLintGoldenBuilderCircuit: anything the Builder compiles comes back
+// free of Errors, and the cost check passes against its own stats and
+// trips against a drifted golden.
+func TestLintGoldenBuilderCircuit(t *testing.T) {
+	b := New("golden")
+	x := b.Input(circuit.Alice, "x", 8)
+	y := b.Input(circuit.Bob, "y", 8)
+	sum := b.Add(x, y)
+	sel := b.Input(circuit.Alice, "sel", 1)
+	b.Output("out", b.MuxBus(sel[0], sum, x))
+	c := b.MustCompile()
+
+	r := Lint(c, LintOpts{})
+	if got := r.Errors(); got != 0 {
+		t.Fatalf("builder circuit linted with %d errors:\n%s", got, r)
+	}
+
+	nonXOR := c.Stats().NonXOR
+	if r := Lint(c, LintOpts{CheckCost: true, ExpectNonXOR: nonXOR}); r.Errors() != 0 {
+		t.Fatalf("cost check against own stats failed:\n%s", r)
+	}
+	r = Lint(c, LintOpts{CheckCost: true, ExpectNonXOR: nonXOR + 1})
+	if !hasCode(r, Error, "cost-drift") {
+		t.Fatalf("drifted golden not caught: %v", codes(r, Error))
+	}
+}

@@ -24,6 +24,14 @@
 // reductions (Algorithm 6) and an identical set of filtered garbled tables
 // (Algorithm 4 line 18) — which is what the paper's two phases establish.
 // The crypto executors (Garbler, Evaluator) then do only the label work.
+//
+// Everything here is wire-stream-critical: both parties must derive
+// byte-identical public circuit state, so code in this package must be
+// fully deterministic (no map-order, wall-clock, global-rand, or
+// scheduling dependence). The arm2gc-vet determinism analyzer enforces
+// this; the next line is its machine-readable annotation.
+//
+//arm2gc:deterministic
 package core
 
 import (

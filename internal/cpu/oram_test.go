@@ -382,3 +382,20 @@ func TestCacheBackendSeparation(t *testing.T) {
 		t.Fatalf("builds after auto = %d, want 2 (cache hit)", got)
 	}
 }
+
+// TestDebugLint: with ARM2GC_DEBUG_LINT on, BuildMem runs the backend's
+// width self-check and the netlist structural lint on every build — both
+// backends must come through clean, proving the debug assertion is
+// usable (a failure here means either a backend regression or a lint
+// false positive on a real processor netlist).
+func TestDebugLint(t *testing.T) {
+	old := DebugLint
+	DebugLint = true
+	defer func() { DebugLint = old }()
+	l := isa.Layout{IMemWords: 64, AliceWords: 4, BobWords: 4, OutWords: 4, ScratchWords: 20}
+	for _, backend := range []string{obliv.Scan, obliv.SqrtORAM} {
+		if _, err := BuildMem(l, obliv.Config{Backend: backend}); err != nil {
+			t.Errorf("BuildMem(%s) under debug lint: %v", backend, err)
+		}
+	}
+}

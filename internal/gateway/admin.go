@@ -23,10 +23,15 @@ import (
 func (g *Gateway) AdminHandler(token string) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /backends", func(w http.ResponseWriter, r *http.Request) {
+		// Marshal before writing: an encode failure becomes a clean 500
+		// instead of a truncated 200 the poller would trust.
+		b, err := json.MarshalIndent(g.Backends(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(g.Backends())
+		_, _ = w.Write(append(b, '\n')) // client gone mid-reply: nothing to report to
 	})
 	mux.HandleFunc("POST /backends", func(w http.ResponseWriter, r *http.Request) {
 		addr := r.FormValue("addr")
@@ -85,5 +90,5 @@ func adminResult(w http.ResponseWriter, err error) {
 		return
 	}
 	w.WriteHeader(http.StatusOK)
-	w.Write([]byte("ok\n"))
+	_, _ = w.Write([]byte("ok\n")) // the status code already carries the answer
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -239,7 +240,9 @@ func (g *Gateway) RetireProgram(name string) error {
 }
 
 // Programs reports the explicit allowlist ("" slice when the gateway
-// routes every non-retired program) and the retired set.
+// routes every non-retired program) and the retired set, each sorted —
+// the listing feeds the admin API and operator diffs, where map-order
+// shuffling between calls reads as churn that never happened.
 func (g *Gateway) Programs() (allowed, retired []string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -249,6 +252,8 @@ func (g *Gateway) Programs() (allowed, retired []string) {
 	for name := range g.retired {
 		retired = append(retired, name)
 	}
+	sort.Strings(allowed)
+	sort.Strings(retired)
 	return allowed, retired
 }
 
@@ -305,9 +310,14 @@ func (g *Gateway) eject(b *backend, cause error) {
 	}
 }
 
-// dial opens one backend connection, with TLS when configured.
-func (g *Gateway) dial(addr string) (net.Conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, g.cfg.DialTimeout)
+// dial opens one backend connection, with TLS when configured. ctx
+// bounds the whole dial, TCP connect and TLS handshake both: before it
+// was threaded here, a backend that accepted TCP but never answered the
+// handshake pinned the caller until the TLS handshake's own (absent)
+// timeout — a gateway shutdown or probe deadline couldn't interrupt it.
+func (g *Gateway) dial(ctx context.Context, addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: g.cfg.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -321,8 +331,8 @@ func (g *Gateway) dial(addr string) (net.Conn, error) {
 		}
 	}
 	tc := tls.Client(nc, tcfg)
-	if err := tc.HandshakeContext(context.Background()); err != nil {
-		nc.Close()
+	if err := tc.HandshakeContext(ctx); err != nil {
+		_ = nc.Close()
 		return nil, err
 	}
 	return tc, nil
@@ -357,9 +367,9 @@ func (g *Gateway) Serve(ctx context.Context, ln net.Listener) error {
 		case <-closer:
 			return
 		}
-		ln.Close()
+		_ = ln.Close() // unblocks Accept; the accept loop reports the real error
 		conns.Range(func(k, _ any) bool {
-			k.(net.Conn).Close()
+			_ = k.(net.Conn).Close()
 			return true
 		})
 	}()
@@ -395,6 +405,22 @@ func (g *Gateway) Serve(ctx context.Context, ln net.Listener) error {
 	return acceptErr
 }
 
+// fleetSnapshot copies the backend set out from under the lock, sorted
+// by address. Probe sweeps walk this order rather than raw map order: a
+// sweep cut short by shutdown or a slow backend must not leave a
+// *random* suffix of the fleet unprobed, or an unlucky dead backend can
+// dodge ejection for several intervals in a row.
+func (g *Gateway) fleetSnapshot() []*backend {
+	g.mu.Lock()
+	fleet := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		fleet = append(fleet, b)
+	}
+	g.mu.Unlock()
+	sort.Slice(fleet, func(i, j int) bool { return fleet[i].addr < fleet[j].addr })
+	return fleet
+}
+
 // probeLoop health-checks every backend each ProbeInterval: a dead one
 // is ejected, a recovered one re-admitted.
 func (g *Gateway) probeLoop(ctx context.Context) {
@@ -406,13 +432,7 @@ func (g *Gateway) probeLoop(ctx context.Context) {
 			return
 		case <-t.C:
 		}
-		g.mu.Lock()
-		fleet := make([]*backend, 0, len(g.backends))
-		for _, b := range g.backends {
-			fleet = append(fleet, b)
-		}
-		g.mu.Unlock()
-		for _, b := range fleet {
+		for _, b := range g.fleetSnapshot() {
 			if ctx.Err() != nil {
 				return
 			}
@@ -438,12 +458,14 @@ func (g *Gateway) probe(ctx context.Context, b *backend) {
 }
 
 func (g *Gateway) probeOnce(ctx context.Context, addr string) error {
-	nc, err := g.dial(addr)
+	nc, err := g.dial(ctx, addr)
 	if err != nil {
 		return err
 	}
 	defer nc.Close()
-	nc.SetDeadline(time.Now().Add(g.cfg.ProbeTimeout))
+	if err := nc.SetDeadline(time.Now().Add(g.cfg.ProbeTimeout)); err != nil {
+		return err // a probe that can't bound itself must not hang the prober
+	}
 	_, err = proto.Negotiate(ctx, nc, proto.Proposal{Program: probeProgram})
 	var rej *proto.Rejected
 	if errors.As(err, &rej) {

@@ -2,12 +2,15 @@ package gateway
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -711,5 +714,103 @@ func TestGatewayTLS(t *testing.T) {
 	}
 	if info.Outputs[0] != 111 {
 		t.Fatalf("TLS fleet sum = %d, want 111", info.Outputs[0])
+	}
+}
+
+// TestProgramsListingSorted: the admin listing must come back in a
+// pinned (sorted) order, not map order — operators diff successive
+// listings, and shuffling reads as churn. Regression test for the
+// map-range finding the arm2gc-vet suite surfaced here.
+func TestProgramsListingSorted(t *testing.T) {
+	g, err := New(Config{
+		Backends: []string{"a:1"},
+		Programs: []string{"zeta", "mid", "alpha"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"omega", "beta", "nu"} {
+		if err := g.RetireProgram(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantAllowed := []string{"alpha", "mid", "zeta"}
+	wantRetired := []string{"beta", "nu", "omega"}
+	// Repeat: a map-order listing passes a single comparison roughly one
+	// time in six; thirty runs make the regression deterministic in
+	// practice.
+	for i := 0; i < 30; i++ {
+		allowed, retired := g.Programs()
+		if !reflect.DeepEqual(allowed, wantAllowed) {
+			t.Fatalf("run %d: allowed = %v, want %v", i, allowed, wantAllowed)
+		}
+		if !reflect.DeepEqual(retired, wantRetired) {
+			t.Fatalf("run %d: retired = %v, want %v", i, retired, wantRetired)
+		}
+	}
+}
+
+// TestFleetSnapshotOrdered: probe sweeps walk the fleet in address
+// order, so a sweep cut short never strands a random suffix of the
+// fleet unprobed. Regression test for the probeLoop map-range finding.
+func TestFleetSnapshotOrdered(t *testing.T) {
+	addrs := []string{"j:1", "c:1", "x:1", "a:1", "q:1", "m:1", "b:1", "t:1"}
+	g, err := New(Config{Backends: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]string(nil), addrs...)
+	sort.Strings(want)
+	for i := 0; i < 30; i++ {
+		var got []string
+		for _, b := range g.fleetSnapshot() {
+			got = append(got, b.addr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: snapshot order = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestDialHonorsContext: a backend that accepts TCP but never answers
+// the TLS handshake must not wedge the dialer for the full DialTimeout
+// once the caller's context is cancelled. Regression test for the
+// ctxflow finding where dial minted context.Background() mid-stack and
+// a probe sweep could hang on one half-dead backend.
+func TestDialHonorsContext(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Hold the conn open, never speak TLS.
+			defer c.Close()
+		}
+	}()
+
+	g, err := New(Config{
+		Backends:    []string{ln.Addr().String()},
+		BackendTLS:  &tls.Config{InsecureSkipVerify: true},
+		DialTimeout: time.Minute, // the test must not wait on this
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = g.dial(ctx, ln.Addr().String())
+	if err == nil {
+		t.Fatal("dial against a mute TLS backend succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dial took %v after context expiry; the caller's context is not threaded through", elapsed)
 	}
 }

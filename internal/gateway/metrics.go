@@ -85,10 +85,15 @@ func (g *Gateway) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m := g.Metrics()
 		if r.URL.Query().Get("format") == "json" {
+			// Marshal before writing: an encode failure becomes a clean
+			// 500 instead of a truncated 200 the scraper would trust.
+			b, err := json.MarshalIndent(m, "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
 			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			enc.Encode(m)
+			_, _ = w.Write(append(b, '\n')) // scraper gone mid-reply: nothing to report to
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

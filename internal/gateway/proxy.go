@@ -100,9 +100,9 @@ func (g *Gateway) handle(ctx context.Context, nc net.Conn) {
 }
 
 func (p *proxyConn) close() {
-	p.client.Close()
+	_ = p.client.Close()
 	for _, l := range p.links {
-		l.nc.Close()
+		_ = l.nc.Close() // teardown; link errors were already reported by the relayers
 	}
 }
 
@@ -173,7 +173,7 @@ func (p *proxyConn) session(ctx context.Context, name string, payload []byte) er
 			return p.reject("shed: no backend available for "+name, p.g.cfg.RetryAfter)
 		}
 		tried[b.addr] = true
-		l, err := p.link(b)
+		l, err := p.link(ctx, b)
 		if err != nil {
 			p.g.eject(b, err)
 			b.failed.Add(1)
@@ -271,11 +271,11 @@ func (p *proxyConn) relaySession(l *backendLink, mode proto.OutputMode) error {
 
 // link returns (dialing on first use) the pooled connection to a
 // backend, with its relayer running.
-func (p *proxyConn) link(b *backend) (*backendLink, error) {
+func (p *proxyConn) link(ctx context.Context, b *backend) (*backendLink, error) {
 	if l := p.links[b.addr]; l != nil {
 		return l, nil
 	}
-	nc, err := p.g.dial(b.addr)
+	nc, err := p.g.dial(ctx, b.addr)
 	if err != nil {
 		return nil, fmt.Errorf("dialing %s: %w", b.addr, err)
 	}
@@ -291,7 +291,7 @@ func (p *proxyConn) link(b *backend) (*backendLink, error) {
 }
 
 func (p *proxyConn) dropLink(l *backendLink) {
-	l.nc.Close()
+	_ = l.nc.Close() // the link is already condemned; its close error adds nothing
 	delete(p.links, l.b.addr)
 }
 
@@ -340,7 +340,7 @@ func (l *backendLink) relayLoop(p *proxyConn) error {
 				// reads that will never complete (the client waiting for
 				// tables, the driver waiting for the client's next frame).
 				// Closing the client conn unwinds them both.
-				p.client.Close()
+				_ = p.client.Close()
 				return err
 			}
 		default:

@@ -5,6 +5,14 @@
 // Evans], plus a conventional sequential-circuit garbler/evaluator in the
 // TinyGarble style (every gate garbled every cycle) that serves as the
 // "w/o SkipGate" baseline.
+//
+// Everything here is wire-stream-critical: both parties must derive
+// byte-identical public circuit state, so code in this package must be
+// fully deterministic (no map-order, wall-clock, global-rand, or
+// scheduling dependence). The arm2gc-vet determinism analyzer enforces
+// this; the next line is its machine-readable annotation.
+//
+//arm2gc:deterministic
 package gc
 
 import (

@@ -19,6 +19,14 @@
 // (default DefaultThreshold words, the measured 2KB crossover), which is
 // the paper's "linear scan below the ORAM break-even" rule made
 // operational.
+//
+// Everything here is wire-stream-critical: both parties must derive
+// byte-identical public circuit state, so code in this package must be
+// fully deterministic (no map-order, wall-clock, global-rand, or
+// scheduling dependence). The arm2gc-vet determinism analyzer enforces
+// this; the next line is its machine-readable annotation.
+//
+//arm2gc:deterministic
 package obliv
 
 import (
@@ -178,6 +186,13 @@ type Memory interface {
 	// backend's outputs reflect only the written-back state — halting
 	// programs are the architectural contract.)
 	Outputs(halt build.W) build.Bus
+
+	// Check verifies the backend's internal width invariants (bank size
+	// vs layout, stash tag/data/slot-counter widths) after construction.
+	// cpu.BuildMem runs it when debug linting is on; a failure means the
+	// backend wired a bus that cannot address or hold what the layout
+	// requires, which would otherwise surface only as wrong outputs.
+	Check() error
 }
 
 // Instantiate builds the named backend's state (registers and

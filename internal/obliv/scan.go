@@ -73,6 +73,18 @@ func (m *scanMem) Write(addr build.Bus, data build.Bus, en build.W) {
 	}
 }
 
+func (m *scanMem) Check() error {
+	if len(m.dmem) != m.l.DataWords() {
+		return fmt.Errorf("obliv: scan bank has %d words, layout needs %d", len(m.dmem), m.l.DataWords())
+	}
+	for w, q := range m.dmemQ {
+		if len(q) != 32 {
+			return fmt.Errorf("obliv: scan bank word %d is %d bits wide, want 32", w, len(q))
+		}
+	}
+	return nil
+}
+
 func (m *scanMem) Outputs(halt build.W) build.Bus {
 	var out build.Bus
 	base := int(m.l.OutBase() / 4)

@@ -100,6 +100,37 @@ func newSqrt(b *build.Builder, l isa.Layout, window, aliceOff, bobOff int) *sqrt
 
 func (m *sqrtMem) Name() string { return SqrtORAM }
 
+func (m *sqrtMem) Check() error {
+	if len(m.bank) != m.l.DataWords() {
+		return fmt.Errorf("obliv: sqrt-oram bank has %d words, layout needs %d", len(m.bank), m.l.DataWords())
+	}
+	if m.dbits != log2ceil(m.l.DataWords()) {
+		return fmt.Errorf("obliv: sqrt-oram address width %d cannot index %d words (want %d)",
+			m.dbits, m.l.DataWords(), log2ceil(m.l.DataWords()))
+	}
+	if m.window <= 0 || m.window&(m.window-1) != 0 {
+		return fmt.Errorf("obliv: sqrt-oram stash window %d is not a positive power of two", m.window)
+	}
+	if want := StashSlots(m.window); len(m.slots) != want {
+		return fmt.Errorf("obliv: sqrt-oram has %d stash slots for a %d-word window, want %d", len(m.slots), m.window, want)
+	}
+	for j, s := range m.slots {
+		if s.tag.Bits() != m.dbits {
+			return fmt.Errorf("obliv: stash slot %d tag is %d bits, want address width %d", j, s.tag.Bits(), m.dbits)
+		}
+		if s.data.Bits() != 32 {
+			return fmt.Errorf("obliv: stash slot %d data is %d bits, want 32", j, s.data.Bits())
+		}
+		if s.valid.Bits() != 1 {
+			return fmt.Errorf("obliv: stash slot %d valid is %d bits, want 1", j, s.valid.Bits())
+		}
+	}
+	if want := log2ceil(len(m.slots)); m.tail.Bits() != want {
+		return fmt.Errorf("obliv: stash tail counter is %d bits for %d slots, want %d", m.tail.Bits(), len(m.slots), want)
+	}
+	return nil
+}
+
 // bankRead is the scan's load port over the bank alone.
 func (m *sqrtMem) bankRead(addr build.Bus) build.Bus {
 	padded := make([]build.Bus, 1<<len(addr))

@@ -163,6 +163,8 @@ func garblePipelined(ctx context.Context, conn io.ReadWriter, cfg Config, res *R
 			continue
 		}
 		res.TableFrames++
+		// Recycle the frame buffer if the producer is ready for it.
+		//lint:ignore determinism wire-stream-neutral: the payload above is already written; dropping the buffer only costs an allocation
 		select {
 		case pool <- payload:
 		default:

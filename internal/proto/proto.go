@@ -13,6 +13,14 @@
 // between cycles, and — when the connection supports deadlines (net.Conn,
 // net.Pipe) — unblocks any in-flight frame read or write, so a hung peer
 // cannot wedge the caller.
+//
+// Everything here is wire-stream-critical: both parties must derive
+// byte-identical public circuit state, so code in this package must be
+// fully deterministic (no map-order, wall-clock, global-rand, or
+// scheduling dependence). The arm2gc-vet determinism analyzer enforces
+// this; the next line is its machine-readable annotation.
+//
+//arm2gc:deterministic
 package proto
 
 import (
@@ -268,7 +276,10 @@ func watchContext(ctx context.Context, conn io.ReadWriter) (stop func()) {
 		defer close(done)
 		select {
 		case <-ctx.Done():
-			d.SetDeadline(time.Unix(1, 0))
+			// Best-effort poke: expire pending I/O so the blocked read
+			// observes the cancellation. If the conn refuses deadlines
+			// the read simply finishes on its own terms.
+			_ = d.SetDeadline(time.Unix(1, 0))
 		case <-stopped:
 		}
 	}()

@@ -100,11 +100,11 @@ func (fr *frameReader) shutdown() {
 	if fr.ch == nil {
 		return
 	}
-	d := fr.conn.(deadliner) // checked at construction
-	d.SetDeadline(time.Unix(1, 0))
+	d := fr.conn.(deadliner)           // checked at construction
+	_ = d.SetDeadline(time.Unix(1, 0)) // best-effort expiry; the drain below tolerates a slow reader
 	for range fr.ch {
 	}
-	d.SetDeadline(time.Time{})
+	_ = d.SetDeadline(time.Time{})
 }
 
 // countTraceFrames derives the exact number of msgTables frames a

@@ -311,6 +311,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		s.pool.Start(ctx)
 		defer s.pool.Close()
 	}
+	// Sessions deliberately outlive ctx: cancelling Serve's ctx starts the
+	// graceful drain (listener closed, idle conns dropped), while in-flight
+	// sessions run on until the drain timeout, which cancels sessCtx.
+	//lint:ignore ctxflow session lifetime is decoupled from Serve's ctx by design — the drain window below, not ctx, ends sessions
 	sessCtx, cancelSessions := context.WithCancel(context.Background())
 	defer cancelSessions()
 	handlersDone := make(chan struct{})
@@ -322,7 +326,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			return
 		case <-ctx.Done():
 		}
-		ln.Close()
+		_ = ln.Close() // unblocks Accept; the accept loop reports the real error
 		s.closeIdle()
 		if s.drain > 0 {
 			t := time.NewTimer(s.drain)
@@ -352,7 +356,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		}
 		wrapped := s.wrap(conn)
 		if !s.track(wrapped) {
-			wrapped.Close() // shutdown won the race with this accept
+			_ = wrapped.Close() // shutdown won the race with this accept
 			continue
 		}
 		s.met.connsAccepted.Add(1)
@@ -679,7 +683,7 @@ func (s *Server) closeIdle() {
 	defer s.mu.Unlock()
 	s.stopping = true
 	for conn := range s.idle {
-		conn.Close()
+		_ = conn.Close() // shutdown teardown; handlers report their own errors
 	}
 }
 
@@ -691,6 +695,6 @@ func (s *Server) closeAll() {
 	defer s.mu.Unlock()
 	s.stopping = true
 	for conn := range s.conns {
-		conn.Close()
+		_ = conn.Close() // drain-deadline backstop; nothing left to report to
 	}
 }
